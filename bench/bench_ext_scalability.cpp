@@ -1,0 +1,61 @@
+// Extension bench (§5.2 discussion): "one easy approach is to set bitrate
+// to a lower number, say 10 kbps, and allow LF-Backscatter RFIDs to
+// concurrently transmit their ID. In this setting, we can not only support
+// a few hundred tags..."
+//
+// At 10 kbps a bit spans 1250 samples (12.5 Msps here), so the edge-packing
+// budget is ~hundreds of offsets. This bench pushes the node count far past
+// the paper's 16-tag hardware limit and measures single-epoch recovery.
+#include <cstdio>
+
+#include "sim/scenario.h"
+#include "sim/table.h"
+
+using namespace lfbs;
+
+int main() {
+  sim::print_banner(
+      "Extension: scalability at 10 kbps",
+      "single-epoch ID recovery far beyond the paper's 16-tag testbed",
+      "all tags at 10 kbps, 12.5 Msps reader, one 113-bit frame each; "
+      "unrecovered tags would retry next epoch with fresh offsets");
+
+  sim::Table table({"tags", "crystals", "recovered", "recovery",
+                    "collision groups", "unresolved"});
+  for (double drift_ppm : {150.0, 5.0}) {
+  for (std::size_t tags : {16u, 32u, 64u, 100u}) {
+    Rng rng(9090 + tags);
+    sim::ScenarioConfig sc;
+    sc.num_tags = tags;
+    sc.rates = {10.0 * kKbps};
+    sc.sample_rate = 12.5 * kMsps;
+    sc.clock_drift_ppm = drift_ppm;
+    sc.epoch_duration = 113.0 / (10.0 * kKbps) + 0.4e-3;
+    sim::Scenario scenario(sc, rng);
+    auto dc = scenario.default_decoder();
+    // The reader has commanded a 10 kbps network (§3.6), so it folds at the
+    // 10 kbps lattice — 1250 samples of offset space instead of 125.
+    dc.rate_plan.rates = {0.5 * kKbps, 1.0 * kKbps, 2.0 * kKbps,
+                          5.0 * kKbps, 10.0 * kKbps};
+    dc.max_rate = 10.0 * kKbps;
+    const auto outcome = scenario.run_epoch(dc, rng);
+    table.add_row(
+        {std::to_string(tags),
+         sim::fmt(drift_ppm, 0) + " ppm",
+         std::to_string(outcome.payloads_recovered),
+         sim::fmt_percent(static_cast<double>(outcome.payloads_recovered) /
+                          static_cast<double>(tags)),
+         std::to_string(outcome.decode.diagnostics.collision_groups),
+         std::to_string(outcome.decode.diagnostics.unresolved_groups)});
+  }
+  }
+  table.print();
+  std::printf(
+      "\nfinding: the paper's scaling argument (edge slots are plentiful at "
+      "10 kbps) only counts *offset* collisions. Over an 11.7 ms epoch,\n"
+      "+/-150 ppm crystals drift tags across each other's lattices "
+      "(crossings), and at ~100 tags nearly every tag gets crossed — the\n"
+      "dominant loss. With batch-matched (5 ppm) crystals the offset-only "
+      "analysis holds and scaling works as the paper expects.\n");
+  return 0;
+}

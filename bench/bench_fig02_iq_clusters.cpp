@@ -1,0 +1,78 @@
+// Figure 2: why raw IQ-cluster separation (Angerer et al.) does not scale —
+// N synchronized tags produce 2^N clusters whose spacing collapses as N
+// grows. The paper shows clean 4-cluster structure for 2 tags (Fig 2b) and
+// a hopeless 64-cluster smear for 6 tags (Fig 2c).
+#include <cstdio>
+
+#include "baseline/cluster_only.h"
+#include "common/rng.h"
+#include "sim/plot.h"
+#include "sim/table.h"
+
+using namespace lfbs;
+
+int main() {
+  sim::print_banner(
+      "Figure 2", "IQ clusters of N synchronized tags (cluster-only decode)",
+      "oracle nearest-centroid decoding with true channel coefficients — "
+      "failures are purely geometric (2^N clusters vs noise)");
+
+  baseline::ClusterOnlyConfig cc;
+  cc.bits_per_tag = 2000;
+  cc.noise_power = 2e-4;
+  const baseline::ClusterOnly decoder(cc);
+
+  sim::Table table({"tags", "clusters", "min cluster distance",
+                    "mean bit accuracy"});
+  for (std::size_t n = 1; n <= 6; ++n) {
+    // Average over placements.
+    double acc = 0.0, dist = 0.0;
+    const std::size_t trials = 8;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(100 * n + t);
+      std::vector<Complex> channels;
+      for (std::size_t i = 0; i < n; ++i) {
+        channels.push_back(
+            std::polar(rng.uniform(0.06, 0.2), rng.uniform(0.0, 6.2831)));
+      }
+      const auto result = decoder.run(channels, rng);
+      acc += result.mean_accuracy;
+      dist += result.min_cluster_distance;
+    }
+    table.add_row({std::to_string(n), std::to_string(1u << n),
+                   sim::fmt(dist / trials, 4),
+                   sim::fmt_percent(acc / trials)});
+  }
+  table.print();
+
+  // The Fig 2(b)/2(c) constellations themselves: received IQ points for 2
+  // and 6 synchronized tags (scatter; compare how the 4 clusters of the
+  // 2-tag case collapse into a 64-cluster smear at 6 tags).
+  for (std::size_t n : {2u, 6u}) {
+    Rng rng(500 + n);
+    std::vector<Complex> channels;
+    for (std::size_t i = 0; i < n; ++i) {
+      channels.push_back(
+          std::polar(rng.uniform(0.06, 0.2), rng.uniform(0.0, 6.2831)));
+    }
+    const auto centres = baseline::ClusterOnly::centroids(channels);
+    std::vector<double> xs, ys;
+    for (int k = 0; k < 600; ++k) {
+      const Complex c = centres[rng.uniform_u64(centres.size())] +
+                        Complex{rng.gaussian(0.0, 0.01),
+                                rng.gaussian(0.0, 0.01)};
+      xs.push_back(c.real());
+      ys.push_back(c.imag());
+    }
+    std::printf("\nIQ constellation, %zu synchronized tags (%zu clusters):\n",
+                n, centres.size());
+    sim::AsciiPlot plot(56, 14);
+    plot.add_series("samples", xs, ys);
+    plot.print();
+  }
+
+  std::printf(
+      "\npaper: clean separation at 2 tags, unusable at 6 (64 crowded "
+      "clusters); Angerer et al. conclude the technique stops at ~2 tags\n");
+  return 0;
+}

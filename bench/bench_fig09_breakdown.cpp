@@ -1,0 +1,57 @@
+// Figure 9: contribution of each decoding module to LF-Backscatter's
+// throughput — edge-based concurrency alone ("Edge"), plus IQ cluster
+// collision detection/separation ("Edge+IQ"), plus Viterbi error
+// correction ("Edge+IQ+Error").
+//
+// Paper result: edge concurrency does most of the work; collision recovery
+// adds ~5.6% and error correction another ~7.7% at 16 nodes.
+#include <cstdio>
+
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+#include "sim/table.h"
+
+using namespace lfbs;
+
+namespace {
+
+double run_point(std::size_t nodes, bool iq, bool error, std::size_t epochs,
+                 std::uint64_t seed) {
+  sim::ThroughputMeter meter;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    Rng rng(seed + e * 7919);
+    sim::ScenarioConfig sc;
+    sc.num_tags = nodes;
+    sim::Scenario scenario(sc, rng);
+    core::DecoderConfig dc = scenario.default_decoder();
+    dc.collision_recovery = iq;
+    dc.error_correction = error;
+    const auto outcome = scenario.run_epoch(dc, rng);
+    meter.add(outcome.bits_recovered, outcome.duration);
+  }
+  return meter.goodput();
+}
+
+}  // namespace
+
+int main() {
+  sim::print_banner(
+      "Figure 9", "throughput breakdown by decoding module",
+      "same workload as Figure 8 with pipeline stages toggled "
+      "(Edge / Edge+IQ / Edge+IQ+Error)");
+
+  sim::Table table({"nodes", "Edge (kbps)", "Edge+IQ (kbps)",
+                    "Edge+IQ+Error (kbps)"});
+  for (std::size_t nodes : {4u, 8u, 12u, 16u}) {
+    const double edge = run_point(nodes, false, false, 8, 42 + nodes);
+    const double edge_iq = run_point(nodes, true, false, 8, 42 + nodes);
+    const double full = run_point(nodes, true, true, 8, 42 + nodes);
+    table.add_row({std::to_string(nodes), sim::fmt(edge / 1e3, 0),
+                   sim::fmt(edge_iq / 1e3, 0), sim::fmt(full / 1e3, 0)});
+  }
+  table.print();
+  std::printf(
+      "\npaper: each stage adds throughput; at 16 nodes IQ separation adds "
+      "~5.6%% and error correction ~7.7%% over edge-only decoding\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 12: time to inventory N RFID tags (96-bit EPC + CRC-5) with TDMA,
+// Buzz, and LF-Backscatter.
+//
+// Paper result: LF-Backscatter reads identifiers 17x faster than TDMA and
+// 9.5x faster than Buzz at 16 tags.
+#include <cstdio>
+
+#include "baseline/buzz.h"
+#include "baseline/gen2.h"
+#include "baseline/tdma.h"
+#include "protocol/identification.h"
+#include "sim/scenario.h"
+#include "sim/table.h"
+
+using namespace lfbs;
+
+namespace {
+
+/// LF-Backscatter inventory: every tag blasts its EPC frame each epoch with
+/// a fresh random offset; epochs repeat until every tag has been read.
+Seconds lf_identify(std::size_t nodes, Rng& rng, std::size_t* epochs_out) {
+  sim::ScenarioConfig sc;
+  sc.num_tags = nodes;
+  sc.frame.payload_bits = 96;
+  sc.frame.crc = protocol::CrcKind::kCrc5;
+  sc.epoch_duration = 1.3e-3;
+
+  const std::vector<protocol::EpcId> population =
+      protocol::random_epcs(nodes, rng);
+  protocol::IdentificationSession session(population);
+
+  std::size_t epochs = 0;
+  while (!session.complete() && epochs < 50) {
+    // Fresh scenario per epoch: the carrier restart re-randomizes every
+    // tag's comparator offset (§3.2).
+    Rng epoch_rng = rng.split();
+    sim::Scenario scenario(sc, epoch_rng);
+    std::vector<std::vector<std::vector<bool>>> payloads;
+    for (std::size_t i = 0; i < nodes; ++i) payloads.push_back({population[i]});
+    const auto outcome = scenario.run_epoch_with_payloads(
+        scenario.default_decoder(), payloads, epoch_rng);
+    session.record_round(outcome.decode.valid_payloads(), sc.epoch_duration);
+    ++epochs;
+  }
+  if (epochs_out != nullptr) *epochs_out = epochs;
+  return session.elapsed();
+}
+
+/// Buzz inventory: channel estimation + lock-step rounds; rateless retries
+/// are part of the transfer itself.
+Seconds buzz_identify(std::size_t nodes, Rng& rng) {
+  std::vector<Complex> channels;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    channels.push_back(
+        std::polar(rng.uniform(0.06, 0.2), rng.uniform(0.0, 6.2831)));
+  }
+  baseline::BuzzConfig bc;
+  bc.message_bits = 96 + 5;
+  baseline::Buzz buzz(bc, channels);
+  Seconds air = buzz.estimate_channels(rng);
+  std::vector<std::vector<bool>> ids;
+  for (std::size_t i = 0; i < nodes; ++i) ids.push_back(rng.bits(96 + 5));
+  const auto result = buzz.transfer(ids, rng);
+  air += result.air_time;
+  if (!result.success) air *= 2.0;  // one full retry on failure
+  return air;
+}
+
+}  // namespace
+
+int main() {
+  sim::print_banner(
+      "Figure 12", "node identification time vs number of devices",
+      "96-bit EPC + CRC-5 per tag; LF epochs repeat with fresh random "
+      "offsets until all tags are read; TDMA uses Gen2-style slotted "
+      "ALOHA with Q adaptation");
+
+  const baseline::Tdma tdma{baseline::TdmaConfig{}};
+  const baseline::Gen2Inventory gen2;
+  sim::Table table({"nodes", "Gen2 full (ms)", "TDMA stripped (ms)",
+                    "Buzz (ms)", "LF-Backscatter (ms)", "LF epochs",
+                    "TDMA/LF", "Buzz/LF"});
+  for (std::size_t nodes : {4u, 8u, 12u, 16u}) {
+    Rng rng(1234 + nodes);
+    double gen2_ms = 0.0, tdma_ms = 0.0, buzz_ms = 0.0, lf_ms = 0.0;
+    std::size_t lf_epochs = 0;
+    const std::size_t trials = 5;
+    for (std::size_t t = 0; t < trials; ++t) {
+      gen2_ms += gen2.run(nodes, rng).elapsed * 1e3;
+      tdma_ms += tdma.identify(nodes, rng) * 1e3;
+      buzz_ms += buzz_identify(nodes, rng) * 1e3;
+      std::size_t epochs = 0;
+      lf_ms += lf_identify(nodes, rng, &epochs) * 1e3;
+      lf_epochs += epochs;
+    }
+    gen2_ms /= trials;
+    tdma_ms /= trials;
+    buzz_ms /= trials;
+    lf_ms /= trials;
+    table.add_row({std::to_string(nodes), sim::fmt(gen2_ms, 1),
+                   sim::fmt(tdma_ms, 1), sim::fmt(buzz_ms, 1),
+                   sim::fmt(lf_ms, 1),
+                   sim::fmt(static_cast<double>(lf_epochs) / trials, 1),
+                   sim::fmt_ratio(tdma_ms / lf_ms),
+                   sim::fmt_ratio(buzz_ms / lf_ms)});
+  }
+  table.print();
+  std::printf(
+      "\n'Gen2 full' runs the discrete-event Query/RN16/ACK engine with "
+      "spec-derived timings; 'TDMA stripped' is the paper's pared-down "
+      "baseline (which favours TDMA).\n");
+  std::printf(
+      "\npaper: at 16 tags LF identification is 17x faster than TDMA and "
+      "9.5x faster than Buzz\n");
+  return 0;
+}

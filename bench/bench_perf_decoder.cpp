@@ -1,0 +1,99 @@
+// Decoder performance benchmarks (google-benchmark). Not a paper figure:
+// sanity that the software decoder keeps up with the 25 Msps stream the
+// paper's USRP front end produces, plus microbenchmarks of the hot stages.
+#include <benchmark/benchmark.h>
+
+#include "core/lf_decoder.h"
+#include "dsp/kmeans.h"
+#include "dsp/viterbi.h"
+#include "signal/edge_detector.h"
+#include "sim/scenario.h"
+
+using namespace lfbs;
+
+namespace {
+
+signal::SampleBuffer make_epoch(std::size_t tags, std::uint64_t seed) {
+  Rng rng(seed);
+  reader::ReceiverConfig rc;
+  channel::ChannelModel ch;
+  std::vector<tag::Tag> tag_objs;
+  for (std::size_t i = 0; i < tags; ++i) {
+    ch.add_tag(std::polar(rng.uniform(0.06, 0.2), rng.uniform(0.0, 6.2831)));
+    tag::TagConfig tc;
+    tc.incoming_energy = rng.uniform(0.7, 1.3);
+    tag_objs.emplace_back(tc, rng);
+  }
+  reader::Receiver receiver(rc, ch);
+  protocol::FrameConfig fc;
+  std::vector<signal::StateTimeline> timelines;
+  for (auto& t : tag_objs) {
+    timelines.push_back(
+        t.transmit_epoch({protocol::build_frame(rng.bits(96), fc)}, 1.5e-3,
+                         rng)
+            .timeline);
+  }
+  return receiver.receive_epoch(timelines, 1.5e-3, rng);
+}
+
+void BM_FullDecode16Tags(benchmark::State& state) {
+  const auto buffer = make_epoch(16, 11);
+  const core::LfDecoder decoder{core::DecoderConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(buffer));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buffer.size()));
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(buffer.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullDecode16Tags)->Unit(benchmark::kMillisecond);
+
+void BM_EdgeDetection(benchmark::State& state) {
+  const auto buffer = make_epoch(16, 12);
+  const signal::EdgeDetector detector{signal::EdgeDetectorConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(buffer));
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(buffer.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EdgeDetection)->Unit(benchmark::kMillisecond);
+
+void BM_KMeans9(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<Complex> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back({rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  }
+  for (auto _ : state) {
+    Rng krng(7);
+    benchmark::DoNotOptimize(dsp::kmeans(points, 9, krng));
+  }
+}
+BENCHMARK(BM_KMeans9)->Unit(benchmark::kMicrosecond);
+
+void BM_Viterbi4State(benchmark::State& state) {
+  const double e = std::log(0.5);
+  const double no = dsp::Viterbi::kForbidden;
+  const dsp::Viterbi viterbi({{no, e, e, no},
+                              {e, no, no, e},
+                              {no, e, e, no},
+                              {e, no, no, e}},
+                             {0.0, no, no, no});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(viterbi.decode(
+        400, [](std::size_t s, std::size_t st) {
+          return -0.1 * static_cast<double>((s * 31 + st) % 7);
+        }));
+  }
+}
+BENCHMARK(BM_Viterbi4State)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

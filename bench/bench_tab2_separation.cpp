@@ -1,0 +1,125 @@
+// Table 2: accuracy of IQ cluster-based separation of fully colliding
+// edges, under three settings:
+//   100 kbps with 14 background nodes, 100 kbps without background,
+//   10 kbps without background.
+//
+// Paper result: 80.88% / 86.89% / 95.40% — background chatter raises the
+// noise floor; lower bitrates allow longer differential averaging.
+#include <cstdio>
+
+#include "channel/channel_model.h"
+#include "core/lf_decoder.h"
+#include "reader/receiver.h"
+#include "sim/table.h"
+#include "tag/tag.h"
+
+using namespace lfbs;
+
+namespace {
+
+/// Runs one trial: two tags with *identical* start offsets (a full
+/// collision) plus optional background tags; returns per-bit accuracy of
+/// the two recovered collision components.
+double collision_accuracy(BitRate rate, std::size_t background,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  reader::ReceiverConfig rc;
+  rc.sample_rate = 25.0 * kMsps;
+  rc.noise_power = 1e-5;
+  channel::ChannelModel ch;
+
+  // The two colliders.
+  std::vector<Complex> h;
+  for (int i = 0; i < 2; ++i) {
+    h.push_back(std::polar(rng.uniform(0.08, 0.16), rng.uniform(0.0, 6.2831)));
+    ch.add_tag(h.back());
+  }
+  for (std::size_t i = 0; i < background; ++i) {
+    ch.add_tag(std::polar(rng.uniform(0.06, 0.2), rng.uniform(0.0, 6.2831)));
+  }
+
+  const std::size_t nbits = 150;
+  const Seconds start = 60e-6;
+  const Seconds duration = start + (static_cast<double>(nbits) + 4.0) / rate;
+
+  // Colliders: same start, same rate, tiny sub-sample skew.
+  std::vector<std::vector<bool>> sent;
+  std::vector<signal::StateTimeline> timelines;
+  for (int i = 0; i < 2; ++i) {
+    std::vector<bool> bits = rng.bits(nbits);
+    bits[0] = true;  // anchor
+    sent.push_back(bits);
+    const Seconds skew = rng.uniform(0.0, 0.04e-6);
+    timelines.push_back(
+        signal::nrz_timeline(bits, start + skew, 1.0 / rate));
+  }
+  // Background tags run the normal comparator/clock physics at 100 kbps.
+  for (std::size_t i = 0; i < background; ++i) {
+    tag::TagConfig tc;
+    tc.rate = 100.0 * kKbps;
+    tc.incoming_energy = rng.uniform(0.7, 1.3);
+    tag::Tag t(tc, rng);
+    std::vector<bool> bits = rng.bits(
+        static_cast<std::size_t>(duration * 100.0 * kKbps * 0.9));
+    if (!bits.empty()) bits[0] = true;
+    const auto tx = t.transmit_epoch({bits}, duration, rng);
+    timelines.push_back(tx.timeline);
+  }
+
+  reader::Receiver receiver(rc, ch);
+  const auto buffer = receiver.receive_epoch(timelines, duration, rng);
+
+  core::DecoderConfig dc;
+  dc.rate_plan.rates = {rate, 100.0 * kKbps};
+  dc.max_rate = 100.0 * kKbps;
+  const core::LfDecoder decoder(dc);
+  const auto result = decoder.decode(buffer);
+
+  // Match each collider's sent bits against its best decoded stream.
+  double total = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    std::size_t best = 0;
+    for (const auto& s : result.streams) {
+      std::size_t match = 0;
+      const std::size_t n = std::min(s.bits.size(), sent[i].size());
+      for (std::size_t b = 0; b < n; ++b) {
+        if (s.bits[b] == sent[i][b]) ++match;
+      }
+      best = std::max(best, match);
+    }
+    total += static_cast<double>(best) / static_cast<double>(nbits);
+  }
+  return total / 2.0;
+}
+
+double average_accuracy(BitRate rate, std::size_t background,
+                        std::size_t trials) {
+  double sum = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    sum += collision_accuracy(rate, background, 1000 + t * 37);
+  }
+  return sum / static_cast<double>(trials);
+}
+
+}  // namespace
+
+int main() {
+  sim::print_banner(
+      "Table 2", "separating edge collisions with IQ-based classification",
+      "two tags with identical start offsets (every edge collides); "
+      "accuracy = per-bit agreement of the separated components");
+
+  const std::size_t trials = 12;
+  sim::Table table({"setting", "accuracy (ours)", "accuracy (paper)"});
+  table.add_row({"100 kbps with background nodes",
+                 sim::fmt_percent(average_accuracy(100.0 * kKbps, 14, trials)),
+                 "80.88%"});
+  table.add_row({"100 kbps w/o background nodes",
+                 sim::fmt_percent(average_accuracy(100.0 * kKbps, 0, trials)),
+                 "86.89%"});
+  table.add_row({"10 kbps w/o background nodes",
+                 sim::fmt_percent(average_accuracy(10.0 * kKbps, 0, trials)),
+                 "95.40%"});
+  table.print();
+  return 0;
+}

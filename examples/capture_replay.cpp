@@ -1,0 +1,81 @@
+// Capture & replay: record an epoch's IQ samples to a file, then decode the
+// file as if it were an SDR capture.
+//
+// The decoder consumes raw complex baseband samples, so anything that can
+// produce an LFBSIQ1 file (including a converted UHD recording) replays
+// through the exact same pipeline. Usage:
+//
+//   capture_replay [capture.lfbsiq]     # default: /tmp/lfbs_capture.lfbsiq
+#include <cstdio>
+
+#include "core/lf_decoder.h"
+#include "protocol/frame.h"
+#include "reader/receiver.h"
+#include "signal/iq_io.h"
+#include "sim/scenario.h"
+
+using namespace lfbs;
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/lfbs_capture.lfbsiq";
+
+  // --- capture: one 8-tag epoch ------------------------------------------
+  Rng rng(606);
+  sim::ScenarioConfig sc;
+  sc.num_tags = 8;
+  sim::Scenario scenario(sc, rng);
+
+  // Reuse the scenario to synthesize the air interface, but keep the raw
+  // samples: run through the receiver manually.
+  std::vector<std::vector<bool>> sent;
+  {
+    // Scenario::run_epoch already decodes; to capture, rebuild the epoch at
+    // a lower level with the same physics.
+    reader::ReceiverConfig rc;
+    channel::ChannelModel ch;
+    std::vector<tag::Tag> tags;
+    protocol::FrameConfig fc;
+    std::vector<signal::StateTimeline> timelines;
+    for (std::size_t i = 0; i < 8; ++i) {
+      channel::TagPlacement placement;
+      placement.reflection_phase = rng.uniform(0.0, 6.2831);
+      ch.add_tag(placement, rng);
+      ch.set_coefficient(i, ch.coefficient(i) * 0.5 * 4.0);
+      tag::TagConfig tc;
+      tc.incoming_energy = rng.uniform(0.7, 1.3);
+      tags.emplace_back(tc, rng);
+    }
+    for (auto& t : tags) {
+      sent.push_back(rng.bits(fc.payload_bits));
+      timelines.push_back(
+          t.transmit_epoch({protocol::build_frame(sent.back(), fc)}, 1.5e-3,
+                           rng)
+              .timeline);
+    }
+    reader::Receiver receiver(rc, ch);
+    const auto buffer = receiver.receive_epoch(timelines, 1.5e-3, rng);
+    signal::save_iq(buffer, path);
+    std::printf("captured %zu samples at %.0f Msps -> %s\n", buffer.size(),
+                buffer.sample_rate() / 1e6, path.c_str());
+  }
+
+  // --- replay: load the file cold and decode ------------------------------
+  const signal::SampleBuffer replay = signal::load_iq(path);
+  const core::LfDecoder decoder{core::DecoderConfig{}};
+  const auto result = decoder.decode(replay);
+  const auto payloads = result.valid_payloads();
+
+  std::size_t recovered = 0;
+  for (const auto& p : sent) {
+    for (const auto& got : payloads) {
+      if (got == p) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  std::printf("replayed: %zu streams decoded, %zu/%zu payloads recovered\n",
+              result.streams.size(), recovered, sent.size());
+  return recovered >= 6 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Tag power budgeting: reproduce the paper's §1 motivating arithmetic.
+//
+// "A backscatter-based temperature sensor that samples at 1 Hz and operates
+// in a sense-transmit loop with no other overheads would barely consume
+// 10 uW" — and a data-rich sensor "can stream hundreds of kbps for a paltry
+// tens of micro-watts". Both fall out of the duty-cycle model; this example
+// also shows what the same sensors would pay under Gen 2 or Buzz, where the
+// protocol forces buffers, receive paths, and lock-step retransmission.
+#include <cstdio>
+
+#include "energy/duty_cycle.h"
+#include "sim/table.h"
+
+using namespace lfbs;
+
+int main() {
+  const energy::PowerModel model;
+
+  struct Design {
+    const char* name;
+    energy::SenseTransmitLoop loop;
+  };
+  const Design designs[] = {
+      {"1 Hz temperature sensor (16-bit readings, 10 kbps burst)",
+       {.sample_rate_hz = 1.0,
+        .bits_per_sample = 16.0,
+        .tx_rate = 10.0 * kKbps,
+        .sense_energy_j = 0.5e-6}},
+      {"50 Hz accelerometer (3x12-bit, 50 kbps burst)",
+       {.sample_rate_hz = 50.0,
+        .bits_per_sample = 36.0,
+        .tx_rate = 50.0 * kKbps,
+        .sense_energy_j = 0.1e-6}},
+      {"8 kHz microphone (8-bit, streaming at 100 kbps)",
+       {.sample_rate_hz = 8000.0,
+        .bits_per_sample = 8.0,
+        .tx_rate = 100.0 * kKbps,
+        .sense_energy_j = 4e-9}},
+  };
+
+  sim::Table table({"sensor", "duty cycle", "LF-Backscatter", "Buzz",
+                    "EPC Gen 2"});
+  for (const Design& d : designs) {
+    table.add_row(
+        {d.name, sim::fmt_percent(d.loop.duty_cycle()),
+         sim::fmt(d.loop.average_power_w(model,
+                                         energy::Protocol::kLfBackscatter) *
+                      1e6,
+                  1) +
+             " uW",
+         sim::fmt(d.loop.average_power_w(model, energy::Protocol::kBuzz) * 1e6,
+                  1) +
+             " uW",
+         sim::fmt(
+             d.loop.average_power_w(model, energy::Protocol::kEpcGen2) * 1e6,
+             1) +
+             " uW"});
+  }
+  table.print();
+
+  std::printf(
+      "\npaper section 1: the 1 Hz sensor should land under ~10 uW with a "
+      "blind protocol, and protocol choices that force buffers or receive "
+      "paths add tens to hundreds of uW — enough to break battery-less "
+      "operation.\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Build, test, and regenerate every paper table/figure.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do "$b"; done

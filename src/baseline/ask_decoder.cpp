@@ -1,0 +1,119 @@
+#include "baseline/ask_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dsp/filters.h"
+#include "dsp/stats.h"
+
+namespace lfbs::baseline {
+
+AskDecoder::AskDecoder(AskDecoderConfig config) : config_(config) {
+  LFBS_CHECK(config_.rate > 0.0);
+  LFBS_CHECK(config_.timing_gain > 0.0 && config_.timing_gain <= 1.0);
+}
+
+AskResult AskDecoder::decode(const signal::SampleBuffer& buffer) const {
+  AskResult result;
+  if (buffer.empty()) return result;
+  const double spb = samples_per_bit(buffer.sample_rate(), config_.rate);
+  LFBS_CHECK(spb >= 4.0);
+
+  // Amplitude envelope, lightly smoothed (used for timing and bit
+  // integration), plus a heavily smoothed copy for level estimation — at
+  // low SNR the light envelope's percentiles no longer resolve the two
+  // levels, but mid-bit plateaus of a half-bit average still do.
+  const std::vector<double> mag = dsp::magnitude(buffer.span());
+  const auto smooth_window =
+      static_cast<std::size_t>(std::clamp(spb / 8.0, 1.0, 64.0));
+  const std::vector<double> env = dsp::moving_average(mag, smooth_window);
+  const auto level_window =
+      static_cast<std::size_t>(std::clamp(spb / 2.0, 2.0, 256.0));
+  const std::vector<double> level_env = dsp::moving_average(mag, level_window);
+
+  // Two amplitude levels: robust percentiles of the envelope. The "idle"
+  // level dominates early samples; the tuned level is the other mode. Note
+  // the tuned level can be *lower* than idle (destructive combination with
+  // the environment reflection) — the anchor bit resolves the mapping.
+  const double lo = dsp::percentile(level_env, 5.0);
+  const double hi = dsp::percentile(level_env, 95.0);
+  if (hi - lo < 1e-12) return result;
+  // No-signal gate: the two-level dynamic range must clear the *within-
+  // level* scatter, or the buffer is silence. (Deviation from the overall
+  // median would be inflated by the signal's own bimodality.)
+  std::vector<double> dev(level_env.size());
+  for (std::size_t i = 0; i < level_env.size(); ++i) {
+    dev[i] = std::min(std::abs(level_env[i] - lo),
+                      std::abs(level_env[i] - hi));
+  }
+  if (hi - lo < 5.0 * dsp::median(dev)) return result;
+  const double mid = 0.5 * (lo + hi);
+
+  // Idle level = whichever side the first samples sit on.
+  const std::size_t idle_probe =
+      std::min<std::size_t>(env.size(), static_cast<std::size_t>(spb));
+  double idle = 0.0;
+  for (std::size_t i = 0; i < idle_probe; ++i) idle += env[i];
+  idle /= static_cast<double>(idle_probe);
+  const bool idle_is_low = idle < mid;
+  result.level_low = idle_is_low ? lo : hi;
+  result.level_high = idle_is_low ? hi : lo;
+
+  // Start of stream: first sustained departure from the idle level. The
+  // anchor bit is a 1, so the first non-idle stretch is the first bit.
+  const auto sustain = static_cast<std::size_t>(std::max(2.0, spb / 4.0));
+  std::size_t start = env.size();
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    const bool departed = idle_is_low ? env[i] > mid : env[i] < mid;
+    run = departed ? run + 1 : 0;
+    if (run >= sustain) {
+      start = i - run + 1;
+      break;
+    }
+  }
+  if (start == env.size()) return result;
+  result.start_sample = static_cast<double>(start);
+
+  // Bit-by-bit integration with a simple timing loop: integrate the middle
+  // 70% of each bit period, and nudge the phase whenever a level transition
+  // is observed inside the bit.
+  double phase = static_cast<double>(start);
+  const double n = static_cast<double>(env.size());
+  while (phase + spb < n) {
+    const auto lo_idx = static_cast<std::size_t>(phase + 0.15 * spb);
+    const auto hi_idx = static_cast<std::size_t>(phase + 0.85 * spb);
+    double sum = 0.0;
+    for (std::size_t i = lo_idx; i < hi_idx && i < env.size(); ++i)
+      sum += env[i];
+    const double level = sum / std::max(1.0, static_cast<double>(hi_idx - lo_idx));
+    const bool bit = idle_is_low ? level > mid : level < mid;
+    result.bits.push_back(bit);
+
+    // Timing recovery: locate a mid-bit transition (if any) near the bit
+    // boundary and pull the phase toward it.
+    if (!result.bits.empty() && result.bits.size() >= 2 &&
+        result.bits[result.bits.size() - 1] !=
+            result.bits[result.bits.size() - 2]) {
+      // Search for the crossing around the nominal boundary.
+      const auto lo_s = static_cast<std::size_t>(
+          std::max(0.0, phase - 0.3 * spb));
+      const auto hi_s = static_cast<std::size_t>(
+          std::min(n - 1.0, phase + 0.3 * spb));
+      for (std::size_t i = lo_s; i + 1 <= hi_s; ++i) {
+        const bool before_high = env[i] > mid;
+        const bool after_high = env[i + 1] > mid;
+        if (before_high != after_high) {
+          const double crossing = static_cast<double>(i) + 0.5;
+          phase += config_.timing_gain * (crossing - phase);
+          break;
+        }
+      }
+    }
+    phase += spb;
+  }
+  return result;
+}
+
+}  // namespace lfbs::baseline

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "signal/sample_buffer.h"
+
+namespace lfbs::baseline {
+
+/// Conventional single-tag ASK (on-off keying) amplitude decoder — the
+/// robustness baseline of §5.4 / Fig 14.
+///
+/// Unlike LF-Backscatter it does not use edges: it integrates the signal
+/// amplitude over each full bit period and thresholds it halfway between
+/// the two amplitude levels. Full-bit integration is why it tolerates about
+/// 4 dB more noise than edge-based decoding — and why it cannot separate
+/// concurrent transmitters.
+struct AskDecoderConfig {
+  BitRate rate = 100.0 * kKbps;
+  /// Fraction of the level gap used for start-of-stream detection.
+  double start_threshold = 0.5;
+  /// Timing loop gain for tracking clock drift via observed transitions.
+  double timing_gain = 0.1;
+};
+
+struct AskResult {
+  std::vector<bool> bits;
+  double start_sample = -1.0;  ///< -1 when no stream was found
+  double level_low = 0.0;      ///< estimated |S| of the detuned state
+  double level_high = 0.0;     ///< estimated |S| of the tuned state
+};
+
+class AskDecoder {
+ public:
+  explicit AskDecoder(AskDecoderConfig config);
+
+  const AskDecoderConfig& config() const { return config_; }
+
+  /// Decodes the single ASK stream in the buffer (if any).
+  AskResult decode(const signal::SampleBuffer& buffer) const;
+
+ private:
+  AskDecoderConfig config_;
+};
+
+}  // namespace lfbs::baseline

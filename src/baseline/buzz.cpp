@@ -1,0 +1,207 @@
+#include "baseline/buzz.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dsp/linalg.h"
+#include "dsp/omp.h"
+
+namespace lfbs::baseline {
+
+namespace {
+
+/// Greedy bit-flip polishing: flip any single bit that lowers the residual
+/// of D_h · b against the observations; repeat until a fixed point.
+void polish(const dsp::Matrix& dh, std::span<const Complex> y,
+            std::vector<bool>& bits) {
+  const std::size_t n = bits.size();
+  std::vector<Complex> x(n);
+  bool improved = true;
+  std::size_t sweeps = 0;
+  while (improved && sweeps < 8) {
+    improved = false;
+    ++sweeps;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t v = 0; v < n; ++v) x[v] = bits[v] ? 1.0 : 0.0;
+      const double before = dsp::residual_norm(dh, x, y);
+      x[i] = bits[i] ? 0.0 : 1.0;
+      const double after = dsp::residual_norm(dh, x, y);
+      if (after + 1e-12 < before) {
+        bits[i] = !bits[i];
+        improved = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Buzz::Buzz(BuzzConfig config, std::vector<Complex> channels)
+    : config_(config), channels_(std::move(channels)) {
+  LFBS_CHECK(!channels_.empty());
+  LFBS_CHECK(config_.bitrate > 0.0);
+  LFBS_CHECK(config_.message_bits > 0);
+}
+
+Seconds Buzz::estimate_channels(Rng& rng) {
+  const std::size_t n = channels_.size();
+  const auto measurements = std::max<std::size_t>(
+      8, static_cast<std::size_t>(std::ceil(config_.estimation_bits_per_tag *
+                                            static_cast<double>(n))));
+  // Signature preamble: random 0/1 tag activations per measurement slot;
+  // the reader solves the sparse system with OMP (compressive sensing).
+  dsp::Matrix a(measurements, n);
+  std::vector<Complex> y(measurements);
+  const double sigma = std::sqrt(config_.noise_power / 2.0);
+  for (std::size_t m = 0; m < measurements; ++m) {
+    for (std::size_t i = 0; i < n; ++i) {
+      a.at(m, i) = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    }
+  }
+  // Every tag must be active in at least one measurement slot or its
+  // coefficient is unobservable.
+  for (std::size_t i = 0; i < n; ++i) {
+    bool any = false;
+    for (std::size_t m = 0; m < measurements; ++m) any = any || a.at(m, i) != 0.0;
+    if (!any) a.at(rng.uniform_u64(measurements), i) = 1.0;
+  }
+  for (std::size_t m = 0; m < measurements; ++m) {
+    Complex sum{};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.at(m, i) != 0.0) sum += channels_[i];
+    }
+    y[m] = sum + Complex{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+  }
+  const dsp::SparseSolution sol =
+      dsp::orthogonal_matching_pursuit(a, y, n, 1e-9);
+  estimates_ = sol.coefficients;
+  estimated_ = true;
+  return static_cast<double>(measurements) / config_.bitrate;
+}
+
+void Buzz::perturb_channels(double relative_error, Rng& rng) {
+  for (Complex& h : channels_) {
+    const double mag = std::abs(h) * relative_error;
+    h += Complex{rng.gaussian(0.0, mag), rng.gaussian(0.0, mag)};
+  }
+}
+
+BuzzTransferResult Buzz::transfer(
+    const std::vector<std::vector<bool>>& messages, Rng& rng) const {
+  LFBS_CHECK_MSG(estimated_, "estimate_channels() must run first");
+  const std::size_t n = channels_.size();
+  LFBS_CHECK(messages.size() == n);
+  for (const auto& m : messages) LFBS_CHECK(m.size() == config_.message_bits);
+
+  BuzzTransferResult result;
+  const auto max_rounds = static_cast<std::size_t>(
+      std::ceil(config_.max_round_factor * static_cast<double>(n)));
+  auto rounds = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(config_.initial_round_factor * static_cast<double>(n))));
+  const auto increment = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(config_.round_increment * static_cast<double>(n))));
+  const double sigma = std::sqrt(config_.noise_power / 2.0);
+
+  // Accumulated observations: rows grow as the rateless scheme adds rounds.
+  std::vector<std::vector<double>> d;                // combination rows
+  std::vector<std::vector<Complex>> y;               // per round, per bit
+  const auto add_round = [&] {
+    std::vector<double> row(n);
+    // An all-zero combination carries no information; redraw (matters for
+    // small tag counts).
+    bool any = false;
+    while (!any) {
+      for (std::size_t i = 0; i < n; ++i) {
+        row[i] = rng.bernoulli(0.5) ? 1.0 : 0.0;
+        any = any || row[i] != 0.0;
+      }
+    }
+    std::vector<Complex> obs(config_.message_bits);
+    for (std::size_t j = 0; j < config_.message_bits; ++j) {
+      Complex sum{};
+      for (std::size_t i = 0; i < n; ++i) {
+        if (row[i] != 0.0 && messages[i][j]) sum += channels_[i];
+      }
+      obs[j] = sum +
+               Complex{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+    }
+    d.push_back(std::move(row));
+    y.push_back(std::move(obs));
+  };
+
+  while (true) {
+    while (d.size() < rounds) add_round();
+
+    // Build D·diag(ĥ) from the *estimated* channels. The unknown bits are
+    // *real* 0/1 values, so stack the real and imaginary parts of each
+    // complex observation into two real equations — every round contributes
+    // two constraints, which is what lets Buzz run with fewer rounds than
+    // tags.
+    const std::size_t m = d.size();
+    dsp::Matrix dh(2 * m, n);
+    for (std::size_t k = 0; k < m; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Complex coeff = d[k][i] * estimates_[i];
+        dh.at(k, i) = coeff.real();
+        dh.at(m + k, i) = coeff.imag();
+      }
+    }
+
+    result.decoded.assign(n, std::vector<bool>(config_.message_bits, false));
+    double worst_residual = 0.0;
+    std::vector<Complex> column(2 * m);
+    for (std::size_t j = 0; j < config_.message_bits; ++j) {
+      for (std::size_t k = 0; k < m; ++k) {
+        column[k] = y[k][j].real();
+        column[m + k] = y[k][j].imag();
+      }
+      const std::vector<Complex> x = dsp::least_squares(dh, column, 1e-3);
+      std::vector<bool> bits(n, false);
+      if (!x.empty()) {
+        for (std::size_t i = 0; i < n; ++i) bits[i] = x[i].real() > 0.5;
+      }
+      polish(dh, column, bits);
+      std::vector<Complex> xb(n);
+      for (std::size_t i = 0; i < n; ++i) xb[i] = bits[i] ? 1.0 : 0.0;
+      const double residual = dsp::residual_norm(dh, xb, column) /
+                              std::sqrt(static_cast<double>(2 * m));
+      worst_residual = std::max(worst_residual, residual);
+      for (std::size_t i = 0; i < n; ++i) result.decoded[i][j] = bits[i];
+    }
+
+    // Rateless acceptance: the rounded solution must explain every bit
+    // column to within a few noise standard deviations.
+    const double threshold =
+        4.0 * std::sqrt(config_.noise_power / 2.0) +
+        0.05 * std::abs(estimates_[0]);
+    result.rounds_used = d.size();
+    if (worst_residual <= threshold) {
+      result.success = true;
+      break;
+    }
+    if (d.size() + increment > max_rounds) {
+      result.success = false;
+      break;
+    }
+    rounds = d.size() + increment;
+  }
+
+  const double data_bits =
+      static_cast<double>(result.rounds_used * config_.message_bits);
+  result.air_time = data_bits / config_.bitrate;
+  return result;
+}
+
+BitRate Buzz::goodput(const BuzzTransferResult& result) const {
+  if (result.air_time <= 0.0) return 0.0;
+  const double delivered = result.success
+                               ? static_cast<double>(num_tags()) *
+                                     static_cast<double>(config_.message_bits)
+                               : 0.0;
+  return delivered / result.air_time;
+}
+
+}  // namespace lfbs::baseline

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lfbs::baseline {
+
+/// Reimplementation of Buzz [Wang et al., SIGCOMM 2012] as described in
+/// §2.2 and §4.2 of the LF-Backscatter paper.
+///
+/// All tags transmit bit-by-bit in lock-step; round k applies a known
+/// random combination d_k ∈ {0,1}^n, so the reader observes
+///   y_k = Σ_i d_ki · h_i · b_i + noise
+/// per bit position. After enough rounds the (complex) linear system is
+/// solved for the bits. The scheme is *rateless*: rounds are added until
+/// the rounded solution explains the observations.
+///
+/// Costs modelled, matching the paper's critique:
+///  - channel coefficients must be estimated (compressive sensing) before
+///    data transfer, and re-estimated whenever the channel moves;
+///  - every round retransmits the full message, so goodput divides by the
+///    number of rounds;
+///  - lock-step transmission requires matched clocks across tags.
+struct BuzzConfig {
+  BitRate bitrate = 100.0 * kKbps;
+  std::size_t message_bits = 96;
+  /// Initial rounds as a fraction of the tag count (complex measurements
+  /// carry two real equations, so 0.6·n is just above determinedness).
+  double initial_round_factor = 0.6;
+  /// Extra rounds added per rateless retry, as a fraction of the tag count.
+  double round_increment = 0.25;
+  /// Give up when rounds exceed this multiple of the tag count.
+  double max_round_factor = 3.0;
+  /// Channel-estimation preamble length, in bit times per tag.
+  double estimation_bits_per_tag = 2.0;
+  /// Symbol-level receiver noise power (E|n|² per lock-step bit).
+  double noise_power = 1e-4;
+};
+
+struct BuzzTransferResult {
+  std::vector<std::vector<bool>> decoded;  ///< per tag, message_bits long
+  std::size_t rounds_used = 0;
+  bool success = false;       ///< residual check passed
+  Seconds air_time = 0.0;     ///< estimation preamble + data rounds
+  std::size_t bit_errors = 0; ///< vs. ground truth (filled by caller tools)
+};
+
+class Buzz {
+ public:
+  /// `channels` are the true per-tag coefficients; Buzz estimates its own
+  /// working copies from the preamble.
+  Buzz(BuzzConfig config, std::vector<Complex> channels);
+
+  const BuzzConfig& config() const { return config_; }
+  std::size_t num_tags() const { return channels_.size(); }
+
+  /// Compressive-sensing channel estimation from a signature preamble.
+  /// Returns the air time consumed and stores the estimates for decode.
+  Seconds estimate_channels(Rng& rng);
+
+  /// Perturbs the *true* channel (environment dynamics between estimation
+  /// and transfer — the Fig 1 effect). Estimates keep their stale values.
+  void perturb_channels(double relative_error, Rng& rng);
+
+  /// One lock-step transfer of `messages[i]` from tag i (all equal length
+  /// == message_bits). Requires estimate_channels() first.
+  BuzzTransferResult transfer(
+      const std::vector<std::vector<bool>>& messages, Rng& rng) const;
+
+  /// Aggregate goodput for a *successful* transfer with the given rounds.
+  BitRate goodput(const BuzzTransferResult& result) const;
+
+ private:
+  BuzzConfig config_;
+  std::vector<Complex> channels_;   ///< ground truth
+  std::vector<Complex> estimates_;  ///< what the decoder believes
+  bool estimated_ = false;
+};
+
+}  // namespace lfbs::baseline

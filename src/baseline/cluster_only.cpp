@@ -1,0 +1,82 @@
+#include "baseline/cluster_only.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lfbs::baseline {
+
+ClusterOnly::ClusterOnly(ClusterOnlyConfig config) : config_(config) {
+  LFBS_CHECK(config_.noise_power >= 0.0);
+  LFBS_CHECK(config_.bits_per_tag > 0);
+}
+
+std::vector<Complex> ClusterOnly::centroids(
+    const std::vector<Complex>& channels) {
+  const std::size_t n = channels.size();
+  LFBS_CHECK(n > 0 && n <= 16);
+  std::vector<Complex> out(1u << n);
+  for (std::size_t combo = 0; combo < out.size(); ++combo) {
+    Complex sum{};
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((combo >> i) & 1u) sum += channels[i];
+    }
+    out[combo] = sum;
+  }
+  return out;
+}
+
+ClusterOnlyResult ClusterOnly::run(const std::vector<Complex>& channels,
+                                   Rng& rng) const {
+  const std::size_t n = channels.size();
+  const std::vector<Complex> centers = centroids(channels);
+
+  ClusterOnlyResult result;
+  result.clusters = centers.size();
+  result.min_cluster_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    for (std::size_t j = i + 1; j < centers.size(); ++j) {
+      result.min_cluster_distance =
+          std::min(result.min_cluster_distance, std::abs(centers[i] - centers[j]));
+    }
+  }
+
+  const double sigma = std::sqrt(config_.noise_power / 2.0);
+  std::vector<std::size_t> correct(n, 0);
+  for (std::size_t bit = 0; bit < config_.bits_per_tag; ++bit) {
+    std::size_t combo = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.5)) combo |= (1u << i);
+    }
+    const Complex observed =
+        centers[combo] +
+        Complex{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+    // Nearest-centroid (oracle map) decision.
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      const double d = std::norm(observed - centers[c]);
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (((best >> i) & 1u) == ((combo >> i) & 1u)) ++correct[i];
+    }
+  }
+
+  result.per_tag_accuracy.resize(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.per_tag_accuracy[i] = static_cast<double>(correct[i]) /
+                                 static_cast<double>(config_.bits_per_tag);
+    sum += result.per_tag_accuracy[i];
+  }
+  result.mean_accuracy = sum / static_cast<double>(n);
+  return result;
+}
+
+}  // namespace lfbs::baseline

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lfbs::baseline {
+
+/// Pure IQ-cluster separation of synchronized concurrent tags, after
+/// Angerer et al. [6] — the §2.3 baseline.
+///
+/// With N tags transmitting bit-synchronously, the received IQ vector of
+/// each bit falls into one of 2^N clusters (one per bit combination). The
+/// paper's point — which this model reproduces — is that the scheme stops
+/// working beyond ~2 tags because clusters crowd together and the dwell
+/// time between transitions shrinks.
+///
+/// The decoder here is even given an oracle cluster map (ideal centroids
+/// computed from the true channel coefficients), so its failures are purely
+/// geometric: clusters closer together than the noise.
+struct ClusterOnlyConfig {
+  double noise_power = 1e-4;  ///< per-symbol receiver noise E|n|²
+  std::size_t bits_per_tag = 96;
+};
+
+struct ClusterOnlyResult {
+  /// Fraction of bits decoded correctly, per tag.
+  std::vector<double> per_tag_accuracy;
+  double mean_accuracy = 0.0;
+  /// Smallest distance between two cluster centroids — the scaling culprit.
+  double min_cluster_distance = 0.0;
+  std::size_t clusters = 0;  ///< 2^N
+};
+
+class ClusterOnly {
+ public:
+  explicit ClusterOnly(ClusterOnlyConfig config);
+
+  /// Simulates synchronized transmission of random bits from tags with the
+  /// given channel coefficients and nearest-centroid decoding.
+  ClusterOnlyResult run(const std::vector<Complex>& channels, Rng& rng) const;
+
+  /// The 2^N ideal cluster centroids for a set of coefficients.
+  static std::vector<Complex> centroids(const std::vector<Complex>& channels);
+
+ private:
+  ClusterOnlyConfig config_;
+};
+
+}  // namespace lfbs::baseline

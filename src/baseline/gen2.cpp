@@ -1,0 +1,71 @@
+#include "baseline/gen2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lfbs::baseline {
+
+Gen2Inventory::Gen2Inventory(Config config) : config_(config) {
+  LFBS_CHECK(config_.timings.tari_s > 0.0);
+  LFBS_CHECK(config_.timings.blf_hz > 0.0);
+  LFBS_CHECK(config_.q_constant >= 0.1 && config_.q_constant <= 0.5);
+  LFBS_CHECK(config_.max_rounds > 0);
+}
+
+Gen2Inventory::Stats Gen2Inventory::run(std::size_t population,
+                                        Rng& rng) const {
+  LFBS_CHECK(population > 0);
+  const Gen2Timings& t = config_.timings;
+
+  Stats stats;
+  std::size_t remaining = population;
+  double q = static_cast<double>(config_.initial_q);
+
+  while (remaining > 0 && stats.rounds < config_.max_rounds) {
+    ++stats.rounds;
+    const auto q_now = static_cast<unsigned>(std::clamp(q, 0.0, 15.0));
+    const auto frame_slots = static_cast<std::size_t>(1u << q_now);
+
+    // Each remaining tag draws a slot counter in [0, 2^Q).
+    std::vector<std::size_t> occupancy(frame_slots, 0);
+    for (std::size_t i = 0; i < remaining; ++i) {
+      ++occupancy[rng.uniform_u64(frame_slots)];
+    }
+
+    // Query opens the round; each subsequent slot is advanced by QueryRep.
+    stats.elapsed += t.query();
+    double q_float = q;
+    for (std::size_t slot = 0; slot < frame_slots; ++slot) {
+      ++stats.slots;
+      if (slot > 0) stats.elapsed += t.query_rep();
+
+      if (occupancy[slot] == 0) {
+        // No reply: the reader waits out T1 + T3.
+        ++stats.empties;
+        stats.elapsed += t.t1() + t.t3();
+        q_float = std::max(0.0, q_float - config_.q_constant);
+      } else if (occupancy[slot] == 1) {
+        // Singleton: RN16 handshake, ACK, EPC backscatter.
+        ++stats.singles;
+        ++stats.identified;
+        --remaining;
+        stats.elapsed += t.t1() + t.rn16() + t.t2() + t.ack() + t.t1() +
+                         t.epc_reply() + t.t2();
+      } else {
+        // Collision: the garbled RN16 still costs its air time.
+        ++stats.collisions;
+        stats.elapsed += t.t1() + t.rn16() + t.t2();
+        q_float = std::min(15.0, q_float + config_.q_constant);
+      }
+    }
+    // QueryAdjust (or a fresh Query) opens the next round with the adapted Q.
+    q = q_float;
+    if (remaining > 0) stats.elapsed += t.query_adjust();
+  }
+  return stats;
+}
+
+}  // namespace lfbs::baseline

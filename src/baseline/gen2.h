@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lfbs::baseline {
+
+/// EPC Gen 2 air-interface timings, derived from the Tari (reference
+/// interval) and the tag backscatter-link frequency, following the
+/// EPCglobal Class-1 Generation-2 specification's structure:
+///
+///   - reader commands are PIE-encoded: data-0 = 1 Tari, data-1 ≈ 2 Tari,
+///     preceded by a frame-sync/preamble;
+///   - tag replies are FM0 at the backscatter link frequency (BLF);
+///   - T1 (reader→tag turnaround), T2 (tag→reader), T3 (no-reply timeout)
+///     separate the exchanges.
+///
+/// This puts real per-command costs behind the Fig 12 baseline instead of
+/// a flat "control bits" fudge.
+struct Gen2Timings {
+  double tari_s = 6.25e-6;   ///< 6.25 us Tari (common reader profile)
+  double blf_hz = 100e3;     ///< tag FM0 link frequency ≈ 100 kbps
+
+  /// Average PIE symbol duration (random data: half 1-Tari, half 2-Tari).
+  Seconds reader_bit() const { return 1.5 * tari_s; }
+  Seconds tag_bit() const { return 1.0 / blf_hz; }
+
+  Seconds preamble() const { return 12.0 * tari_s; }
+  Seconds t1() const { return 62.5e-6; }   ///< max RTcal-derived turnaround
+  Seconds t2() const { return 62.5e-6; }
+  Seconds t3() const { return 100e-6; }    ///< no-reply timeout
+
+  /// Command durations (bits per the Gen 2 command table).
+  Seconds query() const { return preamble() + 22.0 * reader_bit(); }
+  Seconds query_rep() const { return preamble() + 4.0 * reader_bit(); }
+  Seconds query_adjust() const { return preamble() + 9.0 * reader_bit(); }
+  Seconds ack() const { return preamble() + 18.0 * reader_bit(); }
+
+  /// Tag replies: RN16 handle, and PC + EPC + CRC-16 (16+96+16 bits) plus
+  /// the FM0 preamble (6 symbols).
+  Seconds rn16() const { return (6.0 + 16.0) * tag_bit(); }
+  Seconds epc_reply() const { return (6.0 + 16.0 + 96.0 + 16.0) * tag_bit(); }
+};
+
+/// Discrete-event Gen 2 inventory round (the full baseline; the stripped
+/// `Tdma` keeps only the essentials, which *favours* TDMA in comparisons).
+///
+/// Protocol per the spec: the reader opens a round with Query(Q); each tag
+/// draws a 16-bit slot counter in [0, 2^Q); QueryRep decrements counters;
+/// a tag at zero backscatters RN16; a singleton is ACKed and replies with
+/// its EPC; collisions and empties burn their exchange times. Between
+/// rounds Q adapts with the standard C-constant algorithm.
+class Gen2Inventory {
+ public:
+  struct Config {
+    Gen2Timings timings{};
+    std::size_t initial_q = 4;
+    /// Q-algorithm constant (spec: 0.1 <= C <= 0.5).
+    double q_constant = 0.35;
+    std::size_t max_rounds = 64;
+  };
+
+  struct Stats {
+    Seconds elapsed = 0.0;
+    std::size_t rounds = 0;
+    std::size_t slots = 0;
+    std::size_t singles = 0;
+    std::size_t collisions = 0;
+    std::size_t empties = 0;
+    std::size_t identified = 0;
+
+    /// Slot efficiency: successful reads over slots used (ALOHA optimum
+    /// is 1/e ≈ 0.368 at matched frame size).
+    double slot_efficiency() const {
+      return slots > 0 ? static_cast<double>(singles) /
+                             static_cast<double>(slots)
+                       : 0.0;
+    }
+  };
+
+  explicit Gen2Inventory(Config config);
+  Gen2Inventory() : Gen2Inventory(Config{}) {}
+
+  const Config& config() const { return config_; }
+
+  /// Inventories `population` tags; returns full accounting.
+  Stats run(std::size_t population, Rng& rng) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace lfbs::baseline

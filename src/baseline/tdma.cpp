@@ -1,0 +1,75 @@
+#include "baseline/tdma.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::baseline {
+
+Tdma::Tdma(TdmaConfig config) : config_(config) {
+  LFBS_CHECK(config_.bitrate > 0.0);
+  LFBS_CHECK(config_.slot_bits > 0);
+}
+
+Seconds Tdma::slot_duration() const {
+  return static_cast<double>(config_.slot_bits + config_.control_bits) /
+         config_.bitrate;
+}
+
+BitRate Tdma::aggregate_goodput(std::size_t tags) const {
+  if (tags == 0) return 0.0;
+  // Transmissions are serialized: aggregate goodput is one slot's payload
+  // per slot duration regardless of the tag count.
+  return static_cast<double>(config_.slot_bits) / slot_duration();
+}
+
+Seconds Tdma::round_duration(std::size_t tags) const {
+  return static_cast<double>(tags) * slot_duration();
+}
+
+Seconds Tdma::identify(std::size_t population, Rng& rng,
+                       std::size_t* rounds_out) const {
+  LFBS_CHECK(population > 0);
+  // Identification slots carry EPC + CRC-5.
+  const Seconds id_slot =
+      static_cast<double>(96 + 5 + config_.control_bits) / config_.bitrate;
+  // Empty and collided slots are aborted early (RN16 exchange fails);
+  // model them as a quarter of a full slot, which is generous to TDMA.
+  const Seconds short_slot = id_slot * 0.25;
+
+  std::size_t remaining = population;
+  double q = static_cast<double>(config_.initial_q);
+  Seconds elapsed = 0.0;
+  std::size_t rounds = 0;
+  while (remaining > 0) {
+    ++rounds;
+    const auto slots = static_cast<std::size_t>(
+        1u << static_cast<unsigned>(std::clamp(q, 0.0, 15.0)));
+    std::vector<std::size_t> occupancy(slots, 0);
+    for (std::size_t t = 0; t < remaining; ++t) {
+      ++occupancy[rng.uniform_u64(slots)];
+    }
+    std::size_t singles = 0, collisions = 0, empties = 0;
+    for (std::size_t c : occupancy) {
+      if (c == 0) {
+        ++empties;
+      } else if (c == 1) {
+        ++singles;
+      } else {
+        ++collisions;
+      }
+    }
+    elapsed += static_cast<double>(singles) * id_slot +
+               static_cast<double>(collisions + empties) * short_slot;
+    remaining -= singles;
+    // Gen 2 style Q adaptation: grow on collisions, shrink on empties.
+    q += 0.35 * static_cast<double>(collisions) -
+         0.15 * static_cast<double>(empties);
+    q = std::clamp(q, 0.0, 15.0);
+  }
+  if (rounds_out != nullptr) *rounds_out = rounds;
+  return elapsed;
+}
+
+}  // namespace lfbs::baseline

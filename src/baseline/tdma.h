@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "protocol/identification.h"
+
+namespace lfbs::baseline {
+
+/// Stripped-down EPC Gen 2 TDMA, as configured in the paper's §4.2: slots
+/// are 96 bits long, the bitrate is 100 kbps, and only the essential
+/// protocol elements are kept (Query-style control messages, slotted-ALOHA
+/// inventory with Q adaptation; the heavyweight Gen 2 overheads are
+/// removed, which *favours* the baseline).
+struct TdmaConfig {
+  BitRate bitrate = 100.0 * kKbps;
+  std::size_t slot_bits = 96;
+  /// Reader control message per slot (Query/QueryRep ≈ 22 bits at the
+  /// reader's command rate) plus turnaround, expressed in tag-bit times.
+  std::size_t control_bits = 4;
+  /// Initial Q for inventory (frame size 2^q slots).
+  std::size_t initial_q = 4;
+};
+
+class Tdma {
+ public:
+  explicit Tdma(TdmaConfig config);
+
+  const TdmaConfig& config() const { return config_; }
+
+  Seconds slot_duration() const;
+
+  /// Aggregate goodput with `tags` perfectly scheduled data tags — TDMA's
+  /// best case: every slot carries one tag's payload, the only loss is the
+  /// per-slot control overhead.
+  BitRate aggregate_goodput(std::size_t tags) const;
+
+  /// Air time to drain one 96-bit message from each of `tags` tags.
+  Seconds round_duration(std::size_t tags) const;
+
+  /// Simulates slotted-ALOHA inventory (Gen 2 style) of `population` tags:
+  /// each frame has 2^Q slots, tags pick one uniformly; singleton slots
+  /// identify a tag, collision/empty slots burn air time; Q adapts between
+  /// frames from the observed collision/empty mix. Returns total air time.
+  Seconds identify(std::size_t population, Rng& rng,
+                   std::size_t* rounds_out = nullptr) const;
+
+ private:
+  TdmaConfig config_;
+};
+
+}  // namespace lfbs::baseline

@@ -1,0 +1,77 @@
+#include "channel/channel_model.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace lfbs::channel {
+
+std::size_t ChannelModel::add_tag(Complex coefficient) {
+  coefficients_.push_back(coefficient);
+  return coefficients_.size() - 1;
+}
+
+std::size_t ChannelModel::add_tag(const TagPlacement& placement, Rng& rng) {
+  LFBS_CHECK(placement.distance_m > 0.0);
+  // Backscatter power falls as d^-4, so amplitude falls as d^-2. Normalise
+  // so a tag at 1 m has unit amplitude before orientation loss.
+  const double amplitude =
+      std::pow(placement.distance_m, -2.0) *
+      std::max(0.05, std::abs(std::cos(placement.orientation_rad))) *
+      rng.uniform(0.9, 1.1);  // fabrication spread
+  const double path_phase = 2.0 * std::numbers::pi *
+                            (2.0 * placement.distance_m) / kWavelength915MHz;
+  const double phase = path_phase + placement.reflection_phase;
+  return add_tag(std::polar(amplitude, phase));
+}
+
+Complex ChannelModel::coefficient(std::size_t tag) const {
+  LFBS_CHECK(tag < coefficients_.size());
+  return coefficients_[tag];
+}
+
+void ChannelModel::set_coefficient(std::size_t tag, Complex h) {
+  LFBS_CHECK(tag < coefficients_.size());
+  coefficients_[tag] = h;
+}
+
+signal::SampleBuffer ChannelModel::compose(
+    SampleRate fs, const std::vector<std::vector<double>>& levels) const {
+  LFBS_CHECK(levels.size() == coefficients_.size());
+  std::size_t n = 0;
+  for (const auto& series : levels) {
+    if (n == 0) n = series.size();
+    LFBS_CHECK_MSG(series.size() == n, "level series lengths differ");
+  }
+  signal::SampleBuffer out(fs, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = environment_;
+  for (std::size_t tag = 0; tag < levels.size(); ++tag) {
+    const Complex h = coefficients_[tag];
+    const auto& series = levels[tag];
+    for (std::size_t i = 0; i < n; ++i) out[i] += h * series[i];
+  }
+  return out;
+}
+
+signal::SampleBuffer ChannelModel::compose_time_varying(
+    SampleRate fs, const std::vector<std::vector<double>>& levels,
+    const std::vector<std::vector<Complex>>& coefficients) const {
+  LFBS_CHECK(levels.size() == coefficients.size());
+  std::size_t n = 0;
+  for (const auto& series : levels) {
+    if (n == 0) n = series.size();
+    LFBS_CHECK_MSG(series.size() == n, "level series lengths differ");
+  }
+  signal::SampleBuffer out(fs, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = environment_;
+  for (std::size_t tag = 0; tag < levels.size(); ++tag) {
+    LFBS_CHECK(coefficients[tag].size() == n);
+    const auto& series = levels[tag];
+    const auto& h = coefficients[tag];
+    for (std::size_t i = 0; i < n; ++i) out[i] += h[i] * series[i];
+  }
+  return out;
+}
+
+}  // namespace lfbs::channel

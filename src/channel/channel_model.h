@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "signal/sample_buffer.h"
+
+namespace lfbs::channel {
+
+/// Physical placement of one tag relative to the reader antenna. Drives the
+/// complex channel coefficient: amplitude from the radar link budget,
+/// phase from the round-trip path length plus reflection phase.
+struct TagPlacement {
+  double distance_m = 2.0;       ///< paper deployment: roughly 2 m
+  double orientation_rad = 0.0;  ///< antenna orientation (affects gain)
+  double reflection_phase = 0.0; ///< phase offset of the tag reflection
+};
+
+/// Linear multi-tag backscatter channel (Eq 2 of the paper):
+///   S(t) = env + Σ_j h_j · level_j(t)
+/// where level_j is tag j's antenna state in [0, 1] and h_j its complex
+/// coefficient. AWGN is added separately (see noise.h) so tests can probe
+/// the noiseless composition.
+class ChannelModel {
+ public:
+  ChannelModel() = default;
+
+  /// Adds a tag with an explicit coefficient; returns its index.
+  std::size_t add_tag(Complex coefficient);
+
+  /// Adds a tag whose coefficient is derived from a placement: amplitude
+  /// falls off with distance^2 (one-way of the radar d^4 power law is
+  /// amplitude d^2), phase from path length; small random perturbation
+  /// models fabrication spread.
+  std::size_t add_tag(const TagPlacement& placement, Rng& rng);
+
+  std::size_t num_tags() const { return coefficients_.size(); }
+  Complex coefficient(std::size_t tag) const;
+  void set_coefficient(std::size_t tag, Complex h);
+
+  Complex environment() const { return environment_; }
+  void set_environment(Complex env) { environment_ = env; }
+
+  /// Composes per-tag antenna level series into the received buffer.
+  /// All series must have the same length.
+  signal::SampleBuffer compose(
+      SampleRate fs, const std::vector<std::vector<double>>& levels) const;
+
+  /// Composes with per-sample time-varying coefficients (used by the Fig 1
+  /// dynamics experiments). `coefficients[tag][sample]`.
+  signal::SampleBuffer compose_time_varying(
+      SampleRate fs, const std::vector<std::vector<double>>& levels,
+      const std::vector<std::vector<Complex>>& coefficients) const;
+
+ private:
+  std::vector<Complex> coefficients_;
+  Complex environment_{0.8, 0.3};  ///< static environment reflection
+};
+
+/// Carrier wavelength at 915 MHz (centre of the 902–928 MHz band the UMass
+/// Moo operates in).
+constexpr double kWavelength915MHz = 0.3275;
+
+}  // namespace lfbs::channel

@@ -1,0 +1,115 @@
+#include "channel/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace lfbs::channel {
+
+std::vector<Complex> PeopleMovementModel::generate(Complex h0, SampleRate fs,
+                                                   Seconds duration,
+                                                   Rng& rng) const {
+  LFBS_CHECK(fs > 0.0 && duration > 0.0);
+  const auto n = static_cast<std::size_t>(fs * duration);
+  std::vector<double> freq(paths), phase(paths), weight(paths);
+  double weight_sum = 0.0;
+  for (std::size_t p = 0; p < paths; ++p) {
+    // Jakes: Doppler of each path is f_max * cos(arrival angle).
+    freq[p] = max_doppler_hz * std::cos(rng.uniform(0.0, std::numbers::pi));
+    phase[p] = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    weight[p] = rng.uniform(0.5, 1.0);
+    weight_sum += weight[p];
+  }
+  std::vector<Complex> out(n);
+  const double scale = depth * std::abs(h0) / std::max(weight_sum, 1e-12);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    Complex fade{};
+    for (std::size_t p = 0; p < paths; ++p) {
+      const double arg = 2.0 * std::numbers::pi * freq[p] * t + phase[p];
+      fade += weight[p] * Complex{std::cos(arg), std::sin(arg)};
+    }
+    out[i] = h0 + scale * fade;
+  }
+  return out;
+}
+
+std::vector<Complex> TagRotationModel::generate(Complex h0, SampleRate fs,
+                                                Seconds duration,
+                                                Rng& rng) const {
+  LFBS_CHECK(fs > 0.0 && duration > 0.0);
+  const auto n = static_cast<std::size_t>(fs * duration);
+  std::vector<Complex> out(n);
+  const double theta0 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  double wobble_state = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    wobble_state += rng.gaussian(0.0, wobble / std::sqrt(std::max(fs, 1.0)));
+    const double theta =
+        theta0 + 2.0 * std::numbers::pi * rotation_hz * t + wobble_state;
+    const double gain = std::max(min_gain, std::abs(std::cos(theta)));
+    // Rotating the tag also rotates the reflection phase.
+    out[i] = h0 * std::polar(gain, theta * 0.5);
+  }
+  return out;
+}
+
+double CouplingModel::distance_at(Seconds t, Seconds duration) const {
+  const double frac = std::clamp(t / duration, 0.0, 1.0);
+  return start_distance_m + (end_distance_m - start_distance_m) * frac;
+}
+
+std::vector<std::vector<Complex>> CouplingModel::generate(
+    Complex h1, Complex h2, SampleRate fs, Seconds duration, Rng& rng) const {
+  LFBS_CHECK(fs > 0.0 && duration > 0.0);
+  const auto n = static_cast<std::size_t>(fs * duration);
+  std::vector<std::vector<Complex>> out(2, std::vector<Complex>(n));
+  const double coupling_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    const double d = distance_at(t, duration);
+    // Coupling turns on smoothly below coupling_distance_m and intensifies
+    // as the separation shrinks (near-field goes like 1/d^3; we saturate).
+    double k = 0.0;
+    if (d < coupling_distance_m) {
+      k = coupling_strength *
+          std::min(1.0, std::pow(coupling_distance_m / std::max(d, 0.01), 2.0) /
+                            std::pow(coupling_distance_m / 0.05, 2.0) * 4.0);
+    }
+    const Complex leak = std::polar(k, coupling_phase);
+    out[0][i] = h1 + leak * h2;
+    out[1][i] = h2 + leak * h1;
+  }
+  return out;
+}
+
+TraceStats summarize_trace(std::span<const Complex> trace) {
+  TraceStats stats;
+  if (trace.empty()) return stats;
+  double sum_mag = 0.0;
+  double min_i = trace[0].real(), max_i = trace[0].real();
+  double min_q = trace[0].imag(), max_q = trace[0].imag();
+  for (const Complex& h : trace) {
+    sum_mag += std::abs(h);
+    min_i = std::min(min_i, h.real());
+    max_i = std::max(max_i, h.real());
+    min_q = std::min(min_q, h.imag());
+    max_q = std::max(max_q, h.imag());
+  }
+  stats.mean_magnitude = sum_mag / static_cast<double>(trace.size());
+  double var = 0.0;
+  for (const Complex& h : trace) {
+    const double d = std::abs(h) - stats.mean_magnitude;
+    var += d * d;
+  }
+  stats.magnitude_stddev = std::sqrt(var / static_cast<double>(trace.size()));
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    stats.max_step = std::max(stats.max_step, std::abs(trace[i] - trace[i - 1]));
+  }
+  stats.total_excursion = std::hypot(max_i - min_i, max_q - min_q);
+  return stats;
+}
+
+}  // namespace lfbs::channel

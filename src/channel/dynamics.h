@@ -1,0 +1,72 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lfbs::channel {
+
+/// Generators for the channel-coefficient dynamics of Figure 1. Each
+/// produces a coefficient trace h(t) sampled at `fs` for `duration`
+/// seconds, starting from a baseline coefficient h0. These are the
+/// conditions under which Buzz must re-estimate channels while
+/// LF-Backscatter keeps decoding (it only assumes stability within one
+/// short epoch).
+
+/// Fig 1(a): a person walking near a stationary tag. Modelled as Jakes-style
+/// multipath fading: a sum of `paths` sinusoids with random Doppler shifts
+/// up to `max_doppler_hz` (walking speed ≈ 1.5 m/s → ~9 Hz at 915 MHz),
+/// scaled to `depth` of the static coefficient.
+struct PeopleMovementModel {
+  std::size_t paths = 8;
+  double max_doppler_hz = 9.0;
+  double depth = 0.45;  ///< fading amplitude relative to |h0|
+
+  std::vector<Complex> generate(Complex h0, SampleRate fs, Seconds duration,
+                                Rng& rng) const;
+};
+
+/// Fig 1(b): the tag rotates in place. The coefficient's amplitude follows
+/// the antenna pattern (|cos θ| with a floor) and its phase tracks the
+/// rotation; θ advances at `rotation_hz` revolutions per second with
+/// small wobble.
+struct TagRotationModel {
+  double rotation_hz = 0.25;
+  double wobble = 0.05;
+  double min_gain = 0.1;  ///< pattern null floor
+
+  std::vector<Complex> generate(Complex h0, SampleRate fs, Seconds duration,
+                                Rng& rng) const;
+};
+
+/// Fig 1(c): two tags approach each other; under ~`coupling_distance_m`
+/// their antennas near-field couple and both coefficients shift. Returns
+/// one trace per tag. The tags close from `start_distance_m` to
+/// `end_distance_m` linearly over the duration.
+struct CouplingModel {
+  double start_distance_m = 1.0;
+  double end_distance_m = 0.05;
+  double coupling_distance_m = 0.3;
+  double coupling_strength = 0.5;
+
+  std::vector<std::vector<Complex>> generate(Complex h1, Complex h2,
+                                             SampleRate fs, Seconds duration,
+                                             Rng& rng) const;
+
+  /// Tag separation at time t under the linear approach.
+  double distance_at(Seconds t, Seconds duration) const;
+};
+
+/// Summary statistics of a coefficient trace, used by the Fig 1 bench to
+/// report "how much the channel moved".
+struct TraceStats {
+  double mean_magnitude = 0.0;
+  double magnitude_stddev = 0.0;
+  double max_step = 0.0;        ///< largest |h(t+1) - h(t)|
+  double total_excursion = 0.0; ///< |max h - min h| over I and Q combined
+};
+TraceStats summarize_trace(std::span<const Complex> trace);
+
+}  // namespace lfbs::channel

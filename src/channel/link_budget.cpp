@@ -1,0 +1,36 @@
+#include "channel/link_budget.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace lfbs::channel {
+
+double LinkBudget::received_power(double distance_m) const {
+  LFBS_CHECK(distance_m > 0.0);
+  const double path =
+      wavelength_m / (4.0 * std::numbers::pi * distance_m);
+  return tx_power_w * reader_gain * reader_gain * std::pow(path, 4.0) *
+         tag_gain * tag_gain * modulation_loss;
+}
+
+double LinkBudget::snr_db(double distance_m, double noise_power_w) const {
+  LFBS_CHECK(noise_power_w > 0.0);
+  return linear_to_db(received_power(distance_m) / noise_power_w);
+}
+
+double LinkBudget::range_for_snr(double target_snr_db,
+                                 double noise_power_w) const {
+  LFBS_CHECK(noise_power_w > 0.0);
+  // Pr(d) = C · d^-4  =>  d = (C / (noise · snr))^(1/4)
+  const double c = received_power(1.0);  // Pr at 1 m
+  const double required = noise_power_w * db_to_linear(target_snr_db);
+  return std::pow(c / required, 0.25);
+}
+
+double LinkBudget::derated_range(double range, double delta_db) {
+  return range * std::pow(10.0, -delta_db / 40.0);
+}
+
+}  // namespace lfbs::channel

@@ -1,0 +1,28 @@
+#include "channel/noise.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::channel {
+
+void add_awgn(signal::SampleBuffer& buffer, double noise_power, Rng& rng) {
+  LFBS_CHECK(noise_power >= 0.0);
+  if (noise_power == 0.0) return;
+  const double sigma = std::sqrt(noise_power / 2.0);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] += Complex{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+  }
+}
+
+double noise_power_for_snr(double signal_power, double snr_db) {
+  LFBS_CHECK(signal_power > 0.0);
+  return signal_power / db_to_linear(snr_db);
+}
+
+double measured_snr_db(double signal_power, double noise_power) {
+  LFBS_CHECK(noise_power > 0.0);
+  return linear_to_db(signal_power / noise_power);
+}
+
+}  // namespace lfbs::channel

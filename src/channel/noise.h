@@ -1,0 +1,22 @@
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "signal/sample_buffer.h"
+
+namespace lfbs::channel {
+
+/// Complex additive white Gaussian noise.
+///
+/// `noise_power` is E[|n|^2]; each of I and Q gets variance noise_power/2.
+void add_awgn(signal::SampleBuffer& buffer, double noise_power, Rng& rng);
+
+/// Noise power required for a target per-sample SNR (dB) given a signal of
+/// the stated power. SNR here is the convention used for Fig 14: the power
+/// of the tag's reflected signal step (|h|^2) over the noise power.
+double noise_power_for_snr(double signal_power, double snr_db);
+
+/// Measured SNR (dB) between a signal power and noise power.
+double measured_snr_db(double signal_power, double noise_power);
+
+}  // namespace lfbs::channel

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lfbs {
+
+/// Thrown when a precondition or invariant stated with LFBS_CHECK fails.
+/// Library code uses exceptions only for programming errors and unrecoverable
+/// configuration mistakes; expected decode failures are reported via status
+/// fields in results, never via exceptions.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "LFBS_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace lfbs
+
+/// Precondition / invariant check. Always on (decode pipelines are not hot
+/// enough for this to matter, and silent corruption is worse than a throw).
+#define LFBS_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::lfbs::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define LFBS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::lfbs::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

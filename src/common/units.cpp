@@ -1,0 +1,36 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lfbs {
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+std::string format_rate(BitRate bps) {
+  char buf[64];
+  if (bps >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.6g Mbps", bps / 1e6);
+  } else if (bps >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.6g kbps", bps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g bps", bps);
+  }
+  return buf;
+}
+
+std::string format_duration(Seconds s) {
+  char buf[64];
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.4g s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.4g ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g us", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace lfbs

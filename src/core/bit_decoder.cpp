@@ -1,0 +1,110 @@
+#include "core/bit_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lfbs::core {
+
+ThreeClusterLabels label_three_clusters(std::span<const Complex> points,
+                                        const dsp::KMeansResult& fit) {
+  LFBS_CHECK(!points.empty());
+  LFBS_CHECK(fit.centroids.size() == 3);
+  LFBS_CHECK(fit.assignment.size() == points.size());
+
+  // Constant cluster: nearest the origin.
+  std::size_t constant_idx = 0;
+  for (std::size_t i = 1; i < 3; ++i) {
+    if (std::abs(fit.centroids[i]) < std::abs(fit.centroids[constant_idx])) {
+      constant_idx = i;
+    }
+  }
+  // Rising cluster: owns the anchor (first) point. If the anchor landed in
+  // the constant cluster (a missed anchor edge), fall back to the stronger
+  // remaining centroid.
+  std::size_t rising_idx = fit.assignment.front();
+  if (rising_idx == constant_idx) {
+    rising_idx = 3;  // sentinel
+    double best = -1.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (i == constant_idx) continue;
+      if (std::abs(fit.centroids[i]) > best) {
+        best = std::abs(fit.centroids[i]);
+        rising_idx = i;
+      }
+    }
+  }
+  std::size_t falling_idx = 3;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (i != constant_idx && i != rising_idx) falling_idx = i;
+  }
+  LFBS_CHECK(falling_idx < 3);
+
+  ThreeClusterLabels out;
+  out.rising = fit.centroids[rising_idx];
+  out.falling = fit.centroids[falling_idx];
+  out.constant = fit.centroids[constant_idx];
+  out.states.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::size_t a = fit.assignment[i];
+    out.states.push_back(a == rising_idx ? 1 : (a == falling_idx ? -1 : 0));
+  }
+  return out;
+}
+
+std::vector<EdgeState> classify_simple(std::span<const Complex> points) {
+  LFBS_CHECK(!points.empty());
+  const Complex anchor = points.front();
+  const double anchor_mag = std::abs(anchor);
+  std::vector<EdgeState> states;
+  states.reserve(points.size());
+  for (const Complex& p : points) {
+    if (std::abs(p) < 0.5 * anchor_mag) {
+      states.push_back(0);
+      continue;
+    }
+    // Projection onto the anchor direction decides rising vs falling.
+    const double proj = p.real() * anchor.real() + p.imag() * anchor.imag();
+    states.push_back(proj >= 0.0 ? 1 : -1);
+  }
+  return states;
+}
+
+bool normalize_anchor(std::vector<EdgeState>& states) {
+  for (EdgeState s : states) {
+    if (s == 0) continue;
+    if (s == 1) return false;
+    for (EdgeState& t : states) t = -t;
+    return true;
+  }
+  return false;
+}
+
+std::vector<bool> integrate_states(std::span<const EdgeState> states) {
+  std::vector<bool> bits;
+  bits.reserve(states.size());
+  bool level = false;
+  for (EdgeState s : states) {
+    if (s == 1) {
+      level = true;
+    } else if (s == -1) {
+      level = false;
+    }
+    bits.push_back(level);
+  }
+  return bits;
+}
+
+std::vector<EdgeState> subsample_states(std::span<const EdgeState> states,
+                                        std::size_t offset, std::size_t step) {
+  LFBS_CHECK(step >= 1);
+  std::vector<EdgeState> out;
+  for (std::size_t i = offset; i < states.size(); i += step) {
+    out.push_back(states[i]);
+  }
+  return out;
+}
+
+}  // namespace lfbs::core

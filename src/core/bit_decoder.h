@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "core/collision_separator.h"
+#include "dsp/kmeans.h"
+
+namespace lfbs::core {
+
+/// Three-cluster classification of a single stream's boundary differentials
+/// plus the anchor-based cluster labelling of Table 1.
+struct ThreeClusterLabels {
+  Complex rising;    ///< centroid of the +e cluster
+  Complex falling;   ///< centroid of the -e cluster
+  Complex constant;  ///< centroid of the no-edge cluster (≈ origin)
+  std::vector<EdgeState> states;  ///< per-boundary edge states
+};
+
+/// Labels a 3-cluster k-means fit using the anchor convention: the first
+/// boundary of a stream is the idle→anchor transition, i.e. a rising edge,
+/// so whichever cluster owns the first point is "+1"; the centroid nearest
+/// the origin is "constant"; the remaining one is "-1". Points are then
+/// classified by nearest centroid.
+ThreeClusterLabels label_three_clusters(std::span<const Complex> points,
+                                        const dsp::KMeansResult& fit);
+
+/// Fallback classifier for streams with too few boundaries to cluster:
+/// thresholds |Δ| against half the anchor magnitude and signs by projection
+/// onto the anchor differential.
+std::vector<EdgeState> classify_simple(std::span<const Complex> points);
+
+/// Normalizes a separated component's sign so its first non-constant state
+/// is +1 (its anchor is a rising edge). Returns true when a flip occurred.
+bool normalize_anchor(std::vector<EdgeState>& states);
+
+/// NRZ integration (Table 1): level starts at 0; +1 sets it, -1 clears it,
+/// 0 holds it; bit k is the level after boundary k.
+std::vector<bool> integrate_states(std::span<const EdgeState> states);
+
+/// Extracts the sub-stream of a separated component: the component's own
+/// bit boundaries sit every `step` joint boundaries starting at `offset`.
+std::vector<EdgeState> subsample_states(std::span<const EdgeState> states,
+                                        std::size_t offset, std::size_t step);
+
+}  // namespace lfbs::core

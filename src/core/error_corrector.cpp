@@ -1,0 +1,267 @@
+#include "core/error_corrector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dsp/gaussian.h"
+#include "dsp/viterbi.h"
+
+namespace lfbs::core {
+
+namespace {
+
+// State indices for the 4-state edge machine.
+constexpr std::size_t kRising = 0;    // ↑
+constexpr std::size_t kFalling = 1;   // ↓
+constexpr std::size_t kHoldHigh = 2;  // −₊ (no edge, level 1)
+constexpr std::size_t kHoldLow = 3;   // −₋ (no edge, level 0)
+
+/// Fits a 2-D Gaussian to the points of one cluster; degenerate clusters
+/// fall back to an isotropic Gaussian around the centroid with a spread
+/// proportional to `scale`.
+dsp::Gaussian2D fit_or_default(std::span<const Complex> pts, Complex centroid,
+                               double scale, double min_sigma) {
+  if (pts.size() >= 4) {
+    dsp::Gaussian2D g = dsp::fit_gaussian2d(pts, min_sigma);
+    return g;
+  }
+  dsp::Gaussian2D g;
+  g.mean_i = centroid.real();
+  g.mean_q = centroid.imag();
+  g.sigma_i = std::max(0.25 * scale, min_sigma);
+  g.sigma_q = g.sigma_i;
+  g.rho = 0.0;
+  return g;
+}
+
+}  // namespace
+
+ErrorCorrector::ErrorCorrector(Config config) : config_(config) {
+  LFBS_CHECK(config_.edge_probability > 0.0 && config_.edge_probability < 1.0);
+}
+
+std::vector<bool> ErrorCorrector::correct(
+    std::span<const Complex> points, const ThreeClusterLabels& labels) const {
+  LFBS_CHECK(points.size() == labels.states.size());
+  std::vector<Complex> rising_pts, falling_pts, constant_pts;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    switch (labels.states[i]) {
+      case 1:
+        rising_pts.push_back(points[i]);
+        break;
+      case -1:
+        falling_pts.push_back(points[i]);
+        break;
+      default:
+        constant_pts.push_back(points[i]);
+        break;
+    }
+  }
+  return run(points, labels.rising, labels.falling, labels.constant,
+             rising_pts, falling_pts, constant_pts);
+}
+
+std::vector<bool> ErrorCorrector::correct_component(
+    std::span<const Complex> points, Complex edge_vector) const {
+  return run(points, edge_vector, -edge_vector, Complex{}, {}, {}, {});
+}
+
+ErrorCorrector::JointResult ErrorCorrector::correct_joint(
+    std::span<const Complex> points, Complex e1, Complex e2,
+    const std::vector<bool>& toggle1, const std::vector<bool>& toggle2,
+    double sigma) const {
+  LFBS_CHECK(!points.empty());
+  LFBS_CHECK(points.size() == toggle1.size());
+  LFBS_CHECK(points.size() == toggle2.size());
+  const double inv_two_sigma2 = 1.0 / (2.0 * std::max(sigma * sigma, 1e-18));
+  const double log_edge = std::log(config_.edge_probability);
+  const double log_hold = std::log(1.0 - config_.edge_probability);
+
+  // State = l1 + 2*l2; DP over boundaries. Emission sits on the transition,
+  // so this is a bespoke loop rather than the per-state dsp::Viterbi.
+  constexpr std::size_t kStates = 4;
+  const std::size_t n = points.size();
+  std::vector<double> score(kStates, -1e300);
+  score[0] = 0.0;  // both tags idle at level 0 before their anchors
+  std::vector<std::vector<std::uint8_t>> backptr(
+      n, std::vector<std::uint8_t>(kStates, 0));
+  std::vector<double> next(kStates);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t to = 0; to < kStates; ++to) {
+      const int l1p = static_cast<int>(to & 1u);
+      const int l2p = static_cast<int>((to >> 1) & 1u);
+      double best = -1e300;
+      std::uint8_t arg = 0;
+      for (std::size_t from = 0; from < kStates; ++from) {
+        const int l1 = static_cast<int>(from & 1u);
+        const int l2 = static_cast<int>((from >> 1) & 1u);
+        if (l1 != l1p && !toggle1[k]) continue;
+        if (l2 != l2p && !toggle2[k]) continue;
+        const Complex expected = static_cast<double>(l1p - l1) * e1 +
+                                 static_cast<double>(l2p - l2) * e2;
+        double cand = score[from] - std::norm(points[k] - expected) *
+                                        inv_two_sigma2;
+        if (toggle1[k]) cand += (l1 != l1p) ? log_edge : log_hold;
+        if (toggle2[k]) cand += (l2 != l2p) ? log_edge : log_hold;
+        if (cand > best) {
+          best = cand;
+          arg = static_cast<std::uint8_t>(from);
+        }
+      }
+      next[to] = best;
+      backptr[k][to] = arg;
+    }
+    score.swap(next);
+  }
+
+  std::size_t state = 0;
+  double best = score[0];
+  for (std::size_t s = 1; s < kStates; ++s) {
+    if (score[s] > best) {
+      best = score[s];
+      state = s;
+    }
+  }
+  JointResult out;
+  out.levels1.resize(n);
+  out.levels2.resize(n);
+  for (std::size_t k = n; k-- > 0;) {
+    out.levels1[k] = (state & 1u) != 0;
+    out.levels2[k] = (state & 2u) != 0;
+    state = backptr[k][state];
+  }
+  return out;
+}
+
+ErrorCorrector::Joint3Result ErrorCorrector::correct_joint3(
+    std::span<const Complex> points, Complex e1, Complex e2, Complex e3,
+    const std::vector<bool>& toggle1, const std::vector<bool>& toggle2,
+    const std::vector<bool>& toggle3, double sigma) const {
+  LFBS_CHECK(!points.empty());
+  LFBS_CHECK(points.size() == toggle1.size());
+  LFBS_CHECK(points.size() == toggle2.size());
+  LFBS_CHECK(points.size() == toggle3.size());
+  const double inv_two_sigma2 = 1.0 / (2.0 * std::max(sigma * sigma, 1e-18));
+  const double log_edge = std::log(config_.edge_probability);
+  const double log_hold = std::log(1.0 - config_.edge_probability);
+  const Complex evec[3] = {e1, e2, e3};
+
+  constexpr std::size_t kStates = 8;  // l1 + 2*l2 + 4*l3
+  const std::size_t n = points.size();
+  std::vector<double> score(kStates, -1e300);
+  score[0] = 0.0;
+  std::vector<std::vector<std::uint8_t>> backptr(
+      n, std::vector<std::uint8_t>(kStates, 0));
+  std::vector<double> next(kStates);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const bool can[3] = {toggle1[k], toggle2[k], toggle3[k]};
+    for (std::size_t to = 0; to < kStates; ++to) {
+      double best = -1e300;
+      std::uint8_t arg = 0;
+      for (std::size_t from = 0; from < kStates; ++from) {
+        Complex expected{};
+        double prior = 0.0;
+        bool feasible = true;
+        for (std::size_t t = 0; t < 3; ++t) {
+          const int l = static_cast<int>((from >> t) & 1u);
+          const int lp = static_cast<int>((to >> t) & 1u);
+          if (l != lp && !can[t]) {
+            feasible = false;
+            break;
+          }
+          expected += static_cast<double>(lp - l) * evec[t];
+          if (can[t]) prior += (l != lp) ? log_edge : log_hold;
+        }
+        if (!feasible) continue;
+        const double cand =
+            score[from] + prior -
+            std::norm(points[k] - expected) * inv_two_sigma2;
+        if (cand > best) {
+          best = cand;
+          arg = static_cast<std::uint8_t>(from);
+        }
+      }
+      next[to] = best;
+      backptr[k][to] = arg;
+    }
+    score.swap(next);
+  }
+
+  std::size_t state = 0;
+  double best = score[0];
+  for (std::size_t s2 = 1; s2 < kStates; ++s2) {
+    if (score[s2] > best) {
+      best = score[s2];
+      state = s2;
+    }
+  }
+  Joint3Result out;
+  out.levels1.resize(n);
+  out.levels2.resize(n);
+  out.levels3.resize(n);
+  for (std::size_t k = n; k-- > 0;) {
+    out.levels1[k] = (state & 1u) != 0;
+    out.levels2[k] = (state & 2u) != 0;
+    out.levels3[k] = (state & 4u) != 0;
+    state = backptr[k][state];
+  }
+  return out;
+}
+
+std::vector<bool> ErrorCorrector::run(
+    std::span<const Complex> points, Complex rising, Complex falling,
+    Complex constant, std::span<const Complex> rising_pts,
+    std::span<const Complex> falling_pts,
+    std::span<const Complex> constant_pts) const {
+  LFBS_CHECK(!points.empty());
+  const double scale = std::max(std::abs(rising), std::abs(falling));
+
+  const dsp::Gaussian2D g_rise =
+      fit_or_default(rising_pts, rising, scale, config_.min_sigma);
+  const dsp::Gaussian2D g_fall =
+      fit_or_default(falling_pts, falling, scale, config_.min_sigma);
+  const dsp::Gaussian2D g_hold =
+      fit_or_default(constant_pts, constant, scale, config_.min_sigma);
+
+  const double log_edge = std::log(config_.edge_probability);
+  const double log_hold = std::log(1.0 - config_.edge_probability);
+  const double kNo = dsp::Viterbi::kForbidden;
+
+  // Rows: from-state; columns: to-state {↑, ↓, −₊, −₋}. After ↑ or −₊ the
+  // level is 1, so the next boundary is either a falling edge or a hold at
+  // 1; symmetrically for level 0.
+  std::vector<std::vector<double>> transition = {
+      /* from ↑  */ {kNo, log_edge, log_hold, kNo},
+      /* from ↓  */ {log_edge, kNo, kNo, log_hold},
+      /* from −₊ */ {kNo, log_edge, log_hold, kNo},
+      /* from −₋ */ {log_edge, kNo, kNo, log_hold},
+  };
+  // The first boundary of a stream is the idle→anchor rising edge.
+  std::vector<double> initial = {0.0, kNo, kNo, kNo};
+
+  const dsp::Viterbi viterbi(std::move(transition), std::move(initial));
+  const auto emission = [&](std::size_t step, std::size_t state) {
+    const Complex& z = points[step];
+    switch (state) {
+      case kRising:
+        return g_rise.log_pdf(z);
+      case kFalling:
+        return g_fall.log_pdf(z);
+      default:
+        return g_hold.log_pdf(z);
+    }
+  };
+  const dsp::Viterbi::Path path = viterbi.decode(points.size(), emission);
+
+  std::vector<bool> bits;
+  bits.reserve(points.size());
+  for (std::size_t s : path.states) {
+    bits.push_back(s == kRising || s == kHoldHigh);
+  }
+  return bits;
+}
+
+}  // namespace lfbs::core

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "core/collision_detector.h"
+#include "core/collision_separator.h"
+#include "core/error_corrector.h"
+#include "core/stream_detector.h"
+#include "protocol/epoch.h"
+#include "protocol/frame.h"
+#include "signal/edge_detector.h"
+#include "signal/sample_buffer.h"
+
+namespace lfbs::core {
+
+/// Configuration of the full LF-Backscatter reader-side decoder.
+struct DecoderConfig {
+  /// Valid tag bitrates (all multiples of the base rate; the evaluation set
+  /// also divides max_rate, which the stream detector exploits).
+  protocol::RatePlan rate_plan = protocol::RatePlan::paper_rates();
+  BitRate max_rate = 100.0 * kKbps;
+  protocol::FrameConfig frame{};
+
+  /// Stage toggles, matching the Fig 9 breakdown:
+  ///  - collision_recovery off  → "Edge" (time-domain separation only)
+  ///  - collision_recovery on   → "Edge+IQ"
+  ///  - error_correction on too → "Edge+IQ+Error"
+  bool collision_recovery = true;
+  bool error_correction = true;
+  /// Stage 7 (extension): subtract CRC-confident streams' contributions
+  /// from failed streams at transiently-contaminated boundaries and
+  /// re-decode. Only active when both stages above are on.
+  bool interference_cancellation = true;
+
+  /// Edge detection; when auto_scale_edge is set the window/guard are
+  /// derived from the oversampling ratio at decode time.
+  signal::EdgeDetectorConfig edge{};
+  bool auto_scale_edge = true;
+
+  /// Stream grouping tolerances (see StreamDetectorConfig).
+  double group_tolerance = 3.5;
+  /// Groups with closer lattice phases than this merge into one collision
+  /// group (see StreamDetectorConfig::merge_radius).
+  double merge_radius = 5.0;
+  double drift_tolerance_ppm = 400.0;
+  std::size_t min_edges = 3;
+
+  CollisionDetectorConfig collision{};
+  SeparatorConfig separator{};
+  ErrorCorrector::Config corrector{};
+
+  /// Seed for k-means restarts; decoding is fully deterministic given the
+  /// input buffer and this seed.
+  std::uint64_t seed = 0x1f5eedULL;
+
+  /// Dump per-stage diagnostics to stderr (development aid).
+  bool trace = false;
+};
+
+/// One decoded tag stream.
+struct DecodedStream {
+  double start_sample = 0.0;  ///< position of the stream's anchor edge
+  BitRate rate = 0.0;         ///< estimated tag bitrate
+  bool collided = false;      ///< recovered from a collision
+  std::vector<bool> bits;     ///< raw decoded bits (anchor first)
+  std::vector<protocol::ParsedFrame> frames;  ///< framed & CRC-checked
+  /// Rising-edge IQ differential of this stream — essentially the tag's
+  /// channel coefficient. Stable across an epoch, which is what the
+  /// windowed decoder uses to stitch streams across processing windows.
+  Complex edge_vector;
+  /// Estimated per-stream SNR: edge power over the residual scatter of the
+  /// boundary differentials around their assigned states. Deployments use
+  /// this for §3.6 rate decisions (weak streams → lower the max rate).
+  double snr_db = 0.0;
+};
+
+struct DecodeDiagnostics {
+  std::size_t edges = 0;              ///< edges detected
+  std::size_t groups = 0;             ///< stream groups formed
+  std::size_t collision_groups = 0;   ///< groups decoded via IQ separation
+  std::size_t unresolved_groups = 0;  ///< ≥3-way or failed separations
+};
+
+struct DecodeResult {
+  std::vector<DecodedStream> streams;
+  DecodeDiagnostics diagnostics;
+
+  /// All CRC-valid payloads across streams.
+  std::vector<std::vector<bool>> valid_payloads() const;
+  std::size_t frames_attempted() const;
+  std::size_t frames_failed() const;
+};
+
+/// The LF-Backscatter decoder: edges → streams → collision separation →
+/// Viterbi correction → frames. See DESIGN.md §4 for the stage walk-through.
+class LfDecoder {
+ public:
+  explicit LfDecoder(DecoderConfig config);
+
+  const DecoderConfig& config() const { return config_; }
+
+  DecodeResult decode(const signal::SampleBuffer& buffer) const;
+
+ private:
+  DecoderConfig config_;
+};
+
+}  // namespace lfbs::core

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "core/lf_decoder.h"
+
+namespace lfbs::core {
+
+/// Streaming decode for long captures (extension beyond the paper).
+///
+/// The base decoder assumes quasi-stationary stream phases: valid for the
+/// paper's short (~1 ms) epochs, but over the hundreds of milliseconds a
+/// 0.5 kbps frame needs, *relative* crystal drift slides tags' edge
+/// lattices across each other — colliding pairs drift apart mid-epoch and
+/// faster tags sweep through slower tags' phases, corrupting long bursts.
+///
+/// The windowed decoder bounds that: it chops the capture into windows
+/// short enough that every configuration (collided or separate) is
+/// quasi-static, decodes each window independently, and stitches the
+/// per-window streams into end-to-end threads using three continuity keys:
+///   - bitrate,
+///   - lattice phase (the predicted next boundary of the thread),
+///   - the edge vector (the tag's channel coefficient, stable over the
+///     whole capture) — which also resolves per-window polarity, since a
+///     window that opens mid-stream may start on a falling edge and decode
+///     inverted.
+/// Gaps between windows (a tag holding its level across a cut, or a window
+/// where its group was lost) are filled by timing: the number of missing
+/// bits falls out of the boundary positions, and their value is the
+/// thread's last level.
+struct WindowedDecoderConfig {
+  DecoderConfig decoder;
+  /// Processing window. Must be long enough that the slowest expected tag
+  /// shows min_edges edges per window, short enough that relative drift
+  /// within a window stays inside the grouping tolerance.
+  Seconds window = 20e-3;
+  /// Lattice-phase continuity tolerance at a stitch, in samples, plus a
+  /// drift allowance proportional to the gap.
+  double phase_tolerance = 8.0;
+  /// Edge-vector continuity: |e_s - (+/-)e_t| must be below this fraction
+  /// of |e_t|.
+  double vector_tolerance = 0.4;
+};
+
+class WindowedDecoder {
+ public:
+  explicit WindowedDecoder(WindowedDecoderConfig config);
+
+  const WindowedDecoderConfig& config() const { return config_; }
+
+  /// Decodes a capture of any length. Short captures (≤ 1.5 windows) fall
+  /// through to the plain decoder.
+  DecodeResult decode(const signal::SampleBuffer& buffer) const;
+
+ private:
+  WindowedDecoderConfig config_;
+};
+
+}  // namespace lfbs::core

@@ -1,0 +1,73 @@
+#include "dsp/filters.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::dsp {
+
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window) {
+  LFBS_CHECK(window >= 1);
+  const std::size_t n = xs.size();
+  std::vector<double> out(n, 0.0);
+  if (n == 0) return out;
+  const auto half = static_cast<std::int64_t>(window / 2);
+  // Prefix sums give O(n) regardless of window size.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + xs[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto lo = std::max<std::int64_t>(0, static_cast<std::int64_t>(i) - half);
+    const auto hi = std::min<std::int64_t>(static_cast<std::int64_t>(n) - 1,
+                                           static_cast<std::int64_t>(i) + half);
+    const double sum = prefix[static_cast<std::size_t>(hi) + 1] -
+                       prefix[static_cast<std::size_t>(lo)];
+    out[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<Complex> remove_dc(std::span<const Complex> xs) {
+  Complex m{};
+  for (const Complex& x : xs) m += x;
+  if (!xs.empty()) m /= static_cast<double>(xs.size());
+  std::vector<Complex> out(xs.begin(), xs.end());
+  for (Complex& x : out) x -= m;
+  return out;
+}
+
+std::vector<double> magnitude(std::span<const Complex> xs) {
+  std::vector<double> out(xs.size());
+  std::transform(xs.begin(), xs.end(), out.begin(),
+                 [](const Complex& x) { return std::abs(x); });
+  return out;
+}
+
+std::vector<double> diff(std::span<const double> xs) {
+  if (xs.size() < 2) return {};
+  std::vector<double> out(xs.size() - 1);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) out[i] = xs[i + 1] - xs[i];
+  return out;
+}
+
+OnePole::OnePole(double alpha) : alpha_(alpha) {
+  LFBS_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+double OnePole::step(double x) {
+  if (!primed_) {
+    y_ = x;
+    primed_ = true;
+  } else {
+    y_ += alpha_ * (x - y_);
+  }
+  return y_;
+}
+
+void OnePole::reset(double y) {
+  y_ = y;
+  primed_ = false;
+}
+
+}  // namespace lfbs::dsp

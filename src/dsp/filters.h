@@ -1,0 +1,39 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lfbs::dsp {
+
+/// Centered moving average with the given (odd) window; edges use the
+/// shrunken window that fits. Used to smooth fold histograms and |dS|.
+std::vector<double> moving_average(std::span<const double> xs,
+                                   std::size_t window);
+
+/// Subtract the complex mean from a buffer (removes the static environment
+/// reflection / carrier leakage before amplitude work).
+std::vector<Complex> remove_dc(std::span<const Complex> xs);
+
+/// |x| of each complex sample.
+std::vector<double> magnitude(std::span<const Complex> xs);
+
+/// First difference y[i] = x[i+1] - x[i]; output one sample shorter.
+std::vector<double> diff(std::span<const double> xs);
+
+/// Single-pole IIR low-pass (exponential moving average), alpha in (0, 1].
+class OnePole {
+ public:
+  explicit OnePole(double alpha);
+  double step(double x);
+  double value() const { return y_; }
+  void reset(double y = 0.0);
+
+ private:
+  double alpha_;
+  double y_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace lfbs::dsp

@@ -1,0 +1,54 @@
+#include "dsp/gaussian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::dsp {
+
+double Gaussian2D::log_pdf(Complex z) const {
+  const double one_minus_r2 = std::max(1.0 - rho * rho, 1e-12);
+  const double norm =
+      -std::log(2.0 * M_PI * sigma_i * sigma_q * std::sqrt(one_minus_r2));
+  return norm - 0.5 * mahalanobis2(z);
+}
+
+double Gaussian2D::mahalanobis2(Complex z) const {
+  const double one_minus_r2 = std::max(1.0 - rho * rho, 1e-12);
+  const double zi = (z.real() - mean_i) / sigma_i;
+  const double zq = (z.imag() - mean_q) / sigma_q;
+  return (zi * zi - 2.0 * rho * zi * zq + zq * zq) / one_minus_r2;
+}
+
+Gaussian2D fit_gaussian2d(std::span<const Complex> points, double min_sigma) {
+  LFBS_CHECK(points.size() >= 2);
+  const auto n = static_cast<double>(points.size());
+  double mi = 0.0, mq = 0.0;
+  for (const Complex& p : points) {
+    mi += p.real();
+    mq += p.imag();
+  }
+  mi /= n;
+  mq /= n;
+  double vii = 0.0, vqq = 0.0, viq = 0.0;
+  for (const Complex& p : points) {
+    const double di = p.real() - mi;
+    const double dq = p.imag() - mq;
+    vii += di * di;
+    vqq += dq * dq;
+    viq += di * dq;
+  }
+  vii /= n;
+  vqq /= n;
+  viq /= n;
+  Gaussian2D g;
+  g.mean_i = mi;
+  g.mean_q = mq;
+  g.sigma_i = std::max(std::sqrt(vii), min_sigma);
+  g.sigma_q = std::max(std::sqrt(vqq), min_sigma);
+  g.rho = std::clamp(viq / (g.sigma_i * g.sigma_q), -0.999, 0.999);
+  return g;
+}
+
+}  // namespace lfbs::dsp

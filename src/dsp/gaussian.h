@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+
+#include "common/units.h"
+
+namespace lfbs::dsp {
+
+/// Bivariate normal over the IQ plane: (Vi, Vq) ~ N(mu_i, mu_q, s_i, s_q, r),
+/// exactly the emission model of the paper's Viterbi stage (§3.5).
+struct Gaussian2D {
+  double mean_i = 0.0;
+  double mean_q = 0.0;
+  double sigma_i = 1.0;
+  double sigma_q = 1.0;
+  double rho = 0.0;  ///< correlation coefficient in (-1, 1)
+
+  /// Log probability density at the complex point z = I + jQ.
+  double log_pdf(Complex z) const;
+
+  /// Mahalanobis distance squared from the mean.
+  double mahalanobis2(Complex z) const;
+};
+
+/// Maximum-likelihood fit to a set of IQ points. Requires >= 2 points;
+/// sigmas are floored at `min_sigma` so degenerate clusters stay usable
+/// as Viterbi emissions.
+Gaussian2D fit_gaussian2d(std::span<const Complex> points,
+                          double min_sigma = 1e-6);
+
+}  // namespace lfbs::dsp

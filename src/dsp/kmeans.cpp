@@ -1,0 +1,200 @@
+#include "dsp/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lfbs::dsp {
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, subsequent ones with
+/// probability proportional to squared distance from the nearest chosen one.
+std::vector<Complex> seed_centroids(std::span<const Complex> points,
+                                    std::size_t k, Rng& rng) {
+  std::vector<Complex> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.uniform_u64(points.size())]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], std::norm(points[i] - centroids.back()));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centroids; duplicate one.
+      centroids.push_back(points[0]);
+      continue;
+    }
+    double pick = rng.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+KMeansResult lloyd(std::span<const Complex> points,
+                   std::vector<Complex> centroids,
+                   const KMeansOptions& opts) {
+  const std::size_t k = centroids.size();
+  KMeansResult result;
+  result.assignment.assign(points.size(), 0);
+  std::vector<Complex> sums(k);
+  std::vector<std::size_t> counts(k);
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    // Assign.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t bestj = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        const double d = std::norm(points[i] - centroids[j]);
+        if (d < best) {
+          best = d;
+          bestj = j;
+        }
+      }
+      result.assignment[i] = bestj;
+    }
+    // Update.
+    std::fill(sums.begin(), sums.end(), Complex{});
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[result.assignment[i]] += points[i];
+      ++counts[result.assignment[i]];
+    }
+    double motion = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (counts[j] == 0) continue;  // keep empty cluster where it was
+      const Complex next = sums[j] / static_cast<double>(counts[j]);
+      motion += std::norm(next - centroids[j]);
+      centroids[j] = next;
+    }
+    result.iterations = iter + 1;
+    if (motion < opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.centroids = std::move(centroids);
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia += std::norm(points[i] - result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const Complex> points, std::size_t k, Rng& rng,
+                    const KMeansOptions& opts) {
+  LFBS_CHECK(k >= 1);
+  LFBS_CHECK(!points.empty());
+
+  // Fit on a strided subsample when the input is very large.
+  std::vector<Complex> subsample;
+  std::span<const Complex> fit_points = points;
+  if (opts.max_fit_points > 0 && points.size() > opts.max_fit_points) {
+    const std::size_t stride = points.size() / opts.max_fit_points + 1;
+    for (std::size_t i = 0; i < points.size(); i += stride) {
+      subsample.push_back(points[i]);
+    }
+    fit_points = subsample;
+  }
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  const std::size_t restarts = std::max<std::size_t>(1, opts.restarts);
+  for (std::size_t r = 0; r < restarts; ++r) {
+    KMeansResult candidate =
+        lloyd(fit_points, seed_centroids(fit_points, k, rng), opts);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  if (fit_points.size() == points.size()) return best;
+
+  // Final pass: assign every point to the fitted centroids.
+  KMeansResult full;
+  full.centroids = best.centroids;
+  full.converged = best.converged;
+  full.iterations = best.iterations;
+  full.assignment.resize(points.size());
+  full.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double bestd = std::numeric_limits<double>::infinity();
+    std::size_t bestj = 0;
+    for (std::size_t j = 0; j < full.centroids.size(); ++j) {
+      const double d = std::norm(points[i] - full.centroids[j]);
+      if (d < bestd) {
+        bestd = d;
+        bestj = j;
+      }
+    }
+    full.assignment[i] = bestj;
+    full.inertia += bestd;
+  }
+  return full;
+}
+
+double kmeans_bic(std::span<const Complex> points, const KMeansResult& fit) {
+  const auto n = static_cast<double>(points.size());
+  const auto k = static_cast<double>(fit.centroids.size());
+  // Spherical-Gaussian variance estimate over both IQ dimensions.
+  const double dims = 2.0;
+  const double var =
+      std::max(fit.inertia / std::max(1.0, dims * (n - k)), 1e-18);
+  const double log_likelihood =
+      -0.5 * n * dims * (std::log(2.0 * M_PI * var) + 1.0);
+  // Free parameters: k 2-D means + shared variance + k-1 mixing weights.
+  const double params = k * dims + 1.0 + (k - 1.0);
+  return log_likelihood - 0.5 * params * std::log(n);
+}
+
+ModelSelection select_cluster_count(std::span<const Complex> points,
+                                    std::span<const std::size_t> candidates,
+                                    Rng& rng, const KMeansOptions& opts) {
+  LFBS_CHECK(!candidates.empty());
+  // Occam ladder: the smallest candidate whose fit is adequate wins — a fit
+  // is adequate when its RMS within-cluster residual is small against the
+  // centroid spread. (Raw BIC systematically overfits tight clusters: the
+  // likelihood gain of splitting a true cluster dwarfs the parameter
+  // penalty, so it is recorded in `scores` but not used for the choice.)
+  ModelSelection sel;
+  std::vector<std::size_t> ordered(candidates.begin(), candidates.end());
+  std::sort(ordered.begin(), ordered.end());
+  bool chosen = false;
+  for (std::size_t k : ordered) {
+    KMeansResult fit = kmeans(points, k, rng, opts);
+    sel.scores.push_back(kmeans_bic(points, fit));
+    double spread = 0.0;
+    for (std::size_t i = 0; i < fit.centroids.size(); ++i) {
+      for (std::size_t j = i + 1; j < fit.centroids.size(); ++j) {
+        spread = std::max(spread,
+                          std::abs(fit.centroids[i] - fit.centroids[j]));
+      }
+    }
+    const double rms = std::sqrt(
+        fit.inertia / static_cast<double>(std::max<std::size_t>(
+                          points.size(), 1)));
+    const bool adequate = fit.centroids.size() <= 1
+                              ? rms < 1e-12
+                              : rms <= 0.1 * spread;
+    if (!chosen && (adequate || k == ordered.back())) {
+      sel.best_k = k;
+      sel.fit = std::move(fit);
+      chosen = true;
+    }
+  }
+  return sel;
+}
+
+}  // namespace lfbs::dsp

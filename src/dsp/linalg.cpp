@@ -1,0 +1,146 @@
+#include "dsp/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::dsp {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, Complex fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Complex& Matrix::at(std::size_t r, std::size_t c) {
+  LFBS_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+const Complex& Matrix::at(std::size_t r, std::size_t c) const {
+  LFBS_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+Matrix Matrix::hermitian() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = std::conj(at(r, c));
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  LFBS_CHECK(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Complex a = at(r, k);
+      if (a == Complex{}) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out.at(r, c) += a * rhs.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> Matrix::operator*(std::span<const Complex> v) const {
+  LFBS_CHECK(cols_ == v.size());
+  std::vector<Complex> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    Complex sum{};
+    for (std::size_t c = 0; c < cols_; ++c) sum += at(r, c) * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  LFBS_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  LFBS_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+std::vector<Complex> solve(const Matrix& a, std::span<const Complex> b) {
+  LFBS_CHECK(a.rows() == a.cols());
+  LFBS_CHECK(a.rows() == b.size());
+  const std::size_t n = a.rows();
+  // Augmented working copy.
+  Matrix work = a;
+  std::vector<Complex> rhs(b.begin(), b.end());
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot on magnitude.
+    std::size_t pivot = col;
+    double best = std::abs(work.at(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(work.at(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return {};  // singular
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(work.at(pivot, c), work.at(col, c));
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    const Complex inv = 1.0 / work.at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const Complex factor = work.at(r, col) * inv;
+      if (factor == Complex{}) continue;
+      for (std::size_t c = col; c < n; ++c)
+        work.at(r, c) -= factor * work.at(col, c);
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  // Back substitution.
+  std::vector<Complex> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    Complex sum = rhs[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= work.at(i, c) * x[c];
+    x[i] = sum / work.at(i, i);
+  }
+  return x;
+}
+
+std::vector<Complex> least_squares(const Matrix& a, std::span<const Complex> b,
+                                   double ridge) {
+  LFBS_CHECK(a.rows() == b.size());
+  const Matrix ah = a.hermitian();
+  Matrix normal = ah * a;
+  for (std::size_t i = 0; i < normal.rows(); ++i) normal.at(i, i) += ridge;
+  const std::vector<Complex> rhs = ah * b;
+  return solve(normal, rhs);
+}
+
+double residual_norm(const Matrix& a, std::span<const Complex> x,
+                     std::span<const Complex> b) {
+  const std::vector<Complex> ax = a * x;
+  LFBS_CHECK(ax.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) sum += std::norm(ax[i] - b[i]);
+  return std::sqrt(sum);
+}
+
+}  // namespace lfbs::dsp

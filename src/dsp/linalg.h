@@ -1,0 +1,55 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lfbs::dsp {
+
+/// Small dense complex matrix, row major. Sized for protocol-scale problems
+/// (tens of rows/columns: Buzz channel estimation and bit recovery), not for
+/// large numerical workloads.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, Complex fill = {});
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Complex& at(std::size_t r, std::size_t c);
+  const Complex& at(std::size_t r, std::size_t c) const;
+
+  Matrix transpose() const;
+  /// Conjugate transpose.
+  Matrix hermitian() const;
+
+  Matrix operator*(const Matrix& rhs) const;
+  std::vector<Complex> operator*(std::span<const Complex> v) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting. Returns empty when A is (numerically) singular.
+std::vector<Complex> solve(const Matrix& a, std::span<const Complex> b);
+
+/// Least-squares solution of the (possibly overdetermined) system A x ≈ b
+/// via the normal equations AᴴA x = Aᴴ b, with Tikhonov damping `ridge`
+/// (0 for plain LS). Returns empty when the normal matrix is singular.
+std::vector<Complex> least_squares(const Matrix& a, std::span<const Complex> b,
+                                   double ridge = 0.0);
+
+/// Residual norm ||A x - b||₂.
+double residual_norm(const Matrix& a, std::span<const Complex> x,
+                     std::span<const Complex> b);
+
+}  // namespace lfbs::dsp

@@ -1,0 +1,83 @@
+#include "dsp/omp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::dsp {
+
+SparseSolution orthogonal_matching_pursuit(const Matrix& a,
+                                           std::span<const Complex> y,
+                                           std::size_t max_support,
+                                           double residual_tol) {
+  LFBS_CHECK(a.rows() == y.size());
+  LFBS_CHECK(max_support >= 1);
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  SparseSolution sol;
+  sol.coefficients.assign(n, Complex{});
+  std::vector<Complex> residual(y.begin(), y.end());
+  double y_norm = 0.0;
+  for (const Complex& v : y) y_norm += std::norm(v);
+  y_norm = std::sqrt(y_norm);
+  if (y_norm == 0.0) return sol;
+
+  std::vector<bool> used(n, false);
+  std::vector<Complex> coeffs;
+
+  for (std::size_t pick = 0; pick < std::min(max_support, n); ++pick) {
+    // Column with the largest correlation against the residual.
+    double best = -1.0;
+    std::size_t best_col = n;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (used[c]) continue;
+      Complex corr{};
+      double col_norm2 = 0.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        corr += std::conj(a.at(r, c)) * residual[r];
+        col_norm2 += std::norm(a.at(r, c));
+      }
+      if (col_norm2 <= 0.0) continue;
+      const double score = std::norm(corr) / col_norm2;
+      if (score > best) {
+        best = score;
+        best_col = c;
+      }
+    }
+    if (best_col == n) break;
+    used[best_col] = true;
+    sol.support.push_back(best_col);
+
+    // Re-solve LS on the chosen support.
+    Matrix sub(m, sol.support.size());
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c < sol.support.size(); ++c)
+        sub.at(r, c) = a.at(r, sol.support[c]);
+    coeffs = least_squares(sub, y);
+    if (coeffs.empty()) {
+      // Degenerate support (collinear columns) — drop the last pick.
+      sol.support.pop_back();
+      used[best_col] = true;  // but do not retry it
+      continue;
+    }
+
+    // Update residual.
+    const std::vector<Complex> approx = sub * coeffs;
+    double res_norm = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      residual[r] = y[r] - approx[r];
+      res_norm += std::norm(residual[r]);
+    }
+    sol.residual = std::sqrt(res_norm);
+    if (sol.residual < residual_tol * y_norm) break;
+  }
+
+  for (std::size_t c = 0; c < sol.support.size() && c < coeffs.size(); ++c) {
+    sol.coefficients[sol.support[c]] = coeffs[c];
+  }
+  return sol;
+}
+
+}  // namespace lfbs::dsp

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/linalg.h"
+
+namespace lfbs::dsp {
+
+/// Result of a sparse recovery.
+struct SparseSolution {
+  std::vector<Complex> coefficients;  ///< full-length, zeros off support
+  std::vector<std::size_t> support;   ///< indices chosen, in pick order
+  double residual = 0.0;              ///< final ||y - A x||₂
+};
+
+/// Orthogonal Matching Pursuit: greedy sparse solution of y ≈ A x.
+///
+/// Buzz estimates per-tag channel coefficients with compressive sensing;
+/// this is the solver our Buzz reimplementation uses when the population of
+/// potentially-present tags exceeds the number of active ones. Columns of A
+/// are the tags' known signature waveforms.
+///
+/// Stops after `max_support` picks or when the residual drops below
+/// `residual_tol` times ||y||.
+SparseSolution orthogonal_matching_pursuit(const Matrix& a,
+                                           std::span<const Complex> y,
+                                           std::size_t max_support,
+                                           double residual_tol = 1e-6);
+
+}  // namespace lfbs::dsp

@@ -1,0 +1,62 @@
+#include "dsp/peaks.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace lfbs::dsp {
+
+namespace {
+
+/// Value at circular or clamped index.
+double at(std::span<const double> xs, std::int64_t i, bool circular) {
+  const auto n = static_cast<std::int64_t>(xs.size());
+  if (circular) {
+    i = ((i % n) + n) % n;
+  } else {
+    if (i < 0 || i >= n) return -1e300;  // off the edge counts as -inf
+  }
+  return xs[static_cast<std::size_t>(i)];
+}
+
+std::size_t circular_distance(std::size_t a, std::size_t b, std::size_t n) {
+  const std::size_t d = a > b ? a - b : b - a;
+  return std::min(d, n - d);
+}
+
+}  // namespace
+
+std::vector<Peak> find_peaks(std::span<const double> xs,
+                             const PeakOptions& opts) {
+  std::vector<Peak> candidates;
+  const auto n = static_cast<std::int64_t>(xs.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double v = xs[static_cast<std::size_t>(i)];
+    if (v < opts.min_value) continue;
+    const double prev = at(xs, i - 1, opts.circular);
+    const double next = at(xs, i + 1, opts.circular);
+    // Strictly greater than the previous sample makes the first index of a
+    // plateau the candidate; >= the next allows flat-topped peaks.
+    if (v > prev && v >= next) {
+      candidates.push_back({static_cast<std::size_t>(i), v});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+
+  std::vector<Peak> accepted;
+  for (const Peak& c : candidates) {
+    const bool tooClose = std::any_of(
+        accepted.begin(), accepted.end(), [&](const Peak& a) {
+          const std::size_t d =
+              opts.circular
+                  ? circular_distance(a.index, c.index, xs.size())
+                  : (a.index > c.index ? a.index - c.index
+                                       : c.index - a.index);
+          return d < opts.min_distance;
+        });
+    if (!tooClose) accepted.push_back(c);
+  }
+  return accepted;
+}
+
+}  // namespace lfbs::dsp

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lfbs::dsp {
+
+/// A detected local maximum in a 1-D series.
+struct Peak {
+  std::size_t index = 0;
+  double value = 0.0;
+};
+
+/// Options for find_peaks.
+struct PeakOptions {
+  /// Absolute floor a sample must exceed to be a peak candidate.
+  double min_value = 0.0;
+  /// Minimum spacing between two reported peaks, in samples. When two
+  /// candidates are closer than this, the larger one wins.
+  std::size_t min_distance = 1;
+  /// When true the series is treated as circular (used for fold histograms,
+  /// where offset 0 and offset N-1 are adjacent).
+  bool circular = false;
+};
+
+/// Finds local maxima of `xs` subject to the options, sorted by descending
+/// value. A plateau reports its first index.
+std::vector<Peak> find_peaks(std::span<const double> xs,
+                             const PeakOptions& opts);
+
+}  // namespace lfbs::dsp

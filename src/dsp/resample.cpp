@@ -1,0 +1,27 @@
+#include "dsp/resample.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::dsp {
+
+std::vector<Complex> resample_linear(std::span<const Complex> input,
+                                     double input_rate, double output_rate) {
+  LFBS_CHECK(input_rate > 0.0 && output_rate > 0.0);
+  if (input.empty()) return {};
+  const double ratio = input_rate / output_rate;
+  const auto out_len = static_cast<std::size_t>(
+      std::floor(static_cast<double>(input.size() - 1) / ratio)) + 1;
+  std::vector<Complex> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double pos = static_cast<double>(i) * ratio;
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, input.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = input[lo] * (1.0 - frac) + input[hi] * frac;
+  }
+  return out;
+}
+
+}  // namespace lfbs::dsp

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lfbs::dsp {
+
+/// Linear-interpolation resampler for complex baseband.
+///
+/// Good enough for backscatter captures: the signal bandwidth (≤250 kHz of
+/// keying) sits far below any sensible capture rate, so linear
+/// interpolation distortion is negligible next to channel noise. Lets
+/// `lfbs_decode` ingest captures recorded at rates other than the decoder's
+/// nominal one (e.g. 2.4 Msps RTL-SDR recordings).
+std::vector<Complex> resample_linear(std::span<const Complex> input,
+                                     double input_rate, double output_rate);
+
+}  // namespace lfbs::dsp

@@ -1,0 +1,62 @@
+#include "dsp/viterbi.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lfbs::dsp {
+
+Viterbi::Viterbi(std::vector<std::vector<double>> transition,
+                 std::vector<double> initial)
+    : transition_(std::move(transition)), initial_(std::move(initial)) {
+  LFBS_CHECK(!initial_.empty());
+  LFBS_CHECK(transition_.size() == initial_.size());
+  for (const auto& row : transition_) {
+    LFBS_CHECK(row.size() == initial_.size());
+  }
+}
+
+Viterbi::Path Viterbi::decode(std::size_t steps,
+                              const Emission& emission) const {
+  LFBS_CHECK(steps >= 1);
+  const std::size_t n = num_states();
+  std::vector<double> score(n);
+  std::vector<std::vector<std::size_t>> backptr(
+      steps, std::vector<std::size_t>(n, 0));
+
+  for (std::size_t s = 0; s < n; ++s) {
+    score[s] = initial_[s] + emission(0, s);
+  }
+  std::vector<double> next(n);
+  for (std::size_t t = 1; t < steps; ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double best = -std::numeric_limits<double>::infinity();
+      std::size_t arg = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (transition_[i][j] <= kForbidden) continue;
+        const double cand = score[i] + transition_[i][j];
+        if (cand > best) {
+          best = cand;
+          arg = i;
+        }
+      }
+      next[j] = best + emission(t, j);
+      backptr[t][j] = arg;
+    }
+    score.swap(next);
+  }
+
+  Path path;
+  path.states.resize(steps);
+  const auto best_it = std::max_element(score.begin(), score.end());
+  path.log_score = *best_it;
+  std::size_t state = static_cast<std::size_t>(best_it - score.begin());
+  for (std::size_t t = steps; t-- > 0;) {
+    path.states[t] = state;
+    state = backptr[t][state];
+  }
+  return path;
+}
+
+}  // namespace lfbs::dsp

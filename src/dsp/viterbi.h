@@ -1,0 +1,42 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace lfbs::dsp {
+
+/// Generic Viterbi decoder over a small discrete state space.
+///
+/// The caller supplies log transition scores (use Viterbi::kForbidden for
+/// impossible transitions — e.g. a rising edge after a rising edge in the
+/// paper's 4-state edge model) and a per-step emission log-likelihood.
+class Viterbi {
+ public:
+  static constexpr double kForbidden = -1e18;
+
+  /// `transition[i][j]` is the log score of moving from state i to state j.
+  /// `initial[i]` is the log score of starting in state i.
+  Viterbi(std::vector<std::vector<double>> transition,
+          std::vector<double> initial);
+
+  std::size_t num_states() const { return initial_.size(); }
+
+  /// Emission callback: log-likelihood of the observation at `step` given
+  /// the hidden state is `state`.
+  using Emission = std::function<double(std::size_t step, std::size_t state)>;
+
+  struct Path {
+    std::vector<std::size_t> states;  ///< best state per step
+    double log_score = 0.0;           ///< total log score of the path
+  };
+
+  /// Runs the decoder over `steps` observations. Returns the most likely
+  /// state sequence. Requires steps >= 1.
+  Path decode(std::size_t steps, const Emission& emission) const;
+
+ private:
+  std::vector<std::vector<double>> transition_;
+  std::vector<double> initial_;
+};
+
+}  // namespace lfbs::dsp

@@ -1,0 +1,43 @@
+#include "energy/duty_cycle.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lfbs::energy {
+
+double SenseTransmitLoop::duty_cycle() const {
+  LFBS_CHECK(tx_rate > 0.0);
+  LFBS_CHECK(sample_rate_hz > 0.0);
+  const double tx_seconds_per_sample = bits_per_sample / tx_rate;
+  return std::min(1.0, tx_seconds_per_sample * sample_rate_hz);
+}
+
+double SenseTransmitLoop::average_power_w(const PowerModel& model,
+                                          Protocol protocol) const {
+  const double duty = duty_cycle();
+  // Blind protocols (LF-Backscatter) need no buffer: samples are clocked
+  // straight out, so the FIFO-free inventory applies. Slotted or lock-step
+  // protocols must hold samples between their transmit opportunities.
+  const bool fifo = protocol != Protocol::kLfBackscatter;
+  const double active = model.tag_power(protocol, tx_rate, fifo).total_w;
+  // Non-blind protocols cannot duty-cycle their receive path with the
+  // sensor: a Gen 2 tag must keep listening for its slot assignments, and a
+  // Buzz tag for round boundaries. This always-on listening is exactly the
+  // "several tens of uW over a simpler design" of §1.
+  double listen_w = 0.0;
+  if (protocol == Protocol::kEpcGen2) {
+    listen_w = model.config().gen2_demod_w;
+  } else if (protocol == Protocol::kBuzz) {
+    listen_w = model.config().buzz_sync_w;
+  }
+  return active * duty + (sleep_power_w + listen_w) * (1.0 - duty) +
+         sense_energy_j * sample_rate_hz;
+}
+
+double SenseTransmitLoop::effective_bitrate() const {
+  return std::min(bits_per_sample * sample_rate_hz,
+                  static_cast<double>(tx_rate));
+}
+
+}  // namespace lfbs::energy

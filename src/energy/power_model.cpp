@@ -1,0 +1,44 @@
+#include "energy/power_model.h"
+
+#include "common/check.h"
+
+namespace lfbs::energy {
+
+PowerModel::PowerModel(PowerModelConfig config) : config_(config) {
+  LFBS_CHECK(config_.toggle_energy_j > 0.0);
+}
+
+PowerEstimate PowerModel::tag_power(Protocol protocol, BitRate bitrate,
+                                    bool with_fifo) const {
+  LFBS_CHECK(bitrate > 0.0);
+  const TransistorBreakdown b = transistor_breakdown(protocol, with_fifo);
+
+  PowerEstimate p;
+  // Digital logic clocks at the bitrate, except the Gen 2 command decoder,
+  // which runs its own oversampled clock whenever the reader might speak.
+  double logic_hz = bitrate;
+  double demod_w = 0.0;
+  if (protocol == Protocol::kEpcGen2) {
+    logic_hz = config_.gen2_decode_clock_hz;
+    demod_w = config_.gen2_demod_w;
+  } else if (protocol == Protocol::kBuzz) {
+    demod_w = config_.buzz_sync_w;
+  }
+  p.digital_w = static_cast<double>(b.total()) * config_.activity *
+                config_.toggle_energy_j * logic_hz;
+  p.leakage_w = static_cast<double>(b.total()) * config_.static_power_w;
+  p.analog_w = config_.modulator_drive_w + config_.clock_base_w +
+               config_.clock_per_hz_w * bitrate + demod_w;
+  p.total_w = p.digital_w + p.leakage_w + p.analog_w;
+  return p;
+}
+
+double PowerModel::bits_per_microjoule(Protocol protocol, BitRate bitrate,
+                                       BitRate per_node_goodput,
+                                       bool with_fifo) const {
+  const PowerEstimate p = tag_power(protocol, bitrate, with_fifo);
+  // bits/s over µJ/s(=µW) gives bits/µJ.
+  return per_node_goodput / (p.total_w * 1e6);
+}
+
+}  // namespace lfbs::energy

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "common/units.h"
+#include "energy/transistor_model.h"
+
+namespace lfbs::energy {
+
+/// Activity-based tag power model (the SPICE-simulation substitute behind
+/// Fig 13).
+///
+/// Power is decomposed into
+///   - digital switching: transistors × activity × clock × toggle energy,
+///   - leakage: transistors × static power,
+///   - analog fixed costs: modulator switch driver, low-drift clock source
+///     (§3.6: e.g. the 1.2 µW PCF8523 RTC), and — for Gen 2 — the always-on
+///     command demodulation front end.
+///
+/// The constants are calibrated so the three designs land at the operating
+/// points the paper reports (LF-Backscatter ≈ 3200 bits/µJ at 100 kbps;
+/// Buzz about 20× lower at 16 nodes; Gen 2 about two orders lower); the
+/// *trends* across node count then follow from the protocols themselves.
+/// EXPERIMENTS.md records the calibration.
+struct PowerModelConfig {
+  /// Effective energy per transistor toggle (gate + wiring), joules.
+  double toggle_energy_j = 40e-15;
+  /// Leakage per transistor, watts.
+  double static_power_w = 1e-10;
+  /// Switching activity factor of the digital logic.
+  double activity = 0.15;
+  /// Fixed analog cost of driving the backscatter switch, watts.
+  double modulator_drive_w = 12e-6;
+  /// Low-drift clock source (crystal + divider chain), watts. Scales mildly
+  /// with the clocked bitrate.
+  double clock_base_w = 15e-6;
+  double clock_per_hz_w = 4e-11;
+  /// Gen 2 command demodulator/decoder front end: envelope detector plus
+  /// a ~1.92 MHz oversampled decode clock, always on between slots.
+  double gen2_demod_w = 35e-6;
+  double gen2_decode_clock_hz = 1.92e6;
+  /// Buzz lock-step synchronization receiver: tags must track the reader's
+  /// round boundaries to transmit bit-by-bit in unison (§2.2).
+  double buzz_sync_w = 25e-6;
+};
+
+struct PowerEstimate {
+  double digital_w = 0.0;
+  double leakage_w = 0.0;
+  double analog_w = 0.0;
+  double total_w = 0.0;
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(PowerModelConfig config);
+  PowerModel() : PowerModel(PowerModelConfig{}) {}
+
+  const PowerModelConfig& config() const { return config_; }
+
+  /// Tag power when transmitting at `bitrate` under the given protocol.
+  /// `with_fifo` adds the 1 kB packet buffer where the protocol needs one.
+  PowerEstimate tag_power(Protocol protocol, BitRate bitrate,
+                          bool with_fifo) const;
+
+  /// Energy efficiency in bits per microjoule: the tag's *delivered*
+  /// per-node goodput divided by its power draw. This is the Fig 13 metric.
+  double bits_per_microjoule(Protocol protocol, BitRate bitrate,
+                             BitRate per_node_goodput, bool with_fifo) const;
+
+ private:
+  PowerModelConfig config_;
+};
+
+}  // namespace lfbs::energy

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lfbs::energy {
+
+/// Tag-side hardware protocol variants compared in Table 3 / Fig 13.
+enum class Protocol {
+  kEpcGen2,        ///< full EPC Gen 2 RFID chip (Yeager et al. [23])
+  kBuzz,           ///< Buzz tag logic (lock-step retransmission)
+  kLfBackscatter,  ///< LF-Backscatter tag (modulator + clock divider only)
+};
+
+std::string protocol_name(Protocol p);
+
+/// Transistor inventory of one tag design — the Table 3 study. The paper
+/// synthesized Verilog for each protocol; here the per-component counts are
+/// reconstructed so that the totals match the published numbers exactly
+/// (22704 / 1792 / 176 without FIFO; a 1 kB FIFO adds 12288).
+struct TransistorBreakdown {
+  std::size_t control_logic = 0;   ///< protocol FSM, slot/round sequencing
+  std::size_t demodulator = 0;     ///< reader-command decode path
+  std::size_t crc = 0;             ///< CRC generation/check
+  std::size_t rng = 0;             ///< slot-pick randomizer (Gen 2 only)
+  std::size_t modulator = 0;       ///< backscatter switch driver
+  std::size_t clocking = 0;        ///< dividers / bit timers
+  std::size_t fifo = 0;            ///< packet buffer (0 or 1 kB)
+
+  std::size_t total() const {
+    return control_logic + demodulator + crc + rng + modulator + clocking +
+           fifo;
+  }
+};
+
+/// Transistors added by a 1 kB packet FIFO (Table 3: 34992-22704 = 12288).
+constexpr std::size_t kFifo1KBTransistors = 12288;
+
+/// Inventory for a protocol, with or without the 1 kB packet FIFO. LF-
+/// Backscatter never needs the FIFO (samples are clocked straight out), so
+/// `with_fifo` is ignored for it — exactly the point of Table 3.
+TransistorBreakdown transistor_breakdown(Protocol protocol, bool with_fifo);
+
+/// Convenience: the Table 3 headline number.
+std::size_t transistor_count(Protocol protocol, bool with_fifo);
+
+}  // namespace lfbs::energy

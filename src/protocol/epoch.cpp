@@ -1,0 +1,47 @@
+#include "protocol/epoch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::protocol {
+
+RatePlan RatePlan::paper_rates() {
+  return RatePlan{{0.5 * kKbps, 1.0 * kKbps, 2.0 * kKbps, 5.0 * kKbps,
+                   10.0 * kKbps, 50.0 * kKbps, 100.0 * kKbps}};
+}
+
+bool RatePlan::is_valid(BitRate rate, double tolerance) const {
+  return std::any_of(rates.begin(), rates.end(), [&](BitRate r) {
+    return std::abs(r - rate) <= tolerance * r;
+  });
+}
+
+BitRate RatePlan::snap_period(Seconds period) const {
+  LFBS_CHECK(!rates.empty());
+  LFBS_CHECK(period > 0.0);
+  const double target = 1.0 / period;
+  BitRate best = rates.front();
+  double best_err = std::abs(std::log(target / best));
+  for (BitRate r : rates) {
+    const double err = std::abs(std::log(target / r));
+    if (err < best_err) {
+      best_err = err;
+      best = r;
+    }
+  }
+  return best;
+}
+
+BitRate RatePlan::max() const {
+  LFBS_CHECK(!rates.empty());
+  return *std::max_element(rates.begin(), rates.end());
+}
+
+BitRate RatePlan::min() const {
+  LFBS_CHECK(!rates.empty());
+  return *std::min_element(rates.begin(), rates.end());
+}
+
+}  // namespace lfbs::protocol

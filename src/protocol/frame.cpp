@@ -1,0 +1,73 @@
+#include "protocol/frame.h"
+
+#include "common/check.h"
+#include "protocol/crc.h"
+
+namespace lfbs::protocol {
+
+std::vector<bool> build_frame(const std::vector<bool>& payload,
+                              const FrameConfig& config) {
+  LFBS_CHECK_MSG(payload.size() == config.payload_bits,
+                 "payload size does not match frame config");
+  std::vector<bool> bits;
+  bits.reserve(config.frame_bits());
+  bits.push_back(true);  // anchor
+  bits.insert(bits.end(), payload.begin(), payload.end());
+  const std::vector<bool> protected_bits = bits;  // anchor + payload
+  const std::vector<bool> with_crc = config.crc == CrcKind::kCrc5
+                                         ? append_crc5(protected_bits)
+                                         : append_crc16(protected_bits);
+  return with_crc;
+}
+
+ParsedFrame parse_frame(const std::vector<bool>& bits,
+                        const FrameConfig& config) {
+  ParsedFrame out;
+  if (bits.size() != config.frame_bits()) return out;
+  out.anchor_ok = bits.front();
+  out.crc_ok = config.crc == CrcKind::kCrc5 ? check_crc5(bits)
+                                            : check_crc16(bits);
+  out.payload.assign(bits.begin() + 1,
+                     bits.begin() + 1 + static_cast<std::ptrdiff_t>(
+                                            config.payload_bits));
+  return out;
+}
+
+std::vector<ParsedFrame> parse_stream(const std::vector<bool>& bits,
+                                      const FrameConfig& config) {
+  std::vector<ParsedFrame> frames;
+  const std::size_t len = config.frame_bits();
+  for (std::size_t begin = 0; begin + len <= bits.size(); begin += len) {
+    const std::vector<bool> chunk(bits.begin() + static_cast<std::ptrdiff_t>(begin),
+                                  bits.begin() + static_cast<std::ptrdiff_t>(begin + len));
+    frames.push_back(parse_frame(chunk, config));
+  }
+  return frames;
+}
+
+std::vector<ParsedFrame> scan_frames(const std::vector<bool>& bits,
+                                     const FrameConfig& config) {
+  std::vector<ParsedFrame> frames;
+  const std::size_t len = config.frame_bits();
+  std::size_t begin = 0;
+  while (begin + len <= bits.size()) {
+    // Cheap gate first: the anchor bit must be set.
+    if (!bits[begin]) {
+      ++begin;
+      continue;
+    }
+    const std::vector<bool> chunk(
+        bits.begin() + static_cast<std::ptrdiff_t>(begin),
+        bits.begin() + static_cast<std::ptrdiff_t>(begin + len));
+    ParsedFrame parsed = parse_frame(chunk, config);
+    if (parsed.valid()) {
+      frames.push_back(std::move(parsed));
+      begin += len;
+    } else {
+      ++begin;
+    }
+  }
+  return frames;
+}
+
+}  // namespace lfbs::protocol

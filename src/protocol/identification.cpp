@@ -1,0 +1,35 @@
+#include "protocol/identification.h"
+
+#include "common/check.h"
+
+namespace lfbs::protocol {
+
+std::vector<EpcId> random_epcs(std::size_t count, Rng& rng) {
+  std::set<std::vector<bool>> unique;
+  while (unique.size() < count) unique.insert(rng.bits(96));
+  return {unique.begin(), unique.end()};
+}
+
+IdentificationSession::IdentificationSession(std::vector<EpcId> population)
+    : population_(std::move(population)) {
+  LFBS_CHECK(!population_.empty());
+  for (const auto& id : population_) population_set_.insert(id);
+  LFBS_CHECK_MSG(population_set_.size() == population_.size(),
+                 "population contains duplicate EPCs");
+}
+
+void IdentificationSession::record_round(const std::vector<EpcId>& decoded,
+                                         Seconds air_time) {
+  LFBS_CHECK(air_time >= 0.0);
+  ++rounds_;
+  elapsed_ += air_time;
+  for (const auto& id : decoded) {
+    if (in_population(id)) seen_.insert(id);
+  }
+}
+
+bool IdentificationSession::in_population(const EpcId& id) const {
+  return population_set_.contains(id);
+}
+
+}  // namespace lfbs::protocol

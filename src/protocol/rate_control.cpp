@@ -1,0 +1,47 @@
+#include "protocol/rate_control.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lfbs::protocol {
+
+RateController::RateController(RatePlan plan, BitRate initial_max,
+                               Config config)
+    : plan_(std::move(plan)), current_max_(initial_max), config_(config) {
+  LFBS_CHECK(!plan_.rates.empty());
+  LFBS_CHECK(plan_.is_valid(initial_max));
+  std::sort(plan_.rates.begin(), plan_.rates.end());
+}
+
+std::optional<BitRate> RateController::on_epoch(std::size_t frames_attempted,
+                                                std::size_t frames_failed) {
+  if (frames_attempted == 0) return std::nullopt;
+  const double loss = static_cast<double>(frames_failed) /
+                      static_cast<double>(frames_attempted);
+
+  const auto it =
+      std::find_if(plan_.rates.begin(), plan_.rates.end(),
+                   [&](BitRate r) { return r >= current_max_ * (1 - 1e-9); });
+  LFBS_CHECK(it != plan_.rates.end());
+
+  if (loss > config_.lower_threshold && it != plan_.rates.begin()) {
+    clean_epochs_ = 0;
+    current_max_ = *(it - 1);
+    return current_max_;
+  }
+  if (loss < config_.raise_threshold) {
+    ++clean_epochs_;
+    if (clean_epochs_ >= config_.raise_patience &&
+        it + 1 != plan_.rates.end()) {
+      clean_epochs_ = 0;
+      current_max_ = *(it + 1);
+      return current_max_;
+    }
+  } else {
+    clean_epochs_ = 0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lfbs::protocol

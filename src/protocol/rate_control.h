@@ -1,0 +1,45 @@
+#pragma once
+#include <utility>
+
+#include <optional>
+
+#include "common/units.h"
+#include "protocol/epoch.h"
+
+namespace lfbs::protocol {
+
+/// Reader-side broadcast rate control (§3.6): after an epoch the reader may
+/// broadcast a command lowering the network's maximum bitrate to thin out
+/// edge collisions, or raise it back when the channel is clean. Only tags
+/// that implement the (optional) receive path obey; slow harvesting tags
+/// ignore the command, which is safe because their edges are sparse.
+class RateController {
+ public:
+  struct Config {
+    /// Lower the max rate when more than this fraction of frames failed.
+    double lower_threshold = 0.25;
+    /// Raise it again when fewer than this fraction failed.
+    double raise_threshold = 0.02;
+    /// Epochs of clean decoding required before raising.
+    std::size_t raise_patience = 3;
+  };
+
+  RateController(RatePlan plan, BitRate initial_max, Config config);
+  RateController(RatePlan plan, BitRate initial_max)
+      : RateController(std::move(plan), initial_max, Config{}) {}
+
+  BitRate current_max() const { return current_max_; }
+
+  /// Feed one epoch's outcome; returns the new max-rate command to
+  /// broadcast, or nullopt when nothing changes.
+  std::optional<BitRate> on_epoch(std::size_t frames_attempted,
+                                  std::size_t frames_failed);
+
+ private:
+  RatePlan plan_;
+  BitRate current_max_;
+  Config config_;
+  std::size_t clean_epochs_ = 0;
+};
+
+}  // namespace lfbs::protocol

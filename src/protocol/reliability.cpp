@@ -1,0 +1,78 @@
+#include "protocol/reliability.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace lfbs::protocol {
+
+ReliableTransfer::ReliableTransfer(std::size_t num_tags, Config config)
+    : config_(config), queues_(num_tags) {
+  LFBS_CHECK(num_tags > 0);
+}
+
+void ReliableTransfer::enqueue(std::size_t tag, std::vector<bool> payload) {
+  LFBS_CHECK(tag < queues_.size());
+  queues_[tag].push_back({std::move(payload), 0});
+}
+
+std::vector<std::vector<std::vector<bool>>> ReliableTransfer::epoch_payloads(
+    std::size_t max_frames_per_tag) {
+  LFBS_CHECK(max_frames_per_tag >= 1);
+  std::vector<std::vector<std::vector<bool>>> out(queues_.size());
+  for (std::size_t t = 0; t < queues_.size(); ++t) {
+    for (std::size_t i = 0;
+         i < std::min(max_frames_per_tag, queues_[t].size()); ++i) {
+      queues_[t][i].in_flight = true;
+      out[t].push_back(queues_[t][i].payload);
+    }
+  }
+  return out;
+}
+
+std::size_t ReliableTransfer::on_epoch_decoded(
+    const std::vector<std::vector<bool>>& decoded_payloads) {
+  ++epochs_;
+  // Multiset of confirmations, consumed as frames are matched.
+  std::multiset<std::vector<bool>> confirmations(decoded_payloads.begin(),
+                                                 decoded_payloads.end());
+  std::size_t newly = 0;
+  for (auto& queue : queues_) {
+    std::deque<PendingFrame> keep;
+    for (PendingFrame& frame : queue) {
+      if (!frame.in_flight) {
+        keep.push_back(std::move(frame));
+        continue;
+      }
+      frame.in_flight = false;
+      const auto it = confirmations.find(frame.payload);
+      if (it != confirmations.end()) {
+        confirmations.erase(it);
+        ++delivered_;
+        ++newly;
+        const std::size_t attempts = frame.attempts + 1;
+        if (latency_.size() <= attempts) latency_.resize(attempts + 1, 0);
+        ++latency_[attempts];
+        continue;
+      }
+      ++frame.attempts;
+      if (config_.max_attempts != 0 &&
+          frame.attempts >= config_.max_attempts) {
+        ++abandoned_;
+        continue;
+      }
+      keep.push_back(std::move(frame));
+    }
+    queue = std::move(keep);
+  }
+  return newly;
+}
+
+std::size_t ReliableTransfer::pending() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+}  // namespace lfbs::protocol

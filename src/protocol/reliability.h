@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lfbs::protocol {
+
+/// Link-layer reliability on top of laissez-faire transfer (§3.6).
+///
+/// The base protocol gives no delivery guarantee — tags are blind. The
+/// paper's suggested extension: after each epoch the reader broadcasts an
+/// ACK; tags that implement the (optional) receive path retransmit frames
+/// the reader did not confirm, in the next epoch, where fresh random
+/// offsets re-roll any collision. This class is the reader+tag bookkeeping
+/// for that loop; it is transport-agnostic (the caller runs the epochs).
+///
+/// Identification of frames: the reader confirms *payloads* it decoded
+/// CRC-clean. Payload equality is a safe identity here because frames carry
+/// either unique sensor data or unique EPCs; duplicate payloads across tags
+/// are handled multiset-style.
+class ReliableTransfer {
+ public:
+  struct Config {
+    /// Frames are dropped (counted as failed) after this many epochs of
+    /// retransmission. 0 means retry forever.
+    std::size_t max_attempts = 8;
+  };
+
+  ReliableTransfer(std::size_t num_tags, Config config);
+  explicit ReliableTransfer(std::size_t num_tags)
+      : ReliableTransfer(num_tags, Config{}) {}
+
+  std::size_t num_tags() const { return queues_.size(); }
+
+  /// Queues a payload for transmission by `tag`.
+  void enqueue(std::size_t tag, std::vector<bool> payload);
+
+  /// The payloads each tag should put on the air this epoch: up to
+  /// `max_frames_per_tag` head-of-line undelivered frames per tag. Marks
+  /// those frames in-flight; only in-flight frames age on feedback.
+  std::vector<std::vector<std::vector<bool>>> epoch_payloads(
+      std::size_t max_frames_per_tag);
+
+  /// Reader-side feedback after decoding one epoch: confirms delivered
+  /// payloads, ages the rest, drops frames that exhausted their attempts.
+  /// Returns the number of payloads newly confirmed.
+  std::size_t on_epoch_decoded(
+      const std::vector<std::vector<bool>>& decoded_payloads);
+
+  std::size_t pending() const;    ///< frames still awaiting delivery
+  std::size_t delivered() const { return delivered_; }
+  std::size_t abandoned() const { return abandoned_; }
+  std::size_t epochs() const { return epochs_; }
+
+  /// Delivery latency histogram: index = epochs needed (1 = first try),
+  /// value = frames delivered with that latency.
+  const std::vector<std::size_t>& latency_histogram() const {
+    return latency_;
+  }
+
+ private:
+  struct PendingFrame {
+    std::vector<bool> payload;
+    std::size_t attempts = 0;
+    bool in_flight = false;
+  };
+
+  Config config_;
+  std::vector<std::deque<PendingFrame>> queues_;
+  std::size_t delivered_ = 0;
+  std::size_t abandoned_ = 0;
+  std::size_t epochs_ = 0;
+  std::vector<std::size_t> latency_;
+};
+
+}  // namespace lfbs::protocol

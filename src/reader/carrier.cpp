@@ -1,0 +1,21 @@
+#include "reader/carrier.h"
+
+#include "common/check.h"
+
+namespace lfbs::reader {
+
+Carrier::Carrier(Seconds epoch_duration, Seconds gap)
+    : epoch_duration_(epoch_duration), gap_(gap) {
+  LFBS_CHECK(epoch_duration_ > 0.0);
+  LFBS_CHECK(gap_ >= 0.0);
+}
+
+Seconds Carrier::epoch_start(std::size_t k) const {
+  return static_cast<double>(k) * cycle();
+}
+
+Seconds Carrier::total_time(std::size_t n) const {
+  return static_cast<double>(n) * cycle();
+}
+
+}  // namespace lfbs::reader

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "common/units.h"
+
+namespace lfbs::reader {
+
+/// Carrier on/off scheduling. The reader signals epoch boundaries by
+/// shutting the carrier off for `gap` seconds and restarting it (§3.2);
+/// tags re-trigger on each restart. This class just does the time
+/// bookkeeping for a sequence of epochs.
+class Carrier {
+ public:
+  Carrier(Seconds epoch_duration, Seconds gap);
+
+  Seconds epoch_duration() const { return epoch_duration_; }
+  Seconds gap() const { return gap_; }
+  Seconds cycle() const { return epoch_duration_ + gap_; }
+
+  /// Wall-clock start of epoch `k`'s carrier-on instant.
+  Seconds epoch_start(std::size_t k) const;
+
+  /// Total air time consumed by `n` complete epochs (including gaps after
+  /// each; the final gap is counted because the carrier must drop to end
+  /// the last epoch).
+  Seconds total_time(std::size_t n) const;
+
+ private:
+  Seconds epoch_duration_;
+  Seconds gap_;
+};
+
+}  // namespace lfbs::reader

@@ -1,0 +1,88 @@
+#include "reader/receiver.h"
+
+#include <algorithm>
+#include <span>
+
+#include "common/check.h"
+
+namespace lfbs::reader {
+
+Receiver::Receiver(ReceiverConfig config, channel::ChannelModel channel)
+    : config_(config), channel_(std::move(channel)) {
+  LFBS_CHECK(config_.sample_rate > 0.0);
+  LFBS_CHECK(config_.rise_time >= 0.0);
+  LFBS_CHECK(config_.noise_power >= 0.0);
+}
+
+namespace {
+
+/// Sparse composition for large deployments: instead of rendering a dense
+/// per-tag level series (O(tags x samples)), accumulate each transition as
+/// a run of per-sample increments over its ramp into one difference array,
+/// then prefix-sum once — O(total transitions x ramp + samples).
+signal::SampleBuffer compose_sparse(
+    const channel::ChannelModel& channel,
+    std::span<const signal::StateTimeline> timelines, SampleRate fs,
+    std::size_t n, Seconds rise_time) {
+  std::vector<Complex> diff(n + 1);
+  for (std::size_t tag = 0; tag < timelines.size(); ++tag) {
+    const Complex h = channel.coefficient(tag);
+    double level = timelines[tag].initial_level();
+    for (const signal::Transition& tr : timelines[tag].transitions()) {
+      const double delta = tr.level - level;
+      level = tr.level;
+      const double half = rise_time / 2.0;
+      auto lo = static_cast<SampleIndex>((tr.time - half) * fs);
+      auto hi = static_cast<SampleIndex>((tr.time + half) * fs) + 1;
+      lo = std::clamp<SampleIndex>(lo, 0, static_cast<SampleIndex>(n));
+      hi = std::clamp<SampleIndex>(hi, 0, static_cast<SampleIndex>(n));
+      if (hi <= lo) {
+        // Instantaneous (sub-sample ramp) step.
+        if (lo < static_cast<SampleIndex>(n)) {
+          diff[static_cast<std::size_t>(lo)] += delta * h;
+        }
+        continue;
+      }
+      const Complex step = delta * h / static_cast<double>(hi - lo);
+      for (SampleIndex i = lo; i < hi; ++i) {
+        diff[static_cast<std::size_t>(i)] += step;
+      }
+    }
+  }
+  signal::SampleBuffer buffer(fs, n);
+  Complex acc = channel.environment();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += diff[i];
+    buffer[i] = acc;
+  }
+  return buffer;
+}
+
+}  // namespace
+
+signal::SampleBuffer Receiver::receive_epoch(
+    std::span<const signal::StateTimeline> timelines, Seconds duration,
+    Rng& rng) const {
+  LFBS_CHECK(duration > 0.0);
+  LFBS_CHECK_MSG(timelines.size() == channel_.num_tags(),
+                 "one timeline per registered tag required");
+  const auto n = static_cast<std::size_t>(duration * config_.sample_rate);
+
+  signal::SampleBuffer buffer(config_.sample_rate, std::size_t{0});
+  if (timelines.size() * n > config_.sparse_threshold) {
+    buffer = compose_sparse(channel_, timelines, config_.sample_rate, n,
+                            config_.rise_time);
+  } else {
+    std::vector<std::vector<double>> levels;
+    levels.reserve(timelines.size());
+    for (const auto& timeline : timelines) {
+      levels.push_back(
+          timeline.render(config_.sample_rate, n, config_.rise_time));
+    }
+    buffer = channel_.compose(config_.sample_rate, levels);
+  }
+  channel::add_awgn(buffer, config_.noise_power, rng);
+  return buffer;
+}
+
+}  // namespace lfbs::reader

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <span>
+
+#include "channel/channel_model.h"
+#include "channel/noise.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "signal/sample_buffer.h"
+#include "signal/waveform.h"
+
+namespace lfbs::reader {
+
+/// Receive front end: renders every tag's antenna-state timeline onto the
+/// ADC sample grid, pushes them through the linear channel, and adds
+/// receiver noise. The output buffer is exactly what a USRP-style reader
+/// would hand the decoder for one epoch.
+struct ReceiverConfig {
+  SampleRate sample_rate = 25.0 * kMsps;  ///< paper: USRP N210 at 25 Msps
+  /// RF-transistor switching time. 0.12 µs ≈ 3 samples at 25 Msps, matching
+  /// the paper's "an edge is roughly 3 samples wide" (§2.4).
+  Seconds rise_time = 0.12e-6;
+  /// Receiver noise power E[|n|²] added to the composed signal.
+  double noise_power = 1e-6;
+  /// Above this many tag-samples (tags x buffer length) the epoch is
+  /// composed sparsely from transitions instead of dense per-tag renders —
+  /// same physics, O(transitions) instead of O(tags x samples).
+  std::size_t sparse_threshold = 50'000'000;
+};
+
+class Receiver {
+ public:
+  Receiver(ReceiverConfig config, channel::ChannelModel channel);
+
+  const ReceiverConfig& config() const { return config_; }
+  const channel::ChannelModel& channel() const { return channel_; }
+  channel::ChannelModel& channel() { return channel_; }
+
+  /// Receives one epoch of `duration` seconds. `timelines[i]` is the
+  /// antenna-state timeline of the tag registered as channel index i; the
+  /// vector length must match the channel's tag count.
+  signal::SampleBuffer receive_epoch(
+      std::span<const signal::StateTimeline> timelines, Seconds duration,
+      Rng& rng) const;
+
+ private:
+  ReceiverConfig config_;
+  channel::ChannelModel channel_;
+};
+
+}  // namespace lfbs::reader

@@ -1,0 +1,44 @@
+#include "reader/session.h"
+
+#include "common/check.h"
+
+namespace lfbs::reader {
+
+ReaderSession::ReaderSession(SessionConfig config, AirInterface air)
+    : config_(config),
+      air_(std::move(air)),
+      carrier_(config.epoch.duration, config.epoch.gap),
+      controller_(config.decoder.rate_plan, config.epoch.max_rate,
+                  config.rate_controller) {
+  LFBS_CHECK_MSG(static_cast<bool>(air_), "an air interface is required");
+  LFBS_CHECK_MSG(config_.decoder.rate_plan.is_valid(config_.epoch.max_rate),
+                 "epoch max rate must be in the decoder's rate plan");
+}
+
+BitRate ReaderSession::current_max_rate() const {
+  return controller_.current_max();
+}
+
+core::DecodeResult ReaderSession::run_epoch() {
+  const signal::SampleBuffer buffer =
+      air_(controller_.current_max(), config_.epoch.duration);
+  const core::LfDecoder decoder(config_.decoder);
+  core::DecodeResult result = decoder.decode(buffer);
+
+  ++stats_.epochs;
+  stats_.air_time += carrier_.cycle();
+  stats_.streams += result.streams.size();
+  const std::size_t attempted = result.frames_attempted();
+  const std::size_t failed = result.frames_failed();
+  stats_.frames_valid += attempted - failed;
+  stats_.frames_failed += failed;
+
+  if (config_.rate_control) {
+    if (controller_.on_epoch(attempted, failed).has_value()) {
+      ++stats_.rate_commands;
+    }
+  }
+  return result;
+}
+
+}  // namespace lfbs::reader

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+
+#include "core/lf_decoder.h"
+#include "protocol/epoch.h"
+#include "protocol/rate_control.h"
+#include "reader/carrier.h"
+
+namespace lfbs::reader {
+
+/// High-level reader loop: carrier epochs → capture → decode → broadcast
+/// rate control. This is the object a deployment actually drives; the
+/// pieces (LfDecoder, RateController, Carrier) stay usable on their own.
+///
+/// The air interface is injected: the session asks it to run one epoch at
+/// the commanded maximum bitrate and hand back the captured samples. In the
+/// simulator that is a Scenario; on hardware it would be a carrier-gated
+/// SDR capture.
+struct SessionConfig {
+  protocol::EpochConfig epoch{};
+  core::DecoderConfig decoder{};
+  /// Enable §3.6 broadcast rate control between epochs.
+  bool rate_control = true;
+  protocol::RateController::Config rate_controller{};
+};
+
+struct SessionStats {
+  std::size_t epochs = 0;
+  std::size_t frames_valid = 0;
+  std::size_t frames_failed = 0;
+  std::size_t streams = 0;
+  Seconds air_time = 0.0;
+  std::size_t rate_commands = 0;
+
+  BitRate goodput(std::size_t payload_bits) const {
+    return air_time > 0.0 ? static_cast<double>(frames_valid * payload_bits) /
+                                air_time
+                          : 0.0;
+  }
+};
+
+class ReaderSession {
+ public:
+  /// Runs one epoch of `duration` seconds with the network's maximum
+  /// bitrate commanded to `max_rate`; returns the captured samples.
+  using AirInterface =
+      std::function<signal::SampleBuffer(BitRate max_rate, Seconds duration)>;
+
+  ReaderSession(SessionConfig config, AirInterface air);
+
+  const SessionConfig& config() const { return config_; }
+  const SessionStats& stats() const { return stats_; }
+  BitRate current_max_rate() const;
+
+  /// Runs one full epoch cycle: capture, decode, account, and (optionally)
+  /// issue a broadcast rate command for the *next* epoch.
+  core::DecodeResult run_epoch();
+
+ private:
+  SessionConfig config_;
+  AirInterface air_;
+  Carrier carrier_;
+  protocol::RateController controller_;
+  SessionStats stats_;
+};
+
+}  // namespace lfbs::reader

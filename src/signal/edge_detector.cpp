@@ -1,0 +1,113 @@
+#include "signal/edge_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dsp/peaks.h"
+#include "dsp/stats.h"
+
+namespace lfbs::signal {
+
+EdgeDetector::EdgeDetector(EdgeDetectorConfig config)
+    : config_(std::move(config)) {
+  LFBS_CHECK(config_.window >= 1);
+  LFBS_CHECK(config_.min_separation >= 1);
+}
+
+std::vector<double> EdgeDetector::differential_magnitude(
+    const SampleBuffer& buffer) const {
+  const auto xs = buffer.span();
+  const auto n = static_cast<SampleIndex>(xs.size());
+  std::vector<double> out(xs.size(), 0.0);
+  if (n == 0) return out;
+
+  // Prefix sums for O(1) windowed means.
+  std::vector<Complex> prefix(xs.size() + 1);
+  for (std::size_t i = 0; i < xs.size(); ++i) prefix[i + 1] = prefix[i] + xs[i];
+  const auto sum = [&](SampleIndex lo, SampleIndex hi) {  // [lo, hi)
+    lo = std::clamp<SampleIndex>(lo, 0, n);
+    hi = std::clamp<SampleIndex>(hi, 0, n);
+    if (hi <= lo) return Complex{};
+    return prefix[static_cast<std::size_t>(hi)] -
+           prefix[static_cast<std::size_t>(lo)];
+  };
+
+  const auto w = static_cast<SampleIndex>(config_.window);
+  const auto g = static_cast<SampleIndex>(config_.guard);
+  for (SampleIndex i = 0; i < n; ++i) {
+    const SampleIndex before_lo = i - g - w;
+    const SampleIndex before_hi = i - g;
+    const SampleIndex after_lo = i + g;
+    const SampleIndex after_hi = i + g + w;
+    const auto nb = static_cast<double>(
+        std::clamp<SampleIndex>(before_hi, 0, n) -
+        std::clamp<SampleIndex>(before_lo, 0, n));
+    const auto na = static_cast<double>(
+        std::clamp<SampleIndex>(after_hi, 0, n) -
+        std::clamp<SampleIndex>(after_lo, 0, n));
+    if (nb < 1.0 || na < 1.0) continue;  // too close to the buffer edge
+    const Complex before = sum(before_lo, before_hi) / nb;
+    const Complex after = sum(after_lo, after_hi) / na;
+    out[static_cast<std::size_t>(i)] = std::abs(after - before);
+  }
+  return out;
+}
+
+std::vector<Edge> EdgeDetector::detect(const SampleBuffer& buffer) const {
+  const std::vector<double> d = differential_magnitude(buffer);
+  if (d.empty()) return {};
+
+  // Robust threshold: edges are temporally sparse, so the median of |dS|
+  // tracks the noise floor even with many tags transmitting.
+  const double med = dsp::median(d);
+  std::vector<double> dev(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) dev[i] = std::abs(d[i] - med);
+  const double mad = dsp::median(dev);
+  const double threshold = std::max(
+      config_.min_strength, med + config_.threshold_sigma * 1.4826 * mad);
+
+  dsp::PeakOptions opts;
+  opts.min_value = threshold;
+  opts.min_distance = config_.min_separation;
+  std::vector<dsp::Peak> peaks = dsp::find_peaks(d, opts);
+
+  std::vector<Edge> edges;
+  edges.reserve(peaks.size());
+  for (const dsp::Peak& p : peaks) {
+    Edge e;
+    // Parabolic sub-sample refinement of the |dS| peak.
+    double refined = static_cast<double>(p.index);
+    if (p.index > 0 && p.index + 1 < d.size()) {
+      const double dm = d[p.index - 1];
+      const double d0 = d[p.index];
+      const double dp = d[p.index + 1];
+      const double denom = dm - 2.0 * d0 + dp;
+      if (denom < -1e-18) {
+        const double shift = 0.5 * (dm - dp) / denom;
+        if (std::abs(shift) <= 1.0) refined += shift;
+      }
+    }
+    e.position = refined;
+    e.differential =
+        differential_at(buffer.span(), static_cast<SampleIndex>(std::llround(refined)),
+                        config_.window, config_.guard);
+    e.strength = std::abs(e.differential);
+    edges.push_back(e);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.position < b.position; });
+  return edges;
+}
+
+Complex EdgeDetector::differential_at(std::span<const Complex> samples,
+                                      SampleIndex position, std::size_t window,
+                                      std::size_t guard) {
+  const auto g = static_cast<SampleIndex>(guard);
+  const Complex before =
+      windowed_mean_before(samples, position - g, window);
+  const Complex after = windowed_mean_after(samples, position + g, window);
+  return after - before;
+}
+
+}  // namespace lfbs::signal

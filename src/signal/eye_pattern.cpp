@@ -1,0 +1,73 @@
+#include "signal/eye_pattern.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "dsp/peaks.h"
+#include "dsp/stats.h"
+
+namespace lfbs::signal {
+
+EyePattern::EyePattern(double period_samples, std::size_t bins)
+    : period_(period_samples), bins_(bins), accum_(bins, 0.0) {
+  LFBS_CHECK(period_ > 0.0);
+  LFBS_CHECK(bins_ >= 2);
+}
+
+void EyePattern::fold_series(std::span<const double> series) {
+  const double scale = static_cast<double>(bins_) / period_;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double offset = std::fmod(static_cast<double>(i), period_);
+    auto bin = static_cast<std::size_t>(offset * scale);
+    if (bin >= bins_) bin = bins_ - 1;
+    accum_[bin] += series[i];
+  }
+}
+
+void EyePattern::fold_edges(std::span<const Edge> edges) {
+  const double scale = static_cast<double>(bins_) / period_;
+  for (const Edge& e : edges) {
+    const double offset =
+        std::fmod(static_cast<double>(e.position), period_);
+    auto bin = static_cast<std::size_t>(offset * scale);
+    if (bin >= bins_) bin = bins_ - 1;
+    accum_[bin] += e.strength;
+  }
+}
+
+std::vector<double> EyePattern::peak_offsets(
+    double min_ratio, double min_separation_samples) const {
+  const double avg = dsp::mean(accum_);
+  dsp::PeakOptions opts;
+  opts.min_value = std::max(avg * min_ratio, 1e-12);
+  opts.min_distance = std::max<std::size_t>(
+      1, static_cast<std::size_t>(min_separation_samples / bin_width()));
+  opts.circular = true;
+  const std::vector<dsp::Peak> peaks = dsp::find_peaks(accum_, opts);
+
+  std::vector<double> offsets;
+  offsets.reserve(peaks.size());
+  for (const dsp::Peak& p : peaks) {
+    // Centroid refinement over the peak bin and its circular neighbours.
+    const auto n = static_cast<std::int64_t>(bins_);
+    double weight = 0.0;
+    double moment = 0.0;
+    for (std::int64_t di = -1; di <= 1; ++di) {
+      const auto idx = static_cast<std::size_t>(
+          ((static_cast<std::int64_t>(p.index) + di) % n + n) % n);
+      weight += accum_[idx];
+      moment += accum_[idx] * static_cast<double>(di);
+    }
+    const double refined =
+        static_cast<double>(p.index) + (weight > 0.0 ? moment / weight : 0.0);
+    double offset = (refined + 0.5) * bin_width();
+    offset = std::fmod(offset + period_, period_);
+    offsets.push_back(offset);
+  }
+  return offsets;
+}
+
+void EyePattern::reset() { std::fill(accum_.begin(), accum_.end(), 0.0); }
+
+}  // namespace lfbs::signal

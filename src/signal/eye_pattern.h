@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "signal/edge_detector.h"
+
+namespace lfbs::signal {
+
+/// Eye-pattern folding (§3.2): samples of the edge-strength series are
+/// accumulated modulo a candidate bit period. A real stream at that period
+/// piles all of its edges onto one fold offset, standing out of the noise;
+/// spurious edges spread uniformly and average away.
+class EyePattern {
+ public:
+  /// `period_samples` may be fractional (bit periods rarely land on an
+  /// integer number of ADC samples); `bins` controls offset resolution.
+  EyePattern(double period_samples, std::size_t bins);
+
+  double period_samples() const { return period_; }
+  std::size_t bins() const { return bins_; }
+  /// Width of one fold bin, in samples.
+  double bin_width() const { return period_ / static_cast<double>(bins_); }
+
+  /// Folds a per-sample magnitude series (e.g. |dS|) into the accumulator.
+  void fold_series(std::span<const double> series);
+
+  /// Folds discrete edges, weighting each bin by edge strength.
+  void fold_edges(std::span<const Edge> edges);
+
+  /// Accumulated fold histogram (length == bins()).
+  const std::vector<double>& histogram() const { return accum_; }
+
+  /// Offsets (in samples, within [0, period)) of fold peaks at least
+  /// `min_ratio` times the histogram mean, separated by at least
+  /// `min_separation_samples`. Sorted by descending peak value.
+  std::vector<double> peak_offsets(double min_ratio,
+                                   double min_separation_samples) const;
+
+  void reset();
+
+ private:
+  double period_;
+  std::size_t bins_;
+  std::vector<double> accum_;
+};
+
+}  // namespace lfbs::signal

@@ -1,0 +1,59 @@
+#include "signal/iq_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lfbs::signal {
+
+void save_iq(const SampleBuffer& buffer, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  LFBS_CHECK_MSG(out.good(), "cannot open IQ file for writing: " + path);
+
+  out.write(kIqMagic, sizeof kIqMagic);
+  const double fs = buffer.sample_rate();
+  out.write(reinterpret_cast<const char*>(&fs), sizeof fs);
+  const std::uint64_t count = buffer.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+
+  std::vector<float> interleaved(2 * buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    interleaved[2 * i] = static_cast<float>(buffer[i].real());
+    interleaved[2 * i + 1] = static_cast<float>(buffer[i].imag());
+  }
+  out.write(reinterpret_cast<const char*>(interleaved.data()),
+            static_cast<std::streamsize>(interleaved.size() * sizeof(float)));
+  LFBS_CHECK_MSG(out.good(), "short write to IQ file: " + path);
+}
+
+SampleBuffer load_iq(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LFBS_CHECK_MSG(in.good(), "cannot open IQ file: " + path);
+
+  char magic[sizeof kIqMagic];
+  in.read(magic, sizeof magic);
+  LFBS_CHECK_MSG(in.good() && std::memcmp(magic, kIqMagic, sizeof magic) == 0,
+                 "not an LFBSIQ1 capture: " + path);
+  double fs = 0.0;
+  in.read(reinterpret_cast<char*>(&fs), sizeof fs);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  LFBS_CHECK_MSG(in.good() && fs > 0.0, "malformed IQ header: " + path);
+
+  std::vector<float> interleaved(2 * count);
+  in.read(reinterpret_cast<char*>(interleaved.data()),
+          static_cast<std::streamsize>(interleaved.size() * sizeof(float)));
+  LFBS_CHECK_MSG(in.good() || count == 0, "truncated IQ payload: " + path);
+
+  std::vector<Complex> samples(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    samples[i] = {static_cast<double>(interleaved[2 * i]),
+                  static_cast<double>(interleaved[2 * i + 1])};
+  }
+  return SampleBuffer(fs, std::move(samples));
+}
+
+}  // namespace lfbs::signal

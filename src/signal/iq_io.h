@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+
+#include "signal/sample_buffer.h"
+
+namespace lfbs::signal {
+
+/// Simple IQ capture file format, so decoded experiments can be saved and
+/// replayed — and so real captures (e.g. converted from a UHD recording)
+/// can be fed through the decoder unchanged.
+///
+/// Layout (little-endian):
+///   bytes 0..7   magic "LFBSIQ1\0"
+///   bytes 8..15  sample rate, IEEE-754 double
+///   bytes 16..23 sample count N, uint64
+///   then N interleaved float32 pairs (I, Q)
+///
+/// float32 payload halves the file size against the in-memory double
+/// representation; backscatter dynamic range fits comfortably.
+constexpr char kIqMagic[8] = {'L', 'F', 'B', 'S', 'I', 'Q', '1', '\0'};
+
+/// Writes a buffer to `path`. Throws CheckError on I/O failure.
+void save_iq(const SampleBuffer& buffer, const std::string& path);
+
+/// Reads a capture back. Throws CheckError on I/O failure or a malformed
+/// header.
+SampleBuffer load_iq(const std::string& path);
+
+}  // namespace lfbs::signal

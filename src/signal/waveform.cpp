@@ -1,0 +1,75 @@
+#include "signal/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::signal {
+
+void StateTimeline::add(Seconds time, double level) {
+  LFBS_CHECK(transitions_.empty() || time >= transitions_.back().time);
+  // Coalesce a transition to the current level into nothing.
+  const double current =
+      transitions_.empty() ? initial_ : transitions_.back().level;
+  if (level == current) return;
+  transitions_.push_back({time, level});
+}
+
+double StateTimeline::level_at(Seconds t) const {
+  double level = initial_;
+  for (const Transition& tr : transitions_) {
+    if (tr.time > t) break;
+    level = tr.level;
+  }
+  return level;
+}
+
+std::vector<double> StateTimeline::render(SampleRate fs, std::size_t n,
+                                          Seconds rise_time) const {
+  LFBS_CHECK(fs > 0.0);
+  LFBS_CHECK(rise_time >= 0.0);
+  std::vector<double> out(n);
+  double level = initial_;
+  const double half = rise_time / 2.0;
+  SampleIndex cursor = 0;  // next sample to fill
+  for (const Transition& tr : transitions_) {
+    const auto ramp_begin = std::clamp<SampleIndex>(
+        static_cast<SampleIndex>((tr.time - half) * fs), 0,
+        static_cast<SampleIndex>(n));
+    const auto ramp_end = std::clamp<SampleIndex>(
+        static_cast<SampleIndex>((tr.time + half) * fs) + 1, 0,
+        static_cast<SampleIndex>(n));
+    // Constant segment up to the ramp, then a linear blend inside it.
+    for (SampleIndex i = cursor; i < ramp_begin; ++i)
+      out[static_cast<std::size_t>(i)] = level;
+    for (SampleIndex i = std::max(cursor, ramp_begin); i < ramp_end; ++i) {
+      const double t = static_cast<double>(i) / fs;
+      double frac =
+          rise_time > 0.0 ? (t - (tr.time - half)) / rise_time : 1.0;
+      frac = std::clamp(frac, 0.0, 1.0);
+      out[static_cast<std::size_t>(i)] = level + (tr.level - level) * frac;
+    }
+    cursor = std::max(cursor, ramp_end);
+    level = tr.level;
+  }
+  for (SampleIndex i = cursor; i < static_cast<SampleIndex>(n); ++i)
+    out[static_cast<std::size_t>(i)] = level;
+  return out;
+}
+
+StateTimeline nrz_timeline(const std::vector<bool>& bits, Seconds start,
+                           Seconds period) {
+  LFBS_CHECK(period > 0.0);
+  StateTimeline timeline(0.0);
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    timeline.add(start + static_cast<double>(k) * period,
+                 bits[k] ? 1.0 : 0.0);
+  }
+  if (!bits.empty()) {
+    timeline.add(start + static_cast<double>(bits.size()) * period, 0.0);
+  }
+  return timeline;
+}
+
+}  // namespace lfbs::signal

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace lfbs::signal {
+
+/// One antenna-state change of a tag: at `time` seconds the antenna moves to
+/// `level` (0 = detuned, 1 = tuned). Levels between transitions are constant.
+struct Transition {
+  Seconds time = 0.0;
+  double level = 0.0;
+};
+
+/// Antenna-state timeline for one tag over one epoch.
+///
+/// Tags express their transmission as a sequence of transitions; the
+/// receiver renders the timeline onto its sample grid. Finite switching
+/// speed of the RF transistor is modelled as a linear ramp of `rise_time`
+/// seconds centred on the transition — this is what makes an edge "about 3
+/// samples wide" at 25 Msps (§2.4).
+class StateTimeline {
+ public:
+  StateTimeline() = default;
+  explicit StateTimeline(double initial_level) : initial_(initial_level) {}
+
+  /// Appends a transition; times must be non-decreasing.
+  void add(Seconds time, double level);
+
+  double initial_level() const { return initial_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  bool empty() const { return transitions_.empty(); }
+
+  /// Antenna level at time t with instantaneous switching.
+  double level_at(Seconds t) const;
+
+  /// Renders the timeline into `n` per-sample antenna levels at rate fs,
+  /// with linear ramps of rise_time seconds at each transition.
+  std::vector<double> render(SampleRate fs, std::size_t n,
+                             Seconds rise_time) const;
+
+ private:
+  double initial_ = 0.0;
+  std::vector<Transition> transitions_;
+};
+
+/// Builds the NRZ-ASK timeline for a bit sequence: level = bit value, one
+/// bit per period. `start` is the time of the first bit's leading boundary
+/// and `period` the (possibly drift-adjusted) bit duration. The tag idles at
+/// level 0 before `start` and returns to 0 after the last bit.
+StateTimeline nrz_timeline(const std::vector<bool>& bits, Seconds start,
+                           Seconds period);
+
+}  // namespace lfbs::signal

@@ -1,0 +1,55 @@
+#include "sim/collision_math.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lfbs::sim {
+
+namespace {
+
+double binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0.0;
+  double result = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    result *= static_cast<double>(n - i) / static_cast<double>(i + 1);
+  }
+  return result;
+}
+
+}  // namespace
+
+double CollisionModel::collision_probability(std::size_t k) const {
+  LFBS_CHECK(k >= 1 && k <= num_tags);
+  // A pair collides when offsets land within ±edge_width and the other
+  // tag actually toggles at the shared boundary.
+  const double p = toggle_probability * 2.0 * edge_width / samples_per_bit;
+  const auto others = num_tags - 1;
+  return binomial(others, k - 1) * std::pow(p, static_cast<double>(k - 1)) *
+         std::pow(1.0 - p, static_cast<double>(others - (k - 1)));
+}
+
+double CollisionModel::monte_carlo(std::size_t k, std::size_t trials,
+                                   Rng& rng) const {
+  LFBS_CHECK(k >= 1 && k <= num_tags);
+  LFBS_CHECK(trials > 0);
+  std::size_t hits = 0;
+  std::vector<double> offsets(num_tags);
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (double& o : offsets) o = rng.uniform(0.0, samples_per_bit);
+    // Tag 0's edge; count the toggling others whose offset lands within one
+    // edge width (circularly).
+    std::size_t overlapping = 0;
+    for (std::size_t i = 1; i < num_tags; ++i) {
+      if (!rng.bernoulli(toggle_probability)) continue;
+      double d = std::fmod(std::abs(offsets[i] - offsets[0]), samples_per_bit);
+      d = std::min(d, samples_per_bit - d);
+      if (d < edge_width) ++overlapping;
+    }
+    if (overlapping == k - 1) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace lfbs::sim

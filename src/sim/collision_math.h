@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lfbs::sim {
+
+/// Closed-form and Monte-Carlo collision analysis of §2.4.
+///
+/// Model: n tags pick start offsets uniformly in one bit period of
+/// `samples_per_bit` reader samples; an edge occupies `edge_width` samples;
+/// at any boundary a tag toggles with probability `toggle_probability`
+/// (random payloads toggle half the time). Two edges collide when their
+/// offsets land within one edge width.
+struct CollisionModel {
+  std::size_t num_tags = 16;
+  double samples_per_bit = 250.0;  ///< 25 Msps / 100 kbps
+  double edge_width = 3.0;         ///< §2.4: "roughly 3 samples wide"
+  double toggle_probability = 0.5;
+
+  /// How many edges fit one bit period "stacked one after the other" —
+  /// the paper's 250/3 ≈ 83 headline.
+  double edge_capacity() const { return samples_per_bit / edge_width; }
+
+  /// Closed form: probability that a given tag's edge overlaps the edge of
+  /// exactly k-1 other toggling tags (binomial over the n-1 others with
+  /// per-pair probability toggle_probability · edge_width / samples_per_bit).
+  double collision_probability(std::size_t k) const;
+
+  /// Monte-Carlo estimate of the same quantity over `trials` epochs.
+  double monte_carlo(std::size_t k, std::size_t trials, Rng& rng) const;
+};
+
+}  // namespace lfbs::sim

@@ -1,0 +1,42 @@
+#include "sim/metrics.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace lfbs::sim {
+
+void ThroughputMeter::add(std::size_t bits_delivered, Seconds air_time) {
+  LFBS_CHECK(air_time >= 0.0);
+  bits_ += bits_delivered;
+  time_ += air_time;
+}
+
+BitRate ThroughputMeter::goodput() const {
+  return time_ > 0.0 ? static_cast<double>(bits_) / time_ : 0.0;
+}
+
+void BerMeter::add(std::size_t errors, std::size_t bits) {
+  LFBS_CHECK(errors <= bits);
+  errors_ += errors;
+  bits_ += bits;
+}
+
+void BerMeter::compare(const std::vector<bool>& sent,
+                       const std::vector<bool>& got) {
+  const std::size_t n = std::min(sent.size(), got.size());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sent[i] != got[i]) ++errors;
+  }
+  // Bits missing entirely from the decode count as errors.
+  errors += sent.size() - n;
+  add(errors, sent.size());
+}
+
+double BerMeter::ber() const {
+  return bits_ > 0 ? static_cast<double>(errors_) / static_cast<double>(bits_)
+                   : 0.0;
+}
+
+}  // namespace lfbs::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lfbs::sim {
+
+/// Accumulates goodput over a sequence of epochs/rounds.
+class ThroughputMeter {
+ public:
+  void add(std::size_t bits_delivered, Seconds air_time);
+
+  std::size_t bits() const { return bits_; }
+  Seconds time() const { return time_; }
+  /// Delivered bits per second of air time; 0 before any time accrues.
+  BitRate goodput() const;
+
+ private:
+  std::size_t bits_ = 0;
+  Seconds time_ = 0.0;
+};
+
+/// Accumulates bit errors for BER curves (Fig 14).
+class BerMeter {
+ public:
+  void add(std::size_t errors, std::size_t bits);
+  /// Convenience: compare two bit strings of equal length.
+  void compare(const std::vector<bool>& sent, const std::vector<bool>& got);
+
+  std::size_t errors() const { return errors_; }
+  std::size_t bits() const { return bits_; }
+  double ber() const;
+
+ private:
+  std::size_t errors_ = 0;
+  std::size_t bits_ = 0;
+};
+
+}  // namespace lfbs::sim

@@ -1,0 +1,103 @@
+#include "sim/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lfbs::sim {
+
+namespace {
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+}
+
+AsciiPlot::AsciiPlot(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  LFBS_CHECK(width_ >= 10 && height_ >= 4);
+}
+
+void AsciiPlot::add_series(const std::string& name, std::vector<double> xs,
+                           std::vector<double> ys) {
+  LFBS_CHECK(xs.size() == ys.size());
+  LFBS_CHECK(!xs.empty());
+  Series s;
+  s.name = name;
+  s.xs = std::move(xs);
+  s.ys = std::move(ys);
+  s.glyph = kGlyphs[series_.size() % sizeof kGlyphs];
+  series_.push_back(std::move(s));
+}
+
+void AsciiPlot::print(std::ostream& os) const {
+  if (series_.empty()) return;
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = std::numeric_limits<double>::infinity(), ymax = -ymin;
+  for (const Series& s : series_) {
+    for (double x : s.xs) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+    }
+    for (double y : s.ys) {
+      if (log_y_ && y <= 0.0) continue;
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (!std::isfinite(ymin)) {
+    ymin = 0.0;
+    ymax = 1.0;
+  }
+  if (log_y_) {
+    ymin = std::log10(ymin);
+    ymax = std::log10(ymax);
+    ymin -= 0.5;  // floor for clamped zero values
+  }
+  if (xmax - xmin < 1e-12) xmax = xmin + 1.0;
+  if (ymax - ymin < 1e-12) ymax = ymin + 1.0;
+
+  std::vector<std::string> canvas(height_, std::string(width_, ' '));
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      double y = s.ys[i];
+      if (log_y_) y = y > 0.0 ? std::log10(y) : ymin;
+      const auto col = static_cast<std::size_t>(
+          std::lround((s.xs[i] - xmin) / (xmax - xmin) *
+                      static_cast<double>(width_ - 1)));
+      const auto row = static_cast<std::size_t>(
+          std::lround((1.0 - (y - ymin) / (ymax - ymin)) *
+                      static_cast<double>(height_ - 1)));
+      canvas[std::min(row, height_ - 1)][std::min(col, width_ - 1)] = s.glyph;
+    }
+  }
+
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3g", log_y_ ? std::pow(10.0, ymax) : ymax);
+  os << std::string(10 - std::min<std::size_t>(9, std::string(buf).size()),
+                    ' ')
+     << buf << " +" << std::string(width_, '-') << "+\n";
+  for (const std::string& row : canvas) {
+    os << std::string(11, ' ') << '|' << row << "|\n";
+  }
+  std::snprintf(buf, sizeof buf, "%.3g", log_y_ ? std::pow(10.0, ymin) : ymin);
+  os << std::string(10 - std::min<std::size_t>(9, std::string(buf).size()),
+                    ' ')
+     << buf << " +" << std::string(width_, '-') << "+\n";
+  std::snprintf(buf, sizeof buf, "%.4g", xmin);
+  std::string footer = std::string(12, ' ') + buf;
+  std::snprintf(buf, sizeof buf, "%.4g", xmax);
+  const std::string right(buf);
+  if (footer.size() + right.size() + 1 < 12 + width_) {
+    footer += std::string(12 + width_ - footer.size() - right.size(), ' ');
+    footer += right;
+  }
+  os << footer << "\n  legend: ";
+  for (const Series& s : series_) {
+    os << s.glyph << "=" << s.name << "  ";
+  }
+  os << "\n";
+}
+
+}  // namespace lfbs::sim

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace lfbs::sim {
+
+/// Minimal ASCII line/series plot so the figure benches can show *shapes*
+/// (rise, crash, waterfall) directly in the terminal, next to the tables.
+class AsciiPlot {
+ public:
+  /// `height` rows by `width` columns of plotting area.
+  AsciiPlot(std::size_t width, std::size_t height);
+
+  /// Adds a named series; x values must be ascending. Each series is drawn
+  /// with its own glyph ('*', 'o', '+', 'x', ...).
+  void add_series(const std::string& name, std::vector<double> xs,
+                  std::vector<double> ys);
+
+  /// Use a log10 y-axis (for BER-style plots). Non-positive values clamp to
+  /// the axis floor.
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> xs, ys;
+    char glyph;
+  };
+  std::size_t width_;
+  std::size_t height_;
+  bool log_y_ = false;
+  std::vector<Series> series_;
+};
+
+}  // namespace lfbs::sim

@@ -1,0 +1,144 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace lfbs::sim {
+
+namespace {
+
+reader::Receiver build_receiver(const ScenarioConfig& config,
+                                std::vector<double>* energies, Rng& rng) {
+  channel::ChannelModel channel;
+  for (std::size_t i = 0; i < config.num_tags; ++i) {
+    channel::TagPlacement placement;
+    placement.distance_m =
+        std::max(0.3, rng.gaussian(config.mean_distance_m,
+                                   config.distance_spread_m / 2.0));
+    placement.orientation_rad = rng.uniform(-0.6, 0.6);
+    placement.reflection_phase = rng.uniform(0.0, 6.283185307179586);
+    channel.add_tag(placement, rng);
+    // Comparator energy tracks the link budget of the placement.
+    energies->push_back(
+        rng.uniform(1.0 - config.energy_spread, 1.0 + config.energy_spread));
+  }
+  // Scale amplitudes into a convenient range against the noise floor.
+  for (std::size_t i = 0; i < config.num_tags; ++i) {
+    channel.set_coefficient(
+        i, channel.coefficient(i) * config.amplitude_scale *
+               config.mean_distance_m * config.mean_distance_m);
+  }
+  reader::ReceiverConfig rc;
+  rc.sample_rate = config.sample_rate;
+  rc.noise_power = config.noise_power;
+  return reader::Receiver(rc, std::move(channel));
+}
+
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig config, Rng& rng)
+    : config_(std::move(config)),
+      receiver_(reader::ReceiverConfig{}, channel::ChannelModel{}) {
+  LFBS_CHECK(config_.num_tags > 0);
+  LFBS_CHECK(!config_.rates.empty());
+  std::vector<double> energies;
+  receiver_ = build_receiver(config_, &energies, rng);
+  for (std::size_t i = 0; i < config_.num_tags; ++i) {
+    tag::TagConfig tc;
+    tc.rate = rate_of(i);
+    tc.clock.drift_ppm = config_.clock_drift_ppm;
+    tc.incoming_energy = energies[i];
+    tags_.emplace_back(tc, rng);
+  }
+}
+
+BitRate Scenario::rate_of(std::size_t tag) const {
+  LFBS_CHECK(tag < config_.num_tags);
+  return config_.rates[std::min(tag, config_.rates.size() - 1)];
+}
+
+Complex Scenario::coefficient(std::size_t tag) const {
+  return receiver_.channel().coefficient(tag);
+}
+
+core::DecoderConfig Scenario::default_decoder() const {
+  core::DecoderConfig dc;
+  dc.frame = config_.frame;
+  dc.rate_plan = protocol::RatePlan::paper_rates();
+  for (BitRate r : config_.rates) {
+    if (!dc.rate_plan.is_valid(r)) dc.rate_plan.rates.push_back(r);
+  }
+  dc.max_rate = dc.rate_plan.max();
+  return dc;
+}
+
+EpochOutcome Scenario::run_epoch(const core::DecoderConfig& decoder_config,
+                                 Rng& rng, std::size_t frames_per_tag) {
+  std::vector<std::vector<std::vector<bool>>> payloads(tags_.size());
+  for (auto& per_tag : payloads) {
+    for (std::size_t f = 0; f < frames_per_tag; ++f) {
+      per_tag.push_back(rng.bits(config_.frame.payload_bits));
+    }
+  }
+  return run_epoch_with_payloads(decoder_config, payloads, rng);
+}
+
+signal::SampleBuffer Scenario::capture_epoch(
+    const std::vector<std::vector<std::vector<bool>>>& payloads_per_tag,
+    Rng& rng, BitRate max_rate) {
+  LFBS_CHECK(payloads_per_tag.size() == tags_.size());
+  std::vector<signal::StateTimeline> timelines;
+  timelines.reserve(tags_.size());
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (max_rate > 0.0) tags_[i].apply_rate_command(max_rate);
+    std::vector<std::vector<bool>> frames;
+    frames.reserve(payloads_per_tag[i].size());
+    for (const auto& payload : payloads_per_tag[i]) {
+      LFBS_CHECK(payload.size() == config_.frame.payload_bits);
+      frames.push_back(protocol::build_frame(payload, config_.frame));
+    }
+    const tag::EpochTransmission tx =
+        tags_[i].transmit_epoch(frames, config_.epoch_duration, rng);
+    timelines.push_back(tx.timeline);
+  }
+  return receiver_.receive_epoch(timelines, config_.epoch_duration, rng);
+}
+
+EpochOutcome Scenario::run_epoch_with_payloads(
+    const core::DecoderConfig& decoder_config,
+    const std::vector<std::vector<std::vector<bool>>>& payloads_per_tag,
+    Rng& rng) {
+  LFBS_CHECK(payloads_per_tag.size() == tags_.size());
+  EpochOutcome outcome;
+  outcome.duration = config_.epoch_duration;
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    for (const auto& payload : payloads_per_tag[i]) {
+      outcome.sent_payloads.push_back(payload);
+      outcome.bits_sent += payload.size();
+    }
+  }
+
+  const signal::SampleBuffer buffer = capture_epoch(payloads_per_tag, rng);
+  const core::LfDecoder decoder(decoder_config);
+  outcome.decode = decoder.decode(buffer);
+
+  // Match recovered payloads against what was sent. Multiset semantics:
+  // two tags sending the same payload need two recoveries.
+  std::multiset<std::vector<bool>> recovered;
+  for (const auto& payload : outcome.decode.valid_payloads()) {
+    recovered.insert(payload);
+  }
+  for (const auto& sent : outcome.sent_payloads) {
+    const auto it = recovered.find(sent);
+    if (it != recovered.end()) {
+      recovered.erase(it);
+      ++outcome.payloads_recovered;
+      outcome.bits_recovered += sent.size();
+    }
+  }
+  return outcome;
+}
+
+}  // namespace lfbs::sim

@@ -1,0 +1,70 @@
+#include "sim/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace lfbs::sim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  LFBS_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  LFBS_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_ratio(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1fx", value);
+  return buf;
+}
+
+std::string fmt_percent(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f%%", value * 100.0);
+  return buf;
+}
+
+void print_banner(const std::string& id, const std::string& caption,
+                  const std::string& setup, std::ostream& os) {
+  os << "\n=== " << id << " — " << caption << " ===\n";
+  if (!setup.empty()) os << "setup: " << setup << "\n";
+  os << '\n';
+}
+
+}  // namespace lfbs::sim

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace lfbs::sim {
+
+/// Minimal aligned ASCII table for the bench binaries: every experiment
+/// prints the same rows/series its paper table or figure reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting helpers for bench output.
+std::string fmt(double value, int precision = 2);
+std::string fmt_ratio(double value);    ///< "7.9x"
+std::string fmt_percent(double value);  ///< 0.805 -> "80.5%"
+
+/// Prints a figure/table banner: id, paper caption, and our setup note.
+void print_banner(const std::string& id, const std::string& caption,
+                  const std::string& setup, std::ostream& os = std::cout);
+
+}  // namespace lfbs::sim

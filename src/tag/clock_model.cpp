@@ -1,0 +1,22 @@
+#include "tag/clock_model.h"
+
+#include "common/check.h"
+
+namespace lfbs::tag {
+
+ClockModel::ClockModel(Config config, Rng& rng) : config_(config) {
+  LFBS_CHECK(config_.drift_ppm >= 0.0);
+  LFBS_CHECK(config_.jitter_ppm >= 0.0);
+  actual_ppm_ = rng.uniform(-config_.drift_ppm, config_.drift_ppm);
+}
+
+Seconds ClockModel::stretched(Seconds nominal) const {
+  return nominal * (1.0 + actual_ppm_ * 1e-6);
+}
+
+Seconds ClockModel::next_cycle(Seconds nominal, Rng& rng) const {
+  const double jitter = rng.gaussian(0.0, config_.jitter_ppm * 1e-6);
+  return nominal * (1.0 + actual_ppm_ * 1e-6 + jitter);
+}
+
+}  // namespace lfbs::tag

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lfbs::tag {
+
+/// Imperfect tag clock. A tag's bit period is its nominal period stretched
+/// by a fixed per-device frequency error (crystal tolerance, drawn once at
+/// construction) plus white cycle-to-cycle jitter.
+///
+/// Paper context: the Moo's internal DCO drifts ~40,000 ppm — unusable — so
+/// the prototype uses an external crystal with ~150 ppm drift; the decoder
+/// tolerates about 200 ppm (§4.1).
+class ClockModel {
+ public:
+  struct Config {
+    double drift_ppm = 150.0;   ///< max |frequency error|, uniformly drawn
+    double jitter_ppm = 5.0;    ///< white per-cycle jitter (1σ)
+  };
+
+  ClockModel(Config config, Rng& rng);
+
+  /// The device's actual frequency error in ppm (fixed for its lifetime).
+  double actual_ppm() const { return actual_ppm_; }
+
+  /// Actual duration of one nominal period (drift applied, no jitter).
+  Seconds stretched(Seconds nominal) const;
+
+  /// Duration of the next cycle of the given nominal period, with jitter.
+  Seconds next_cycle(Seconds nominal, Rng& rng) const;
+
+ private:
+  Config config_;
+  double actual_ppm_ = 0.0;
+};
+
+}  // namespace lfbs::tag

@@ -1,0 +1,52 @@
+#include "tag/datapath.h"
+
+#include <algorithm>
+
+namespace lfbs::tag {
+
+double TagDatapath::clock(bool carrier, bool sensor_bit) {
+  switch (state_) {
+    case State::kSleep:
+      ++cycles_sleep_;
+      antenna_ = 0.0;
+      if (carrier) state_ = State::kWaitCarrier;
+      break;
+
+    case State::kWaitCarrier:
+      // One cycle of comparator settling, then transmission begins. (The
+      // multi-microsecond charging physics lives in StartTrigger; here a
+      // single bit-clock cycle stands in for it.)
+      ++cycles_sleep_;
+      antenna_ = 0.0;
+      state_ = carrier ? State::kActive : State::kSleep;
+      break;
+
+    case State::kActive: {
+      if (!carrier) {
+        state_ = State::kSleep;
+        antenna_ = 0.0;
+        pending_ = false;
+        in_flight_ = 0;
+        ++cycles_sleep_;
+        break;
+      }
+      ++cycles_active_;
+      // The sampled bit enters the (depth-1) shift stage this cycle and
+      // drives the antenna on the same clock: sample in, bit out.
+      if (pending_) {
+        antenna_ = pending_bit_ ? 1.0 : 0.0;
+        ++bits_transmitted_;
+        --in_flight_;
+      }
+      pending_ = true;
+      pending_bit_ = sensor_bit;
+      ++in_flight_;
+      max_in_flight_ = std::max(max_in_flight_, in_flight_);
+      break;
+    }
+  }
+  history_.push_back(antenna_);
+  return antenna_;
+}
+
+}  // namespace lfbs::tag

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lfbs::tag {
+
+/// Cycle-level datapath of a blind LF-Backscatter tag.
+///
+/// The §3.6 argument made executable: one clock serves both the sensor
+/// shift register and the modulator, so a sampled bit goes **straight from
+/// the ADC onto the antenna** — the "clocks out bits as and when they are
+/// sampled" design. The datapath therefore never holds more than one bit in
+/// flight, which is exactly why Table 3's LF column has no FIFO while Gen 2
+/// (buffering between slots) and Buzz (buffering across lock-step
+/// retransmissions) each need the 12288-transistor 1 kB buffer.
+///
+/// The model advances one bit-clock cycle at a time; the host feeds sensor
+/// bits and the carrier state, and reads back the antenna level. Counters
+/// expose the structural claims (max bits in flight, cycles per state) for
+/// tests and the power model.
+class TagDatapath {
+ public:
+  enum class State {
+    kSleep,        ///< no carrier: harvesting only
+    kWaitCarrier,  ///< comparator armed, capacitor charging
+    kActive,       ///< shifting sensor bits onto the antenna
+  };
+
+  TagDatapath() = default;
+
+  State state() const { return state_; }
+  double antenna_level() const { return antenna_; }
+
+  /// Maximum number of sampled-but-untransmitted bits ever held — must
+  /// stay ≤ 1 for a buffer-less design.
+  std::size_t max_bits_in_flight() const { return max_in_flight_; }
+
+  std::size_t cycles_active() const { return cycles_active_; }
+  std::size_t cycles_sleep() const { return cycles_sleep_; }
+  std::size_t bits_transmitted() const { return bits_transmitted_; }
+
+  /// Advances one bit-clock cycle.
+  ///   carrier:    whether the reader's carrier is present,
+  ///   sensor_bit: the bit the ADC shift register produced this cycle
+  ///               (ignored unless the datapath is active).
+  /// Returns the antenna level driven during this cycle.
+  double clock(bool carrier, bool sensor_bit);
+
+  /// Antenna levels observed so far (for tests: must equal the sensor bit
+  /// sequence — same clock, zero buffering, unit latency).
+  const std::vector<double>& antenna_history() const { return history_; }
+
+ private:
+  State state_ = State::kSleep;
+  double antenna_ = 0.0;
+  bool pending_ = false;
+  bool pending_bit_ = false;
+  std::size_t in_flight_ = 0;
+  std::size_t max_in_flight_ = 0;
+  std::size_t cycles_active_ = 0;
+  std::size_t cycles_sleep_ = 0;
+  std::size_t bits_transmitted_ = 0;
+  std::vector<double> history_;
+};
+
+}  // namespace lfbs::tag

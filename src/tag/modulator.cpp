@@ -1,0 +1,26 @@
+#include "tag/modulator.h"
+
+#include "common/check.h"
+
+namespace lfbs::tag {
+
+Modulator::Modulator(BitRate rate) : rate_(rate) { LFBS_CHECK(rate_ > 0.0); }
+
+signal::StateTimeline Modulator::modulate(
+    const std::vector<bool>& bits, Seconds start, const ClockModel& clock,
+    Rng& rng, std::vector<Seconds>* boundaries) const {
+  signal::StateTimeline timeline(0.0);
+  Seconds t = start;
+  for (bool bit : bits) {
+    if (boundaries != nullptr) boundaries->push_back(t);
+    timeline.add(t, bit ? 1.0 : 0.0);
+    t += clock.next_cycle(nominal_period(), rng);
+  }
+  if (!bits.empty()) {
+    if (boundaries != nullptr) boundaries->push_back(t);
+    timeline.add(t, 0.0);  // return to idle after the last bit
+  }
+  return timeline;
+}
+
+}  // namespace lfbs::tag

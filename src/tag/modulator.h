@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "signal/waveform.h"
+#include "tag/clock_model.h"
+
+namespace lfbs::tag {
+
+/// ASK (on-off keying) modulator: clocks a bit sequence onto the antenna
+/// state, one bit per (drift- and jitter-affected) clock period, NRZ
+/// encoded. This is the entire transmit path of an LF-Backscatter tag — no
+/// buffering, no coding, no carrier synthesis (§3.6).
+class Modulator {
+ public:
+  explicit Modulator(BitRate rate);
+
+  BitRate rate() const { return rate_; }
+  Seconds nominal_period() const { return 1.0 / rate_; }
+
+  /// Lays `bits` onto a timeline starting at `start`, advancing by the
+  /// clock's jittered period per bit. Returns the timeline and, via
+  /// `boundaries`, the exact boundary times (ground truth for tests).
+  signal::StateTimeline modulate(const std::vector<bool>& bits, Seconds start,
+                                 const ClockModel& clock, Rng& rng,
+                                 std::vector<Seconds>* boundaries = nullptr) const;
+
+ private:
+  BitRate rate_;
+};
+
+}  // namespace lfbs::tag

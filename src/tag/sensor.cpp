@@ -1,0 +1,54 @@
+#include "tag/sensor.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::tag {
+
+TemperatureSensor::TemperatureSensor(double base_celsius,
+                                     std::size_t resolution_bits)
+    : value_(base_celsius), resolution_bits_(resolution_bits) {
+  LFBS_CHECK(resolution_bits_ >= 1 && resolution_bits_ <= 32);
+}
+
+std::vector<bool> TemperatureSensor::sample_bits(std::size_t n, Rng& rng) {
+  std::vector<bool> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    // Slow drift plus measurement noise, quantized over a 0–50 °C span.
+    phase_ += 0.05;
+    value_ += 0.02 * std::sin(phase_) + rng.gaussian(0.0, 0.01);
+    const double clamped = std::fmin(std::fmax(value_, 0.0), 50.0);
+    const auto max_code = (1ull << resolution_bits_) - 1;
+    const auto code =
+        static_cast<std::uint64_t>(clamped / 50.0 * static_cast<double>(max_code));
+    for (std::size_t b = 0; b < resolution_bits_ && out.size() < n; ++b) {
+      out.push_back(((code >> (resolution_bits_ - 1 - b)) & 1) != 0);
+    }
+  }
+  return out;
+}
+
+MediaSensor::MediaSensor(std::string kind) : kind_(std::move(kind)) {}
+
+std::vector<bool> MediaSensor::sample_bits(std::size_t n, Rng& rng) {
+  return rng.bits(n);
+}
+
+IdentifierSensor::IdentifierSensor(std::vector<bool> id) : id_(std::move(id)) {
+  LFBS_CHECK(!id_.empty());
+}
+
+std::vector<bool> IdentifierSensor::sample_bits(std::size_t n, Rng& /*rng*/) {
+  std::vector<bool> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    for (std::size_t i = 0; i < id_.size() && out.size() < n; ++i) {
+      out.push_back(id_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lfbs::tag

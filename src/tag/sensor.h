@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lfbs::tag {
+
+/// A data source feeding a tag. The paper's motivating endpoints range from
+/// a 1 Hz battery-less temperature sensor (§1) to data-rich cameras and
+/// microphones streaming at hundreds of kbps; these models produce the
+/// payload bits those devices would clock straight out of their ADCs.
+class Sensor {
+ public:
+  virtual ~Sensor() = default;
+
+  /// Human-readable kind ("temperature", "microphone", ...).
+  virtual std::string kind() const = 0;
+
+  /// Produces the next `n` payload bits.
+  virtual std::vector<bool> sample_bits(std::size_t n, Rng& rng) = 0;
+};
+
+/// Slowly varying physical quantity, quantized to `resolution_bits` per
+/// sample — the battery-less 1 Hz temperature sensor of the intro.
+class TemperatureSensor final : public Sensor {
+ public:
+  explicit TemperatureSensor(double base_celsius = 22.0,
+                             std::size_t resolution_bits = 12);
+  std::string kind() const override { return "temperature"; }
+  std::vector<bool> sample_bits(std::size_t n, Rng& rng) override;
+
+  /// Current reading (for examples to display).
+  double last_reading() const { return value_; }
+
+ private:
+  double value_;
+  std::size_t resolution_bits_;
+  double phase_ = 0.0;
+};
+
+/// High-entropy stream standing in for compressed audio/imagery.
+class MediaSensor final : public Sensor {
+ public:
+  explicit MediaSensor(std::string kind = "microphone");
+  std::string kind() const override { return kind_; }
+  std::vector<bool> sample_bits(std::size_t n, Rng& rng) override;
+
+ private:
+  std::string kind_;
+};
+
+/// Fixed identifier source (EPC-style), for inventory workloads: always
+/// returns the same `id` bits, cycling if more are requested.
+class IdentifierSensor final : public Sensor {
+ public:
+  explicit IdentifierSensor(std::vector<bool> id);
+  std::string kind() const override { return "identifier"; }
+  std::vector<bool> sample_bits(std::size_t n, Rng& rng) override;
+  const std::vector<bool>& id() const { return id_; }
+
+ private:
+  std::vector<bool> id_;
+};
+
+}  // namespace lfbs::tag

@@ -1,0 +1,34 @@
+#include "tag/start_trigger.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lfbs::tag {
+
+StartTrigger::StartTrigger(Config config, Rng& rng) : config_(config) {
+  LFBS_CHECK(config_.nominal_rc > 0.0);
+  LFBS_CHECK(config_.capacitor_tolerance >= 0.0 &&
+             config_.capacitor_tolerance < 1.0);
+  LFBS_CHECK(config_.threshold_fraction > 0.0 &&
+             config_.threshold_fraction < 1.0);
+  rc_ = config_.nominal_rc *
+        (1.0 + rng.uniform(-config_.capacitor_tolerance,
+                           config_.capacitor_tolerance));
+}
+
+Seconds StartTrigger::fire_delay(double incoming_energy, Rng& rng) const {
+  LFBS_CHECK(incoming_energy > 0.0);
+  // V(t) = V∞ (1 - e^{-t/RC}); comparator fires at V = Vth. With energy e,
+  // V∞ scales by e, so the crossing fraction is threshold/e. Noise on the
+  // crossing models the jagged real-world charging curve.
+  double crossing = config_.threshold_fraction / incoming_energy;
+  crossing += rng.gaussian(0.0, config_.charging_noise);
+  // A tag that cannot reach the threshold would never fire; clamp so the
+  // simulation degrades to "very late" rather than dividing by zero.
+  crossing = std::clamp(crossing, 1e-3, 0.999);
+  return -rc_ * std::log(1.0 - crossing);
+}
+
+}  // namespace lfbs::tag

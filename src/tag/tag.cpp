@@ -1,0 +1,57 @@
+#include "tag/tag.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lfbs::tag {
+
+Tag::Tag(TagConfig config, Rng& rng)
+    : config_(config),
+      rate_(config.rate),
+      clock_(config.clock, rng),
+      trigger_(config.trigger, rng) {
+  LFBS_CHECK(config_.rate > 0.0);
+  LFBS_CHECK(config_.incoming_energy > 0.0);
+}
+
+void Tag::apply_rate_command(BitRate max_rate) {
+  if (!config_.listens_to_reader) return;
+  rate_ = std::min(rate_, max_rate);
+}
+
+EpochTransmission Tag::transmit_epoch(
+    const std::vector<std::vector<bool>>& frames, Seconds epoch_duration,
+    Rng& rng) const {
+  LFBS_CHECK(epoch_duration > 0.0);
+  EpochTransmission tx;
+  tx.start_time = trigger_.fire_delay(config_.incoming_energy, rng);
+  tx.timeline = signal::StateTimeline(0.0);
+
+  const Seconds nominal = 1.0 / rate_;
+  Seconds t = tx.start_time;
+  for (const auto& frame : frames) {
+    // Will this whole frame fit? A blind tag doesn't know, but the simulator
+    // tracks which frames completed for goodput accounting.
+    bool frame_complete = true;
+    for (bool bit : frame) {
+      if (t >= epoch_duration) {
+        frame_complete = false;
+        break;
+      }
+      tx.boundaries.push_back(t);
+      tx.timeline.add(t, bit ? 1.0 : 0.0);
+      tx.bits.push_back(bit);
+      t += clock_.next_cycle(nominal, rng);
+    }
+    if (!frame_complete) break;
+    ++tx.frames_completed;
+  }
+  // Trailing boundary: the tag returns to idle (carrier-off or data done).
+  const Seconds end = std::min(t, epoch_duration);
+  tx.boundaries.push_back(end);
+  tx.timeline.add(end, 0.0);
+  return tx;
+}
+
+}  // namespace lfbs::tag

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "signal/waveform.h"
+#include "tag/clock_model.h"
+#include "tag/modulator.h"
+#include "tag/start_trigger.h"
+
+namespace lfbs::tag {
+
+/// Static configuration of one tag.
+struct TagConfig {
+  BitRate rate = 100.0 * kKbps;   ///< must be a multiple of the base rate
+  ClockModel::Config clock{};
+  StartTrigger::Config trigger{};
+  /// Relative incoming carrier energy at this tag's placement (1 = nominal);
+  /// feeds the comparator fire-time physics.
+  double incoming_energy = 1.0;
+  /// Whether this tag implements the optional receive path for broadcast
+  /// ACKs / rate-change commands (§3.6). Stringently constrained tags don't.
+  bool listens_to_reader = false;
+};
+
+/// Everything a tag put on the air during one epoch, plus ground truth for
+/// the simulator's metrics.
+struct EpochTransmission {
+  signal::StateTimeline timeline;       ///< antenna states over the epoch
+  std::vector<bool> bits;               ///< bits fully transmitted
+  std::vector<Seconds> boundaries;      ///< leading boundary of each bit,
+                                        ///< plus the trailing boundary
+  Seconds start_time = 0.0;             ///< comparator fire time
+  std::size_t frames_completed = 0;     ///< whole frames that fit the epoch
+};
+
+/// A laissez-faire backscatter tag: wakes when it sees the carrier, then
+/// blindly clocks its data out. It never listens (unless configured to
+/// accept broadcast rate commands), never buffers, never defers.
+class Tag {
+ public:
+  /// Draws the per-device physical parameters (crystal error, capacitor RC).
+  Tag(TagConfig config, Rng& rng);
+
+  const TagConfig& config() const { return config_; }
+  BitRate rate() const { return rate_; }
+  double clock_error_ppm() const { return clock_.actual_ppm(); }
+
+  /// Applies a reader broadcast "lower your max bitrate" command. Tags that
+  /// don't listen ignore it, exactly as §3.6 allows.
+  void apply_rate_command(BitRate max_rate);
+
+  /// Transmits framed bits back-to-back starting at the comparator fire
+  /// time; truncates at the epoch end (a blind tag just keeps toggling until
+  /// the carrier disappears). Frames are supplied pre-framed by the protocol
+  /// layer (anchor + payload + CRC).
+  EpochTransmission transmit_epoch(const std::vector<std::vector<bool>>& frames,
+                                   Seconds epoch_duration, Rng& rng) const;
+
+ private:
+  TagConfig config_;
+  BitRate rate_;  ///< current rate (rate commands can lower it)
+  ClockModel clock_;
+  StartTrigger trigger_;
+};
+
+}  // namespace lfbs::tag

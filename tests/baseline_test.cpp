@@ -1,0 +1,282 @@
+// Tests for the comparison baselines: ASK, TDMA, Buzz, cluster-only.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/ask_decoder.h"
+#include "common/check.h"
+#include "baseline/buzz.h"
+#include "baseline/cluster_only.h"
+#include "baseline/gen2.h"
+#include "baseline/tdma.h"
+#include "channel/channel_model.h"
+#include "reader/receiver.h"
+#include "tag/tag.h"
+
+namespace lfbs::baseline {
+namespace {
+
+signal::SampleBuffer ask_buffer(const std::vector<bool>& bits, Complex h,
+                                double noise, Rng& rng) {
+  reader::ReceiverConfig rc;
+  rc.sample_rate = 5.0 * kMsps;
+  rc.noise_power = noise;
+  channel::ChannelModel ch;
+  ch.add_tag(h);
+  reader::Receiver receiver(rc, ch);
+  const auto tl = signal::nrz_timeline(bits, 100e-6, 1e-5);  // 100 kbps
+  const Seconds duration = 100e-6 + static_cast<double>(bits.size()) * 1e-5 +
+                           100e-6;
+  return receiver.receive_epoch({{tl}}, duration, rng);
+}
+
+TEST(AskDecoder, RoundTripCleanChannel) {
+  Rng rng(1);
+  std::vector<bool> bits = rng.bits(200);
+  bits[0] = true;  // anchor-style leading one helps start detection
+  const auto buf = ask_buffer(bits, {0.1, 0.05}, 1e-6, rng);
+  const AskDecoder dec{AskDecoderConfig{}};
+  const auto result = dec.decode(buf);
+  ASSERT_GE(result.bits.size(), bits.size());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (result.bits[i] != bits[i]) ++errors;
+  }
+  EXPECT_EQ(errors, 0u);
+  EXPECT_GT(result.start_sample, 0.0);
+}
+
+TEST(AskDecoder, HandlesDestructiveCombination) {
+  // The tuned state can *lower* the total amplitude; the anchor resolves it.
+  Rng rng(2);
+  std::vector<bool> bits = rng.bits(150);
+  bits[0] = true;
+  reader::ReceiverConfig rc;
+  rc.sample_rate = 5.0 * kMsps;
+  rc.noise_power = 1e-6;
+  channel::ChannelModel ch;
+  ch.set_environment({0.8, 0.0});
+  ch.add_tag({-0.15, 0.0});  // reflection opposes the environment
+  reader::Receiver receiver(rc, ch);
+  const auto tl = signal::nrz_timeline(bits, 100e-6, 1e-5);
+  const auto buf = receiver.receive_epoch({{tl}}, 2e-3, rng);
+  const AskDecoder dec{AskDecoderConfig{}};
+  const auto result = dec.decode(buf);
+  ASSERT_GE(result.bits.size(), bits.size());
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (result.bits[i] != bits[i]) ++errors;
+  }
+  EXPECT_EQ(errors, 0u);
+}
+
+TEST(AskDecoder, NoStreamInSilence) {
+  Rng rng(3);
+  signal::SampleBuffer buf(5.0 * kMsps, 10000);
+  channel::add_awgn(buf, 1e-8, rng);
+  const AskDecoder dec{AskDecoderConfig{}};
+  const auto result = dec.decode(buf);
+  EXPECT_TRUE(result.bits.empty() || result.start_sample < 0.0 ||
+              result.bits.size() < 5);
+}
+
+TEST(Tdma, GoodputIsSlotEfficiencyBound) {
+  const Tdma tdma{TdmaConfig{}};
+  // 96 payload bits per 100-bit slot at 100 kbps = 96 kbps, regardless of n.
+  EXPECT_NEAR(tdma.aggregate_goodput(1), 96.0 * kKbps, 1.0);
+  EXPECT_NEAR(tdma.aggregate_goodput(16), 96.0 * kKbps, 1.0);
+}
+
+TEST(Tdma, RoundDurationLinearInTags) {
+  const Tdma tdma{TdmaConfig{}};
+  EXPECT_NEAR(tdma.round_duration(8) / tdma.round_duration(4), 2.0, 1e-9);
+}
+
+TEST(Tdma, IdentifyCompletesAndScales) {
+  const Tdma tdma{TdmaConfig{}};
+  Rng rng(4);
+  const Seconds t4 = tdma.identify(4, rng);
+  const Seconds t16 = tdma.identify(16, rng);
+  EXPECT_GT(t4, 0.0);
+  EXPECT_GT(t16, t4);
+  // Inventory costs at least one ID slot per tag.
+  EXPECT_GE(t16, 16.0 * (96.0 + 5.0) / (100.0 * kKbps));
+}
+
+TEST(Tdma, IdentifyIsFiniteUnderManyTags) {
+  const Tdma tdma{TdmaConfig{}};
+  Rng rng(5);
+  std::size_t rounds = 0;
+  const Seconds t = tdma.identify(200, rng, &rounds);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(rounds, 200u);
+}
+
+TEST(Buzz, RoundTripAfterEstimation) {
+  Rng rng(6);
+  std::vector<Complex> channels;
+  for (int i = 0; i < 8; ++i) {
+    channels.push_back(std::polar(rng.uniform(0.06, 0.2),
+                                  rng.uniform(0.0, 6.2831)));
+  }
+  Buzz buzz(BuzzConfig{}, channels);
+  EXPECT_GT(buzz.estimate_channels(rng), 0.0);
+  std::vector<std::vector<bool>> messages;
+  for (int i = 0; i < 8; ++i) messages.push_back(rng.bits(96));
+  const auto result = buzz.transfer(messages, rng);
+  EXPECT_TRUE(result.success);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(result.decoded[i], messages[i]);
+  EXPECT_GT(buzz.goodput(result), 0.0);
+}
+
+TEST(Buzz, RequiresEstimationFirst) {
+  Buzz buzz(BuzzConfig{}, {Complex{0.1, 0.0}});
+  Rng rng(7);
+  EXPECT_THROW(buzz.transfer({{std::vector<bool>(96, true)}}, rng),
+               CheckError);
+}
+
+TEST(Buzz, RatelessAddsRoundsUnderNoise) {
+  Rng rng(8);
+  std::vector<Complex> channels;
+  for (int i = 0; i < 12; ++i) {
+    channels.push_back(std::polar(rng.uniform(0.06, 0.2),
+                                  rng.uniform(0.0, 6.2831)));
+  }
+  BuzzConfig noisy;
+  noisy.noise_power = 4e-3;  // much harsher than default
+  Buzz buzz(noisy, channels);
+  buzz.estimate_channels(rng);
+  std::vector<std::vector<bool>> messages;
+  for (int i = 0; i < 12; ++i) messages.push_back(rng.bits(96));
+  const auto result = buzz.transfer(messages, rng);
+  // Needs more rounds than the clean-channel starting point.
+  EXPECT_GT(result.rounds_used,
+            static_cast<std::size_t>(noisy.initial_round_factor * 12));
+}
+
+TEST(Buzz, StaleEstimatesBreakDecoding) {
+  // The Fig 1 punchline: channel movement between estimation and transfer
+  // collapses linear separation.
+  Rng rng(9);
+  std::vector<Complex> channels;
+  for (int i = 0; i < 8; ++i) {
+    channels.push_back(std::polar(rng.uniform(0.06, 0.2),
+                                  rng.uniform(0.0, 6.2831)));
+  }
+  Buzz buzz(BuzzConfig{}, channels);
+  buzz.estimate_channels(rng);
+  buzz.perturb_channels(0.5, rng);
+  std::vector<std::vector<bool>> messages;
+  for (int i = 0; i < 8; ++i) messages.push_back(rng.bits(96));
+  const auto result = buzz.transfer(messages, rng);
+  bool all_correct = result.success;
+  if (all_correct) {
+    for (int i = 0; i < 8; ++i) {
+      if (result.decoded[i] != messages[i]) all_correct = false;
+    }
+  }
+  EXPECT_FALSE(all_correct);
+}
+
+TEST(Gen2, TimingsScaleWithTari) {
+  Gen2Timings fast;
+  Gen2Timings slow;
+  slow.tari_s = 2.0 * fast.tari_s;
+  EXPECT_NEAR(slow.query() / fast.query(), 2.0, 1e-9);
+  EXPECT_GT(fast.epc_reply(), fast.rn16());
+}
+
+TEST(Gen2, InventoriesEveryTag) {
+  const Gen2Inventory gen2;
+  Rng rng(60);
+  const auto stats = gen2.run(16, rng);
+  EXPECT_EQ(stats.identified, 16u);
+  EXPECT_EQ(stats.singles, 16u);
+  EXPECT_GT(stats.elapsed, 0.0);
+  EXPECT_EQ(stats.singles + stats.collisions + stats.empties, stats.slots);
+}
+
+TEST(Gen2, TimeGrowsWithPopulation) {
+  const Gen2Inventory gen2;
+  Rng rng(61);
+  double prev = 0.0;
+  for (std::size_t n : {4u, 16u, 64u}) {
+    double sum = 0.0;
+    for (int trial = 0; trial < 5; ++trial) sum += gen2.run(n, rng).elapsed;
+    EXPECT_GT(sum, prev);
+    prev = sum;
+  }
+}
+
+TEST(Gen2, SlotEfficiencyNearAlohaBound) {
+  // Framed slotted ALOHA with adaptive Q should land within a factor of
+  // the 1/e optimum once the frame size matches the population.
+  const Gen2Inventory gen2;
+  Rng rng(62);
+  double eff = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) eff += gen2.run(64, rng).slot_efficiency();
+  eff /= trials;
+  EXPECT_GT(eff, 0.12);
+  EXPECT_LT(eff, 0.55);
+}
+
+TEST(Gen2, QAdaptationBeatsBadInitialQ) {
+  // Starting with a frame far too small for the population must still
+  // terminate, with Q growing out of the collision storm.
+  Gen2Inventory::Config cfg;
+  cfg.initial_q = 0;
+  const Gen2Inventory gen2(cfg);
+  Rng rng(63);
+  const auto stats = gen2.run(32, rng);
+  EXPECT_EQ(stats.identified, 32u);
+}
+
+TEST(ClusterOnly, CentroidCountIsTwoToTheN) {
+  const auto centres =
+      ClusterOnly::centroids({{0.1, 0}, {0, 0.1}, {0.05, 0.05}});
+  EXPECT_EQ(centres.size(), 8u);
+  EXPECT_EQ(centres[0], Complex{});  // all-off combination
+  EXPECT_NEAR(std::abs(centres[7] - Complex{0.15, 0.15}), 0.0, 1e-12);
+}
+
+TEST(ClusterOnly, AccuracyDegradesWithTagCount) {
+  ClusterOnlyConfig cfg;
+  cfg.noise_power = 2e-4;
+  cfg.bits_per_tag = 1500;
+  const ClusterOnly decoder(cfg);
+  double acc2 = 0.0, acc6 = 0.0;
+  for (int t = 0; t < 6; ++t) {
+    Rng rng(40 + t);
+    std::vector<Complex> two, six;
+    for (int i = 0; i < 6; ++i) {
+      const Complex h = std::polar(rng.uniform(0.06, 0.2),
+                                   rng.uniform(0.0, 6.2831));
+      if (i < 2) two.push_back(h);
+      six.push_back(h);
+    }
+    acc2 += decoder.run(two, rng).mean_accuracy;
+    acc6 += decoder.run(six, rng).mean_accuracy;
+  }
+  EXPECT_GT(acc2 / 6, 0.98);      // two tags separate cleanly (Fig 2b)
+  EXPECT_LT(acc6 / 6, acc2 / 6);  // six tags degrade (Fig 2c)
+}
+
+TEST(ClusterOnly, MinClusterDistanceShrinks) {
+  Rng rng(50);
+  ClusterOnlyConfig cfg;
+  const ClusterOnly decoder(cfg);
+  std::vector<Complex> channels;
+  double last = 1e9;
+  for (int n = 1; n <= 5; ++n) {
+    channels.push_back(std::polar(0.1, 1.1 * n));
+    Rng r2(7);
+    const auto result = decoder.run(channels, r2);
+    EXPECT_LE(result.min_cluster_distance, last + 1e-12);
+    last = result.min_cluster_distance;
+  }
+}
+
+}  // namespace
+}  // namespace lfbs::baseline

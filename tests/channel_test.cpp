@@ -1,0 +1,150 @@
+// Tests for src/channel: composition, noise, dynamics, link budget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/channel_model.h"
+#include "channel/dynamics.h"
+#include "channel/link_budget.h"
+#include "channel/noise.h"
+
+namespace lfbs::channel {
+namespace {
+
+TEST(ChannelModel, ComposeIsLinear) {
+  ChannelModel ch;
+  ch.set_environment({0.5, 0.5});
+  ch.add_tag({0.1, 0.0});
+  ch.add_tag({0.0, 0.2});
+  const std::vector<std::vector<double>> levels = {{0, 1, 1}, {0, 0, 1}};
+  const auto buf = ch.compose(1e6, levels);
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf[0], (Complex{0.5, 0.5}));
+  EXPECT_EQ(buf[1], (Complex{0.6, 0.5}));
+  EXPECT_EQ(buf[2], (Complex{0.6, 0.7}));
+}
+
+TEST(ChannelModel, PlacementAmplitudeFallsWithDistanceSquared) {
+  Rng rng(1);
+  ChannelModel ch;
+  double sum_near = 0.0, sum_far = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    TagPlacement near{.distance_m = 1.0};
+    TagPlacement far{.distance_m = 2.0};
+    sum_near += std::abs(ch.coefficient(ch.add_tag(near, rng)));
+    sum_far += std::abs(ch.coefficient(ch.add_tag(far, rng)));
+  }
+  EXPECT_NEAR(sum_near / sum_far, 4.0, 0.5);
+}
+
+TEST(ChannelModel, TimeVaryingCoefficients) {
+  ChannelModel ch;
+  ch.set_environment({});
+  ch.add_tag({1.0, 0.0});  // static value unused by compose_time_varying
+  const std::vector<std::vector<double>> levels = {{1, 1}};
+  const std::vector<std::vector<Complex>> coeffs = {{{0.1, 0}, {0.2, 0}}};
+  const auto buf = ch.compose_time_varying(1e6, levels, coeffs);
+  EXPECT_NEAR(buf[0].real(), 0.1, 1e-12);
+  EXPECT_NEAR(buf[1].real(), 0.2, 1e-12);
+}
+
+TEST(Noise, AwgnPowerMatchesRequest) {
+  Rng rng(2);
+  signal::SampleBuffer buf(1e6, 50000);
+  add_awgn(buf, 0.01, rng);
+  double p = 0.0;
+  for (std::size_t i = 0; i < buf.size(); ++i) p += std::norm(buf[i]);
+  EXPECT_NEAR(p / static_cast<double>(buf.size()), 0.01, 0.001);
+}
+
+TEST(Noise, SnrHelpersRoundTrip) {
+  const double signal = 0.04;
+  const double noise = noise_power_for_snr(signal, 13.0);
+  EXPECT_NEAR(measured_snr_db(signal, noise), 13.0, 1e-9);
+}
+
+TEST(Noise, ZeroNoiseIsNoOp) {
+  Rng rng(3);
+  signal::SampleBuffer buf(1e6, 10);
+  buf[3] = {1.0, -1.0};
+  add_awgn(buf, 0.0, rng);
+  EXPECT_EQ(buf[3], (Complex{1.0, -1.0}));
+  EXPECT_EQ(buf[0], Complex{});
+}
+
+TEST(Dynamics, PeopleMovementVariesAroundBaseline) {
+  Rng rng(4);
+  PeopleMovementModel model;
+  const Complex h0{0.2, 0.1};
+  const auto trace = model.generate(h0, 100.0, 10.0, rng);
+  const TraceStats stats = summarize_trace(trace);
+  EXPECT_NEAR(stats.mean_magnitude, std::abs(h0), 0.1);
+  EXPECT_GT(stats.magnitude_stddev, 0.005);  // it moves
+  EXPECT_GT(stats.total_excursion, 0.05);
+}
+
+TEST(Dynamics, RotationSweepsGainPattern) {
+  Rng rng(5);
+  TagRotationModel model;
+  const auto trace = model.generate({0.25, 0.0}, 200.0, 8.0, rng);
+  double min_mag = 1e9, max_mag = 0.0;
+  for (const Complex& h : trace) {
+    min_mag = std::min(min_mag, std::abs(h));
+    max_mag = std::max(max_mag, std::abs(h));
+  }
+  // Rotation passes through pattern nulls and peaks.
+  EXPECT_LT(min_mag, 0.25 * 0.2);
+  EXPECT_GT(max_mag, 0.25 * 0.8);
+}
+
+TEST(Dynamics, CouplingOnlyBelowThresholdDistance) {
+  Rng rng(6);
+  CouplingModel model;
+  const Complex h1{0.2, 0.0}, h2{0.0, 0.2};
+  const auto traces = model.generate(h1, h2, 100.0, 10.0, rng);
+  ASSERT_EQ(traces.size(), 2u);
+  // Early in the approach (distance ~1 m) coefficients are unchanged.
+  EXPECT_NEAR(std::abs(traces[0][5] - h1), 0.0, 1e-9);
+  // Near the end (5 cm) the coupling shifts both coefficients.
+  EXPECT_GT(std::abs(traces[0].back() - h1), 0.01);
+  EXPECT_GT(std::abs(traces[1].back() - h2), 0.01);
+}
+
+TEST(Dynamics, CouplingDistanceInterpolatesLinearly) {
+  CouplingModel model;
+  EXPECT_NEAR(model.distance_at(0.0, 10.0), 1.0, 1e-12);
+  EXPECT_NEAR(model.distance_at(10.0, 10.0), 0.05, 1e-12);
+  EXPECT_NEAR(model.distance_at(5.0, 10.0), 0.525, 1e-12);
+}
+
+TEST(Dynamics, SummaryOfConstantTraceIsZeroMotion) {
+  const std::vector<Complex> trace(100, Complex{0.3, -0.1});
+  const TraceStats stats = summarize_trace(trace);
+  EXPECT_NEAR(stats.magnitude_stddev, 0.0, 1e-12);
+  EXPECT_NEAR(stats.max_step, 0.0, 1e-12);
+  EXPECT_NEAR(stats.total_excursion, 0.0, 1e-12);
+}
+
+TEST(LinkBudget, InverseFourthPowerLaw) {
+  LinkBudget link;
+  const double p1 = link.received_power(1.0);
+  const double p2 = link.received_power(2.0);
+  EXPECT_NEAR(p1 / p2, 16.0, 1e-6);
+}
+
+TEST(LinkBudget, RangeForSnrInvertsSnr) {
+  LinkBudget link;
+  const double noise = 1e-12;
+  const double range = link.range_for_snr(10.0, noise);
+  EXPECT_NEAR(link.snr_db(range, noise), 10.0, 1e-6);
+}
+
+TEST(LinkBudget, DeratedRangeMatchesPaperExample) {
+  // §5.4: a 4 dB penalty turns 10 ft into ~8 ft and 30 ft into ~24 ft.
+  EXPECT_NEAR(LinkBudget::derated_range(10.0, 4.0), 7.94, 0.05);
+  EXPECT_NEAR(LinkBudget::derated_range(30.0, 4.0), 23.83, 0.15);
+  EXPECT_DOUBLE_EQ(LinkBudget::derated_range(10.0, 0.0), 10.0);
+}
+
+}  // namespace
+}  // namespace lfbs::channel

@@ -1,0 +1,176 @@
+// Tests for the stream detector: lattice grouping, drift tracking, step
+// estimation, and stream splitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stream_detector.h"
+
+namespace lfbs::core {
+namespace {
+
+StreamDetectorConfig paper_config() {
+  StreamDetectorConfig cfg;
+  cfg.lattice_period = 250.0;
+  cfg.base_tolerance = 3.5;
+  cfg.merge_radius = 5.0;
+  cfg.valid_steps = {200, 100, 50, 20, 10, 2, 1};
+  return cfg;
+}
+
+std::vector<signal::Edge> edges_at(const std::vector<double>& positions) {
+  std::vector<signal::Edge> edges;
+  for (double p : positions) {
+    edges.push_back({.position = p, .differential = {0.1, 0.0},
+                     .strength = 0.1});
+  }
+  return edges;
+}
+
+TEST(StreamDetector, GroupsSinglePeriodicStream) {
+  std::vector<double> pos;
+  for (int k = 0; k < 20; ++k) pos.push_back(1000.0 + 250.0 * k);
+  const StreamDetector det(paper_config());
+  const auto groups = det.detect(edges_at(pos));
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].edge_indices.size(), 20u);
+  EXPECT_EQ(groups[0].step, 1);
+  EXPECT_NEAR(groups[0].intercept, 1000.0, 1.0);
+  EXPECT_NEAR(groups[0].slope, 250.0, 0.01);
+}
+
+TEST(StreamDetector, SeparatesTwoOffsets) {
+  std::vector<double> pos;
+  for (int k = 0; k < 20; ++k) {
+    pos.push_back(1000.0 + 250.0 * k);
+    pos.push_back(1100.0 + 250.0 * k);
+  }
+  std::sort(pos.begin(), pos.end());
+  const StreamDetector det(paper_config());
+  const auto groups = det.detect(edges_at(pos));
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].edge_indices.size(), 20u);
+  EXPECT_EQ(groups[1].edge_indices.size(), 20u);
+}
+
+TEST(StreamDetector, TracksClockDrift) {
+  // 200 ppm fast clock: period 250.05 samples.
+  std::vector<double> pos;
+  for (int k = 0; k < 100; ++k) pos.push_back(500.0 + 250.05 * k);
+  const StreamDetector det(paper_config());
+  const auto groups = det.detect(edges_at(pos));
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].edge_indices.size(), 100u);
+  EXPECT_NEAR(groups[0].slope, 250.05, 0.01);
+}
+
+TEST(StreamDetector, MergesSplinterPhases) {
+  // Same tag with position noise that briefly exceeds base_tolerance: the
+  // merge pass folds the splinter back.
+  std::vector<double> pos;
+  for (int k = 0; k < 30; ++k) {
+    pos.push_back(700.0 + 250.0 * k + ((k % 7 == 3) ? 4.4 : 0.0));
+  }
+  const StreamDetector det(paper_config());
+  const auto groups = det.detect(edges_at(pos));
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].edge_indices.size(), 30u);
+}
+
+TEST(StreamDetector, DropsSparseNoise) {
+  const StreamDetector det(paper_config());
+  const auto groups = det.detect(edges_at({123.0, 7000.5, 15333.3}));
+  // Unrelated positions cannot satisfy min_edges on a common lattice.
+  for (const auto& g : groups) {
+    EXPECT_GE(g.edge_indices.size(), det.config().min_edges);
+  }
+}
+
+TEST(StreamDetector, SlowStreamStep) {
+  // A 10 kbps stream at a 100 kbps lattice: edges every 10 slots.
+  std::vector<double> pos;
+  for (int k = 0; k < 12; ++k) pos.push_back(2000.0 + 2500.0 * k);
+  const StreamDetector det(paper_config());
+  const auto groups = det.detect(edges_at(pos));
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].step, 10);
+}
+
+TEST(StreamDetector, SplitStreamsSingleFast) {
+  const StreamDetector det(paper_config());
+  std::vector<std::int64_t> idx;
+  for (int k = 0; k < 60; ++k) {
+    if (k % 2 == 0 || k % 3 == 0) idx.push_back(k);  // dense, irregular
+  }
+  const auto subs = det.split_streams(idx);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].step, 1);
+}
+
+TEST(StreamDetector, SplitStreamsSingleSlow) {
+  const StreamDetector det(paper_config());
+  std::vector<std::int64_t> idx;
+  for (int k = 0; k < 20; ++k) idx.push_back(5 + 100 * k);
+  const auto subs = det.split_streams(idx);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].step, 100);
+  EXPECT_EQ(subs[0].start, 5);
+}
+
+TEST(StreamDetector, SplitsCoPhasedDifferentSlots) {
+  // A 0.5 kbps tag (step 200, slot 0) and a 1 kbps tag (step 100, slot 2)
+  // share a phase group but are separate streams, not a collision.
+  const StreamDetector det(paper_config());
+  std::vector<std::int64_t> idx;
+  for (int k = 0; k < 57; ++k) idx.push_back(200 * k);
+  for (int k = 0; k < 57; ++k) idx.push_back(2 + 100 * k);
+  std::sort(idx.begin(), idx.end());
+  auto subs = det.split_streams(idx);
+  ASSERT_EQ(subs.size(), 2u);
+  std::sort(subs.begin(), subs.end(),
+            [](const auto& a, const auto& b) { return a.step > b.step; });
+  EXPECT_EQ(subs[0].step, 200);
+  EXPECT_EQ(subs[0].members.size(), 57u);
+  EXPECT_EQ(subs[1].step, 100);
+  EXPECT_EQ(subs[1].members.size(), 57u);
+}
+
+TEST(StreamDetector, CoincidentSlotsStayJoint) {
+  // Same slot residues: a genuine repeated collision — one joint lattice.
+  const StreamDetector det(paper_config());
+  std::vector<std::int64_t> idx;
+  for (int k = 0; k < 40; ++k) idx.push_back(100 * k);  // covers both tags
+  const auto subs = det.split_streams(idx);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].step, 100);
+}
+
+TEST(StreamDetector, ContaminatedSlowStreamSurvives) {
+  // A slow stream plus a thin uniform background (a fast tag drifting
+  // through): the dominant class must still be recognized.
+  const StreamDetector det(paper_config());
+  std::vector<std::int64_t> idx;
+  for (int k = 0; k < 30; ++k) idx.push_back(100 * k);
+  // 35 background edges on unrelated slots (prime stride).
+  for (int k = 0; k < 35; ++k) idx.push_back(13 + 97 * k);
+  std::sort(idx.begin(), idx.end());
+  idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+  const auto subs = det.split_streams(idx);
+  bool found_slow = false;
+  for (const auto& sub : subs) {
+    if (sub.step == 100 && sub.members.size() >= 25) found_slow = true;
+  }
+  EXPECT_TRUE(found_slow);
+}
+
+TEST(StreamDetector, EstimateStepConsensus) {
+  StreamDetectorConfig cfg = paper_config();
+  const StreamDetector det(cfg);
+  std::vector<std::int64_t> idx = {0, 10, 20, 40, 70, 90};
+  const auto [step, start] = det.estimate_step(idx);
+  EXPECT_EQ(step, 10);
+  EXPECT_EQ(start, 0);
+}
+
+}  // namespace
+}  // namespace lfbs::core

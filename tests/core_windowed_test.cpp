@@ -1,0 +1,151 @@
+// Tests for the windowed (streaming) decoder: cross-window stitching,
+// polarity resolution, gap filling — and the resynchronizing frame scanner
+// it relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "channel/channel_model.h"
+#include "core/windowed_decoder.h"
+#include "protocol/frame.h"
+#include "reader/receiver.h"
+#include "tag/tag.h"
+
+namespace lfbs::core {
+namespace {
+
+struct LongCapture {
+  signal::SampleBuffer buffer{1e6, std::size_t{0}};
+  std::vector<std::vector<bool>> payloads;
+};
+
+/// A multi-window capture: `tags` tags stream frames for `duration`.
+LongCapture make_capture(std::size_t num_tags, Seconds duration,
+                         double drift_ppm, std::uint64_t seed) {
+  Rng rng(seed);
+  reader::ReceiverConfig rc;
+  rc.sample_rate = 5.0 * kMsps;
+  rc.noise_power = 1e-5;
+  channel::ChannelModel ch;
+  std::vector<tag::Tag> tags;
+  protocol::FrameConfig fc;
+  for (std::size_t i = 0; i < num_tags; ++i) {
+    ch.add_tag(std::polar(rng.uniform(0.08, 0.2), rng.uniform(0.0, 6.2831)));
+    tag::TagConfig tc;
+    tc.clock.drift_ppm = drift_ppm;
+    tc.incoming_energy = rng.uniform(0.7, 1.3);
+    tags.emplace_back(tc, rng);
+  }
+  LongCapture cap;
+  std::vector<signal::StateTimeline> timelines;
+  for (auto& t : tags) {
+    std::vector<std::vector<bool>> frames;
+    const auto n = static_cast<std::size_t>((duration - 1e-3) *
+                                            (100.0 * kKbps) / 113.0);
+    for (std::size_t f = 0; f < n; ++f) {
+      cap.payloads.push_back(rng.bits(96));
+      frames.push_back(protocol::build_frame(cap.payloads.back(), fc));
+    }
+    timelines.push_back(t.transmit_epoch(frames, duration, rng).timeline);
+  }
+  reader::Receiver receiver(rc, ch);
+  cap.buffer = receiver.receive_epoch(timelines, duration, rng);
+  return cap;
+}
+
+std::size_t recovered(const DecodeResult& result,
+                      const std::vector<std::vector<bool>>& payloads) {
+  std::multiset<std::vector<bool>> pool;
+  for (const auto& p : result.valid_payloads()) pool.insert(p);
+  std::size_t n = 0;
+  for (const auto& p : payloads) {
+    const auto it = pool.find(p);
+    if (it != pool.end()) {
+      pool.erase(it);
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(WindowedDecoder, ShortCaptureFallsThroughToPlain) {
+  const auto cap = make_capture(1, 2e-3, 150.0, 11);
+  WindowedDecoderConfig wc;  // 20 ms window >> 2 ms capture
+  const auto win = WindowedDecoder(wc).decode(cap.buffer);
+  const auto plain = LfDecoder(wc.decoder).decode(cap.buffer);
+  ASSERT_EQ(win.streams.size(), plain.streams.size());
+  for (std::size_t i = 0; i < win.streams.size(); ++i) {
+    EXPECT_EQ(win.streams[i].bits, plain.streams[i].bits);
+  }
+}
+
+TEST(WindowedDecoder, StitchesSingleTagAcrossManyWindows) {
+  // 100 ms of continuous streaming = 5 windows of 20 ms.
+  const auto cap = make_capture(1, 100e-3, 150.0, 12);
+  WindowedDecoderConfig wc;
+  const auto result = WindowedDecoder(wc).decode(cap.buffer);
+  // One stitched thread, not five fragments.
+  std::size_t long_threads = 0;
+  for (const auto& s : result.streams) {
+    if (s.bits.size() > 2000) ++long_threads;
+  }
+  EXPECT_EQ(long_threads, 1u);
+  // Nearly all frames recovered across every seam.
+  EXPECT_GE(recovered(result, cap.payloads), cap.payloads.size() - 2);
+}
+
+TEST(WindowedDecoder, TwoTagsStayOnSeparateThreads) {
+  const auto cap = make_capture(2, 80e-3, 150.0, 13);
+  WindowedDecoderConfig wc;
+  const auto result = WindowedDecoder(wc).decode(cap.buffer);
+  EXPECT_GE(recovered(result, cap.payloads),
+            cap.payloads.size() * 8 / 10);
+}
+
+TEST(WindowedDecoder, BoundedMemoryEquivalence) {
+  // The streaming decoder must recover a comparable share of frames to the
+  // single-shot decoder on a capture that fits in memory.
+  const auto cap = make_capture(3, 60e-3, 150.0, 14);
+  WindowedDecoderConfig wc;
+  const auto win = WindowedDecoder(wc).decode(cap.buffer);
+  const auto plain = LfDecoder(wc.decoder).decode(cap.buffer);
+  const std::size_t win_n = recovered(win, cap.payloads);
+  const std::size_t plain_n = recovered(plain, cap.payloads);
+  EXPECT_GE(win_n + cap.payloads.size() / 5, plain_n);
+}
+
+TEST(ScanFrames, ResynchronizesAfterBitSlip) {
+  Rng rng(15);
+  protocol::FrameConfig fc;
+  const auto p1 = rng.bits(96);
+  const auto p2 = rng.bits(96);
+  auto bits = protocol::build_frame(p1, fc);
+  bits.push_back(false);  // one slipped bit between the frames
+  const auto f2 = protocol::build_frame(p2, fc);
+  bits.insert(bits.end(), f2.begin(), f2.end());
+
+  // The rigid parser loses the second frame; the scanner recovers it.
+  const auto rigid = protocol::parse_stream(bits, fc);
+  std::size_t rigid_ok = 0;
+  for (const auto& f : rigid) {
+    if (f.valid()) ++rigid_ok;
+  }
+  EXPECT_EQ(rigid_ok, 1u);
+  const auto scanned = protocol::scan_frames(bits, fc);
+  ASSERT_EQ(scanned.size(), 2u);
+  EXPECT_EQ(scanned[0].payload, p1);
+  EXPECT_EQ(scanned[1].payload, p2);
+}
+
+TEST(ScanFrames, EmptyAndGarbage) {
+  Rng rng(16);
+  protocol::FrameConfig fc;
+  EXPECT_TRUE(protocol::scan_frames({}, fc).empty());
+  // 2000 random bits: expected CRC-16 false positives ~ 2000/65536 << 1.
+  const auto garbage = rng.bits(2000);
+  EXPECT_LE(protocol::scan_frames(garbage, fc).size(), 1u);
+}
+
+}  // namespace
+}  // namespace lfbs::core

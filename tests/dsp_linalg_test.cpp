@@ -1,0 +1,198 @@
+// Tests for the small linear-algebra kit, OMP, and the generic Viterbi.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dsp/linalg.h"
+#include "dsp/omp.h"
+#include "dsp/viterbi.h"
+
+namespace lfbs::dsp {
+namespace {
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix id = Matrix::identity(3);
+  Matrix a(3, 3);
+  a.at(0, 1) = {2.0, 1.0};
+  a.at(2, 0) = {-1.0, 0.0};
+  const Matrix prod = id * a;
+  EXPECT_EQ(prod.at(0, 1), a.at(0, 1));
+  EXPECT_EQ(prod.at(2, 0), a.at(2, 0));
+}
+
+TEST(Matrix, TransposeAndHermitian) {
+  Matrix a(2, 3);
+  a.at(0, 2) = {1.0, 2.0};
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.at(2, 0), (Complex{1.0, 2.0}));
+  const Matrix h = a.hermitian();
+  EXPECT_EQ(h.at(2, 0), (Complex{1.0, -2.0}));
+}
+
+TEST(Matrix, VectorMultiply) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  const std::vector<Complex> x = {{1.0, 0.0}, {1.0, 0.0}};
+  const auto y = a * std::span<const Complex>(x);
+  EXPECT_NEAR(y[0].real(), 3.0, 1e-12);
+  EXPECT_NEAR(y[1].real(), 7.0, 1e-12);
+}
+
+TEST(Solve, SolvesComplexSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = {1.0, 1.0};
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 0.5;
+  a.at(1, 1) = {0.0, -1.0};
+  const std::vector<Complex> x_true = {{1.0, -2.0}, {0.5, 0.25}};
+  const auto b = a * std::span<const Complex>(x_true);
+  const auto x = solve(a, b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(std::abs(x[0] - x_true[0]), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(x[1] - x_true[1]), 0.0, 1e-9);
+}
+
+TEST(Solve, SingularReturnsEmpty) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;  // row 2 = 2 * row 1
+  const std::vector<Complex> b = {1.0, 2.0};
+  EXPECT_TRUE(solve(a, b).empty());
+}
+
+TEST(Solve, NeedsPivoting) {
+  // Zero on the initial pivot position requires row exchange.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const std::vector<Complex> b = {3.0, 5.0};
+  const auto x = solve(a, b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0].real(), 5.0, 1e-12);
+  EXPECT_NEAR(x[1].real(), 3.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedRecovery) {
+  Rng rng(3);
+  Matrix a(20, 3);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      a.at(r, c) = {rng.gaussian(), rng.gaussian()};
+    }
+  }
+  const std::vector<Complex> x_true = {{1, 0}, {0, -1}, {2, 2}};
+  auto b = a * std::span<const Complex>(x_true);
+  for (auto& v : b) v += Complex{rng.gaussian(0, 1e-6), rng.gaussian(0, 1e-6)};
+  const auto x = least_squares(a, b);
+  ASSERT_EQ(x.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-4);
+  }
+}
+
+TEST(LeastSquares, RidgeShrinks) {
+  Matrix a = Matrix::identity(2);
+  const std::vector<Complex> b = {10.0, 10.0};
+  const auto plain = least_squares(a, b, 0.0);
+  const auto ridged = least_squares(a, b, 1.0);
+  EXPECT_NEAR(plain[0].real(), 10.0, 1e-9);
+  EXPECT_NEAR(ridged[0].real(), 5.0, 1e-9);
+}
+
+TEST(ResidualNorm, ZeroForExactSolution) {
+  Matrix a = Matrix::identity(3);
+  const std::vector<Complex> x = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(residual_norm(a, x, x), 0.0, 1e-12);
+  const std::vector<Complex> b = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(residual_norm(a, x, b), 1.0, 1e-12);
+}
+
+TEST(Omp, RecoversSparseSupport) {
+  Rng rng(17);
+  const std::size_t m = 24, n = 12;
+  Matrix a(m, n);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      a.at(r, c) = {rng.gaussian(), rng.gaussian()};
+    }
+  }
+  std::vector<Complex> x_true(n);
+  x_true[2] = {1.0, 0.5};
+  x_true[7] = {-0.8, 0.3};
+  auto y = a * std::span<const Complex>(x_true);
+  const SparseSolution sol = orthogonal_matching_pursuit(a, y, 2);
+  ASSERT_EQ(sol.support.size(), 2u);
+  EXPECT_TRUE((sol.support[0] == 2 && sol.support[1] == 7) ||
+              (sol.support[0] == 7 && sol.support[1] == 2));
+  EXPECT_NEAR(std::abs(sol.coefficients[2] - x_true[2]), 0.0, 1e-6);
+  EXPECT_NEAR(std::abs(sol.coefficients[7] - x_true[7]), 0.0, 1e-6);
+}
+
+TEST(Omp, FullSupportActsAsLeastSquares) {
+  Rng rng(19);
+  Matrix a(8, 4);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      a.at(r, c) = {rng.gaussian(), rng.gaussian()};
+    }
+  }
+  const std::vector<Complex> x_true = {{1, 1}, {2, 0}, {0, -1}, {0.5, 0.5}};
+  const auto y = a * std::span<const Complex>(x_true);
+  const SparseSolution sol = orthogonal_matching_pursuit(a, y, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(sol.coefficients[i] - x_true[i]), 0.0, 1e-6);
+  }
+}
+
+TEST(Omp, ZeroSignal) {
+  Matrix a = Matrix::identity(4);
+  const std::vector<Complex> y(4, Complex{});
+  const SparseSolution sol = orthogonal_matching_pursuit(a, y, 2);
+  EXPECT_TRUE(sol.support.empty());
+}
+
+TEST(Viterbi, FollowsEmissionsWhenUnconstrained) {
+  const double t = std::log(0.5);
+  const Viterbi v({{t, t}, {t, t}}, {t, t});
+  // Emissions prefer state 1 at odd steps.
+  const auto path = v.decode(6, [](std::size_t step, std::size_t state) {
+    return (step % 2 == state) ? 0.0 : -5.0;
+  });
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(path.states[i], i % 2);
+}
+
+TEST(Viterbi, ForbiddenTransitionsBlockPath) {
+  const double t = std::log(0.5);
+  const double no = Viterbi::kForbidden;
+  // State 0 cannot go to state 1 directly.
+  const Viterbi v({{t, no}, {t, t}}, {0.0, no});
+  const auto path = v.decode(3, [](std::size_t, std::size_t) { return 0.0; });
+  for (std::size_t i = 0; i + 1 < path.states.size(); ++i) {
+    EXPECT_FALSE(path.states[i] == 0 && path.states[i + 1] == 1);
+  }
+}
+
+TEST(Viterbi, CorrectsSingleBadEmission) {
+  // Two states that must alternate; one noisy observation mid-sequence
+  // should be overridden by the transition structure.
+  const double no = Viterbi::kForbidden;
+  const Viterbi v({{no, 0.0}, {0.0, no}}, {0.0, no});
+  const auto path = v.decode(5, [](std::size_t step, std::size_t state) {
+    const std::size_t expected = step % 2;
+    if (step == 2) return state == expected ? -3.0 : -1.0;  // lying emission
+    return state == expected ? -0.1 : -10.0;
+  });
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(path.states[i], i % 2);
+}
+
+}  // namespace
+}  // namespace lfbs::dsp

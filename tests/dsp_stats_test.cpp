@@ -1,0 +1,213 @@
+// Tests for src/dsp statistics, filters, and peak detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/filters.h"
+#include "dsp/peaks.h"
+#include "dsp/resample.h"
+#include "dsp/stats.h"
+
+namespace lfbs::dsp {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(2.0));
+}
+
+TEST(Stats, EmptyAndDegenerate) {
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+  const std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Stats, ComplexMean) {
+  const std::vector<Complex> xs = {{1, 1}, {3, -1}};
+  const Complex m = mean(std::span<const Complex>(xs));
+  EXPECT_DOUBLE_EQ(m.real(), 2.0);
+  EXPECT_DOUBLE_EQ(m.imag(), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1, 2, 3, 4}), 2.5);
+}
+
+TEST(Stats, Percentiles) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 50.0);
+  EXPECT_NEAR(percentile(xs, 25.0), 25.0, 1e-9);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 7.0);
+}
+
+TEST(Stats, RmsAndPower) {
+  const std::vector<Complex> xs = {{3, 4}, {3, 4}};  // |x| = 5
+  EXPECT_DOUBLE_EQ(mean_power(xs), 25.0);
+  EXPECT_DOUBLE_EQ(rms(xs), 5.0);
+}
+
+TEST(Stats, HistogramBucketsAndClamping) {
+  const std::vector<double> xs = {-10.0, 0.1, 0.4, 0.6, 0.9, 99.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 3u);  // -10 clamped into first bucket
+  EXPECT_EQ(h[1], 3u);  // 99 clamped into last bucket
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+}
+
+TEST(Filters, MovingAverageFlatSignal) {
+  const std::vector<double> xs(50, 3.0);
+  const auto out = moving_average(xs, 7);
+  for (double v : out) EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(Filters, MovingAverageSmoothsStep) {
+  std::vector<double> xs(20, 0.0);
+  for (std::size_t i = 10; i < 20; ++i) xs[i] = 1.0;
+  const auto out = moving_average(xs, 5);
+  EXPECT_LT(out[9], 1.0);
+  EXPECT_GT(out[9], 0.0);
+  EXPECT_NEAR(out[0], 0.0, 1e-12);
+  EXPECT_NEAR(out[19], 1.0, 1e-12);
+}
+
+TEST(Filters, RemoveDcZeroesMean) {
+  std::vector<Complex> xs = {{1, 2}, {3, 2}, {5, 2}};
+  const auto out = remove_dc(xs);
+  Complex sum{};
+  for (const auto& x : out) sum += x;
+  EXPECT_NEAR(std::abs(sum), 0.0, 1e-12);
+}
+
+TEST(Filters, Diff) {
+  const std::vector<double> xs = {1, 4, 9, 16};
+  const auto d = diff(xs);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[2], 7.0);
+}
+
+TEST(Filters, OnePoleConverges) {
+  OnePole lp(0.5);
+  double y = 0.0;
+  for (int i = 0; i < 32; ++i) y = lp.step(10.0);
+  EXPECT_NEAR(y, 10.0, 1e-4);
+}
+
+TEST(Filters, OnePolePrimesOnFirstSample) {
+  OnePole lp(0.1);
+  EXPECT_DOUBLE_EQ(lp.step(5.0), 5.0);
+}
+
+TEST(Peaks, FindsIsolatedPeaks) {
+  std::vector<double> xs(30, 0.0);
+  xs[5] = 2.0;
+  xs[20] = 3.0;
+  const auto peaks = find_peaks(xs, {.min_value = 1.0, .min_distance = 3});
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 20u);  // sorted by value
+  EXPECT_EQ(peaks[1].index, 5u);
+}
+
+TEST(Peaks, MinDistanceSuppressesNeighbours) {
+  std::vector<double> xs(30, 0.0);
+  xs[10] = 3.0;
+  xs[12] = 2.5;
+  const auto peaks = find_peaks(xs, {.min_value = 1.0, .min_distance = 5});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 10u);
+}
+
+TEST(Peaks, CircularDistance) {
+  std::vector<double> xs(20, 0.0);
+  xs[0] = 3.0;
+  xs[19] = 2.0;  // adjacent to 0 in circular mode
+  const auto linear = find_peaks(xs, {.min_value = 1.0, .min_distance = 3});
+  EXPECT_EQ(linear.size(), 2u);
+  const auto circular = find_peaks(
+      xs, {.min_value = 1.0, .min_distance = 3, .circular = true});
+  EXPECT_EQ(circular.size(), 1u);
+}
+
+TEST(Peaks, PlateauReportsOnce) {
+  std::vector<double> xs(20, 0.0);
+  xs[8] = xs[9] = xs[10] = 2.0;  // flat top
+  const auto peaks = find_peaks(xs, {.min_value = 1.0, .min_distance = 1});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 8u);
+}
+
+TEST(Peaks, ThresholdFiltersNoise) {
+  std::vector<double> xs = {0.1, 0.5, 0.1, 0.9, 0.1};
+  const auto peaks = find_peaks(xs, {.min_value = 0.8, .min_distance = 1});
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 3u);
+}
+
+TEST(Resample, IdentityWhenRatesEqual) {
+  std::vector<Complex> xs = {{1, 0}, {2, 0}, {3, 0}};
+  const auto out = resample_linear(xs, 1e6, 1e6);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(std::abs(out[i] - xs[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Resample, DownsampleByTwoKeepsEverySecond) {
+  std::vector<Complex> xs;
+  for (int i = 0; i < 10; ++i) xs.push_back({static_cast<double>(i), 0.0});
+  const auto out = resample_linear(xs, 2e6, 1e6);
+  ASSERT_GE(out.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(out[i].real(), 2.0 * static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(Resample, UpsampleInterpolatesLinearly) {
+  const std::vector<Complex> xs = {{0, 0}, {1, 1}};
+  const auto out = resample_linear(xs, 1e6, 4e6);
+  ASSERT_GE(out.size(), 4u);
+  EXPECT_NEAR(out[1].real(), 0.25, 1e-12);
+  EXPECT_NEAR(out[2].imag(), 0.5, 1e-12);
+}
+
+TEST(Resample, PreservesToneShape) {
+  // A slow tone resampled down and back keeps its values.
+  std::vector<Complex> xs;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back({std::sin(2 * M_PI * i / 200.0), 0.0});
+  }
+  const auto down = resample_linear(xs, 10e6, 5e6);
+  const auto back = resample_linear(down, 5e6, 10e6);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < std::min(xs.size(), back.size()); ++i) {
+    worst = std::max(worst, std::abs(back[i] - xs[i]));
+  }
+  EXPECT_LT(worst, 0.01);
+}
+
+TEST(Resample, EmptyInput) {
+  EXPECT_TRUE(resample_linear({}, 1e6, 2e6).empty());
+}
+
+}  // namespace
+}  // namespace lfbs::dsp

@@ -1,0 +1,153 @@
+// Tests for the hardware complexity and power models (Table 3 / Fig 13).
+#include <gtest/gtest.h>
+
+#include "energy/duty_cycle.h"
+#include "energy/power_model.h"
+#include "energy/transistor_model.h"
+
+namespace lfbs::energy {
+namespace {
+
+TEST(TransistorModel, MatchesPaperTableThree) {
+  EXPECT_EQ(transistor_count(Protocol::kEpcGen2, false), 22704u);
+  EXPECT_EQ(transistor_count(Protocol::kEpcGen2, true), 34992u);
+  EXPECT_EQ(transistor_count(Protocol::kBuzz, false), 1792u);
+  EXPECT_EQ(transistor_count(Protocol::kBuzz, true), 14080u);
+  EXPECT_EQ(transistor_count(Protocol::kLfBackscatter, false), 176u);
+  EXPECT_EQ(transistor_count(Protocol::kLfBackscatter, true), 176u);
+}
+
+TEST(TransistorModel, BreakdownSumsToTotal) {
+  for (Protocol p : {Protocol::kEpcGen2, Protocol::kBuzz,
+                     Protocol::kLfBackscatter}) {
+    for (bool fifo : {false, true}) {
+      const auto b = transistor_breakdown(p, fifo);
+      EXPECT_EQ(b.total(), transistor_count(p, fifo));
+    }
+  }
+}
+
+TEST(TransistorModel, LfNeedsNoReceivePathOrBuffers) {
+  const auto b = transistor_breakdown(Protocol::kLfBackscatter, true);
+  EXPECT_EQ(b.demodulator, 0u);
+  EXPECT_EQ(b.crc, 0u);
+  EXPECT_EQ(b.fifo, 0u);
+  EXPECT_EQ(b.control_logic, 0u);
+  EXPECT_GT(b.modulator, 0u);
+  EXPECT_GT(b.clocking, 0u);
+}
+
+TEST(TransistorModel, FifoDeltaConsistent) {
+  EXPECT_EQ(transistor_count(Protocol::kEpcGen2, true) -
+                transistor_count(Protocol::kEpcGen2, false),
+            kFifo1KBTransistors);
+  EXPECT_EQ(transistor_count(Protocol::kBuzz, true) -
+                transistor_count(Protocol::kBuzz, false),
+            kFifo1KBTransistors);
+}
+
+TEST(TransistorModel, Names) {
+  EXPECT_EQ(protocol_name(Protocol::kEpcGen2), "EPC Gen 2");
+  EXPECT_EQ(protocol_name(Protocol::kLfBackscatter), "LF-Backscatter");
+}
+
+TEST(PowerModel, OrderingMatchesComplexity) {
+  const PowerModel model;
+  const double lf =
+      model.tag_power(Protocol::kLfBackscatter, 100.0 * kKbps, false).total_w;
+  const double buzz =
+      model.tag_power(Protocol::kBuzz, 100.0 * kKbps, true).total_w;
+  const double gen2 =
+      model.tag_power(Protocol::kEpcGen2, 100.0 * kKbps, true).total_w;
+  EXPECT_LT(lf, buzz);
+  EXPECT_LT(buzz, gen2);
+}
+
+TEST(PowerModel, LfAtCalibrationPoint) {
+  // Calibration anchor: LF-Backscatter at 100 kbps ≈ 31 µW, i.e. ~3200
+  // bits/µJ — the top of Fig 13's y axis.
+  const PowerModel model;
+  const auto p =
+      model.tag_power(Protocol::kLfBackscatter, 100.0 * kKbps, false);
+  EXPECT_NEAR(p.total_w * 1e6, 31.0, 3.0);
+  EXPECT_NEAR(model.bits_per_microjoule(Protocol::kLfBackscatter,
+                                        100.0 * kKbps, 100.0 * kKbps, false),
+              3200.0, 350.0);
+}
+
+TEST(PowerModel, PowerGrowsWithBitrate) {
+  const PowerModel model;
+  const double slow =
+      model.tag_power(Protocol::kLfBackscatter, 1.0 * kKbps, false).total_w;
+  const double fast =
+      model.tag_power(Protocol::kLfBackscatter, 250.0 * kKbps, false).total_w;
+  EXPECT_LT(slow, fast);
+}
+
+TEST(PowerModel, EfficiencyProportionalToGoodput) {
+  const PowerModel model;
+  const double full = model.bits_per_microjoule(
+      Protocol::kBuzz, 100.0 * kKbps, 100.0 * kKbps, true);
+  const double half = model.bits_per_microjoule(
+      Protocol::kBuzz, 100.0 * kKbps, 50.0 * kKbps, true);
+  EXPECT_NEAR(full / half, 2.0, 1e-9);
+}
+
+TEST(PowerModel, Gen2PaysForDecodeClock) {
+  const PowerModel model;
+  const auto gen2 = model.tag_power(Protocol::kEpcGen2, 100.0 * kKbps, true);
+  const auto buzz = model.tag_power(Protocol::kBuzz, 100.0 * kKbps, true);
+  // Gen 2 digital power dominated by the always-on decode clock.
+  EXPECT_GT(gen2.digital_w, 10.0 * buzz.digital_w);
+}
+
+TEST(DutyCycle, OneHzSensorIsBatteryless) {
+  // The §1 claim: a blind 1 Hz temperature sensor lands well under 10 uW.
+  const PowerModel model;
+  SenseTransmitLoop loop;
+  loop.sample_rate_hz = 1.0;
+  loop.bits_per_sample = 16.0;
+  loop.tx_rate = 10.0 * kKbps;
+  EXPECT_LT(loop.duty_cycle(), 0.01);
+  EXPECT_LT(loop.average_power_w(model, Protocol::kLfBackscatter), 10e-6);
+}
+
+TEST(DutyCycle, ListeningProtocolsPayTensOfMicrowatts) {
+  const PowerModel model;
+  SenseTransmitLoop loop;
+  loop.sample_rate_hz = 1.0;
+  loop.bits_per_sample = 16.0;
+  loop.tx_rate = 10.0 * kKbps;
+  const double lf = loop.average_power_w(model, Protocol::kLfBackscatter);
+  const double buzz = loop.average_power_w(model, Protocol::kBuzz);
+  const double gen2 = loop.average_power_w(model, Protocol::kEpcGen2);
+  // "increases power consumption by several tens of uW over a simpler
+  // design" (§1).
+  EXPECT_GT(buzz - lf, 10e-6);
+  EXPECT_GT(gen2 - lf, 20e-6);
+}
+
+TEST(DutyCycle, StreamingStaysTensOfMicrowatts) {
+  // "hundreds of Kbps while consuming only tens of micro-watts" (§1).
+  const PowerModel model;
+  SenseTransmitLoop mic;
+  mic.sample_rate_hz = 8000.0;
+  mic.bits_per_sample = 8.0;
+  mic.tx_rate = 100.0 * kKbps;
+  mic.sense_energy_j = 4e-9;
+  const double p = mic.average_power_w(model, Protocol::kLfBackscatter);
+  EXPECT_GT(p, 10e-6);
+  EXPECT_LT(p, 100e-6);
+}
+
+TEST(DutyCycle, SaturatesAtFullDuty) {
+  SenseTransmitLoop loop;
+  loop.sample_rate_hz = 1e6;
+  loop.bits_per_sample = 8.0;
+  loop.tx_rate = 100.0 * kKbps;  // oversubscribed
+  EXPECT_DOUBLE_EQ(loop.duty_cycle(), 1.0);
+  EXPECT_DOUBLE_EQ(loop.effective_bitrate(), 100.0 * kKbps);
+}
+
+}  // namespace
+}  // namespace lfbs::energy

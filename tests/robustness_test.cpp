@@ -1,0 +1,129 @@
+// Hardening tests: the decoder must degrade gracefully — never crash,
+// never fabricate CRC-valid frames — on degenerate, hostile, or absurd
+// inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/ask_decoder.h"
+#include "channel/noise.h"
+#include "core/windowed_decoder.h"
+
+namespace lfbs::core {
+namespace {
+
+DecodeResult decode(const signal::SampleBuffer& buffer) {
+  return LfDecoder{DecoderConfig{}}.decode(buffer);
+}
+
+TEST(Robustness, EmptyBuffer) {
+  const auto result = decode(signal::SampleBuffer{});
+  EXPECT_TRUE(result.streams.empty());
+  EXPECT_EQ(result.diagnostics.edges, 0u);
+}
+
+TEST(Robustness, SingleSample) {
+  signal::SampleBuffer buf(25.0 * kMsps, 1);
+  buf[0] = {1.0, 1.0};
+  const auto result = decode(buf);
+  EXPECT_TRUE(result.valid_payloads().empty());
+}
+
+TEST(Robustness, AllZeros) {
+  const signal::SampleBuffer buf(25.0 * kMsps, 50000);
+  const auto result = decode(buf);
+  EXPECT_TRUE(result.streams.empty());
+}
+
+TEST(Robustness, ConstantDc) {
+  signal::SampleBuffer buf(25.0 * kMsps, 50000);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = {3.0, -2.0};
+  const auto result = decode(buf);
+  EXPECT_TRUE(result.valid_payloads().empty());
+}
+
+TEST(Robustness, SingleStepNoStream) {
+  // One lonely toggle is not a stream (min_edges).
+  signal::SampleBuffer buf(25.0 * kMsps, 50000);
+  for (std::size_t i = 25000; i < buf.size(); ++i) buf[i] = {0.2, 0.1};
+  const auto result = decode(buf);
+  EXPECT_TRUE(result.valid_payloads().empty());
+}
+
+TEST(Robustness, ExtremeAmplitudes) {
+  Rng rng(3);
+  signal::SampleBuffer buf(25.0 * kMsps, 50000);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = {rng.gaussian(0.0, 1e6), rng.gaussian(0.0, 1e6)};
+  }
+  const auto result = decode(buf);  // must not crash or hang
+  for (const auto& s : result.streams) {
+    EXPECT_TRUE(std::isfinite(s.snr_db));
+  }
+}
+
+TEST(Robustness, TinyAmplitudes) {
+  Rng rng(4);
+  signal::SampleBuffer buf(25.0 * kMsps, 50000);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = {rng.gaussian(0.0, 1e-12), rng.gaussian(0.0, 1e-12)};
+  }
+  const auto result = decode(buf);
+  EXPECT_TRUE(result.valid_payloads().empty());
+}
+
+TEST(Robustness, SquareWaveAtInvalidRate) {
+  // A strong periodic toggle at a rate *not* in the plan: the decoder may
+  // lock to the nearest valid lattice but must not emit CRC-valid frames.
+  signal::SampleBuffer buf(25.0 * kMsps, 100000);
+  const double period = 333.3;  // ~75 kbps: not a paper rate
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const bool on = std::fmod(static_cast<double>(i), 2.0 * period) < period;
+    buf[i] = on ? Complex{0.1, 0.05} : Complex{0.0, 0.0};
+  }
+  const auto result = decode(buf);
+  EXPECT_TRUE(result.valid_payloads().empty());
+}
+
+TEST(Robustness, NoisePlusToneNeverValidatesFrames) {
+  // 100 random-noise buffers: the CRC-16 must hold the fabricated-frame
+  // rate at (essentially) zero.
+  std::size_t fabricated = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng rng(100 + trial);
+    signal::SampleBuffer buf(5.0 * kMsps, 30000);
+    channel::add_awgn(buf, 0.01, rng);
+    fabricated += decode(buf).valid_payloads().size();
+  }
+  EXPECT_EQ(fabricated, 0u);
+}
+
+TEST(Robustness, WindowedDecoderDegenerateInputs) {
+  const WindowedDecoder decoder{WindowedDecoderConfig{}};
+  EXPECT_TRUE(decoder.decode(signal::SampleBuffer{}).streams.empty());
+  signal::SampleBuffer dc(25.0 * kMsps, 2000000);  // 80 ms of DC
+  for (std::size_t i = 0; i < dc.size(); ++i) dc[i] = {1.0, 0.0};
+  EXPECT_TRUE(decoder.decode(dc).valid_payloads().empty());
+}
+
+TEST(Robustness, AskDecoderDegenerateInputs) {
+  const baseline::AskDecoder ask{baseline::AskDecoderConfig{}};
+  EXPECT_TRUE(ask.decode(signal::SampleBuffer{}).bits.empty());
+  signal::SampleBuffer constant(5.0 * kMsps, 10000);
+  for (std::size_t i = 0; i < constant.size(); ++i) constant[i] = {0.7, 0.0};
+  EXPECT_TRUE(ask.decode(constant).bits.empty());
+}
+
+TEST(Robustness, DecoderIsPureFunction) {
+  // Decoding must not mutate the input buffer.
+  Rng rng(5);
+  signal::SampleBuffer buf(5.0 * kMsps, 20000);
+  channel::add_awgn(buf, 0.001, rng);
+  buf[777] = {0.25, -0.5};
+  const Complex before = buf[777];
+  (void)decode(buf);
+  EXPECT_EQ(buf[777], before);
+}
+
+}  // namespace
+}  // namespace lfbs::core

@@ -1,0 +1,262 @@
+// Tests for src/signal: buffers, waveform synthesis, edge detection, and
+// eye-pattern folding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "signal/edge_detector.h"
+#include "signal/eye_pattern.h"
+#include "signal/iq_io.h"
+#include "signal/sample_buffer.h"
+#include "signal/waveform.h"
+
+namespace lfbs::signal {
+namespace {
+
+TEST(SampleBuffer, TimeIndexMapping) {
+  SampleBuffer buf(1e6, 1000);
+  EXPECT_DOUBLE_EQ(buf.duration(), 1e-3);
+  EXPECT_EQ(buf.index_of(500e-6), 500);
+  EXPECT_DOUBLE_EQ(buf.time_of(250), 250e-6);
+  EXPECT_EQ(buf.index_of(-1.0), 0);           // clamped
+  EXPECT_EQ(buf.index_of(10.0), 999);         // clamped
+}
+
+TEST(SampleBuffer, AccumulateAddsElementwise) {
+  SampleBuffer a(1e6, 4), b(1e6, 4);
+  a[0] = {1, 1};
+  b[0] = {2, -1};
+  a.accumulate(b);
+  EXPECT_EQ(a[0], (Complex{3, 0}));
+}
+
+TEST(SampleBuffer, WindowedMeans) {
+  std::vector<Complex> xs(10);
+  for (int i = 0; i < 10; ++i) xs[i] = {static_cast<double>(i), 0.0};
+  // Mean of [2, 5) = (2+3+4)/3 = 3.
+  EXPECT_NEAR(windowed_mean_before(xs, 5, 3).real(), 3.0, 1e-12);
+  // Mean of [5, 8) = 6.
+  EXPECT_NEAR(windowed_mean_after(xs, 5, 3).real(), 6.0, 1e-12);
+  // Clamped at the buffer edge.
+  std::size_t count = 0;
+  windowed_mean_before(xs, 1, 5, &count);
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(StateTimeline, LevelsBetweenTransitions) {
+  StateTimeline tl(0.0);
+  tl.add(1e-3, 1.0);
+  tl.add(2e-3, 0.0);
+  EXPECT_DOUBLE_EQ(tl.level_at(0.5e-3), 0.0);
+  EXPECT_DOUBLE_EQ(tl.level_at(1.5e-3), 1.0);
+  EXPECT_DOUBLE_EQ(tl.level_at(2.5e-3), 0.0);
+}
+
+TEST(StateTimeline, CoalescesNoOpTransitions) {
+  StateTimeline tl(0.0);
+  tl.add(1e-3, 0.0);  // no-op
+  EXPECT_TRUE(tl.empty());
+  tl.add(2e-3, 1.0);
+  tl.add(3e-3, 1.0);  // no-op
+  EXPECT_EQ(tl.transitions().size(), 1u);
+}
+
+TEST(StateTimeline, RenderStepAndRamp) {
+  StateTimeline tl(0.0);
+  tl.add(50e-6, 1.0);
+  const auto levels = tl.render(1e6, 100, 4e-6);  // 4-sample ramp
+  EXPECT_DOUBLE_EQ(levels[40], 0.0);
+  EXPECT_DOUBLE_EQ(levels[60], 1.0);
+  // Mid-ramp sample is strictly between the levels.
+  EXPECT_GT(levels[50], 0.2);
+  EXPECT_LT(levels[50], 0.8);
+}
+
+TEST(StateTimeline, RenderZeroRiseTimeIsSharp) {
+  StateTimeline tl(0.0);
+  tl.add(50e-6, 1.0);
+  const auto levels = tl.render(1e6, 100, 0.0);
+  EXPECT_DOUBLE_EQ(levels[49], 0.0);
+  EXPECT_DOUBLE_EQ(levels[51], 1.0);
+}
+
+TEST(NrzTimeline, EncodesBitsAndReturnsToIdle) {
+  const std::vector<bool> bits = {true, true, false, true};
+  const StateTimeline tl = nrz_timeline(bits, 1e-3, 1e-4);
+  EXPECT_DOUBLE_EQ(tl.level_at(1.05e-3), 1.0);   // bit 0
+  EXPECT_DOUBLE_EQ(tl.level_at(1.15e-3), 1.0);   // bit 1 (no edge)
+  EXPECT_DOUBLE_EQ(tl.level_at(1.25e-3), 0.0);   // bit 2
+  EXPECT_DOUBLE_EQ(tl.level_at(1.35e-3), 1.0);   // bit 3
+  EXPECT_DOUBLE_EQ(tl.level_at(1.45e-3), 0.0);   // idle after the frame
+}
+
+class EdgeDetectorTest : public ::testing::Test {
+ protected:
+  /// A buffer with steps of the given complex amplitude at the positions.
+  SampleBuffer make_buffer(const std::vector<SampleIndex>& positions,
+                           Complex amplitude, double noise, Rng& rng) {
+    SampleBuffer buf(1e6, 2000);
+    double level = 0.0;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (next < positions.size() &&
+          static_cast<SampleIndex>(i) >= positions[next]) {
+        level = level > 0.5 ? 0.0 : 1.0;
+        ++next;
+      }
+      buf[i] = amplitude * level +
+               Complex{rng.gaussian(0.0, noise), rng.gaussian(0.0, noise)};
+    }
+    return buf;
+  }
+};
+
+TEST_F(EdgeDetectorTest, FindsAllEdgesAtPositions) {
+  Rng rng(1);
+  const std::vector<SampleIndex> positions = {200, 500, 800, 1400};
+  const auto buf = make_buffer(positions, {0.1, 0.05}, 1e-4, rng);
+  const EdgeDetector det({.window = 6, .guard = 2});
+  const auto edges = det.detect(buf);
+  ASSERT_EQ(edges.size(), positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_NEAR(edges[i].position, static_cast<double>(positions[i]), 3.0);
+  }
+}
+
+TEST_F(EdgeDetectorTest, DifferentialSignAlternates) {
+  Rng rng(2);
+  const auto buf = make_buffer({300, 700}, {0.1, 0.0}, 1e-4, rng);
+  const EdgeDetector det({.window = 6, .guard = 2});
+  const auto edges = det.detect(buf);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_GT(edges[0].differential.real(), 0.05);   // rising
+  EXPECT_LT(edges[1].differential.real(), -0.05);  // falling
+}
+
+TEST_F(EdgeDetectorTest, NoEdgesInPureNoise) {
+  Rng rng(3);
+  SampleBuffer buf(1e6, 2000);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = {rng.gaussian(0.0, 1e-3), rng.gaussian(0.0, 1e-3)};
+  }
+  EdgeDetectorConfig cfg{.window = 6, .guard = 2};
+  cfg.min_strength = 1e-3;
+  const EdgeDetector det(cfg);
+  EXPECT_LE(det.detect(buf).size(), 2u);  // a couple of flukes at most
+}
+
+TEST_F(EdgeDetectorTest, DifferentialCancelsStaticBackground) {
+  Rng rng(4);
+  auto buf = make_buffer({600}, {0.1, -0.02}, 1e-4, rng);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] += Complex{3.0, 1.0};
+  const EdgeDetector det({.window = 6, .guard = 2});
+  const auto edges = det.detect(buf);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_NEAR(edges[0].differential.real(), 0.1, 0.01);
+  EXPECT_NEAR(edges[0].differential.imag(), -0.02, 0.01);
+}
+
+TEST_F(EdgeDetectorTest, MinSeparationMergesClosePair) {
+  Rng rng(5);
+  const auto buf = make_buffer({400, 402}, {0.1, 0.0}, 1e-4, rng);
+  EdgeDetectorConfig cfg{.window = 4, .guard = 1};
+  cfg.min_separation = 8;
+  const EdgeDetector det(cfg);
+  EXPECT_EQ(det.detect(buf).size(), 1u);
+}
+
+TEST(EyePattern, FoldsPeriodicEdgesToOneOffset) {
+  std::vector<Edge> edges;
+  for (int k = 0; k < 40; ++k) {
+    edges.push_back({.position = 37.0 + 250.0 * k, .differential = {}, .strength = 1.0});
+  }
+  EyePattern eye(250.0, 125);
+  eye.fold_edges(edges);
+  const auto offsets = eye.peak_offsets(5.0, 10.0);
+  ASSERT_GE(offsets.size(), 1u);
+  EXPECT_NEAR(offsets[0], 37.0, 3.0);
+}
+
+TEST(EyePattern, SeparatesTwoStreams) {
+  std::vector<Edge> edges;
+  for (int k = 0; k < 40; ++k) {
+    edges.push_back({.position = 30.0 + 250.0 * k, .differential = {}, .strength = 1.0});
+    edges.push_back({.position = 130.0 + 250.0 * k, .differential = {}, .strength = 1.0});
+  }
+  EyePattern eye(250.0, 125);
+  eye.fold_edges(edges);
+  const auto offsets = eye.peak_offsets(5.0, 20.0);
+  ASSERT_EQ(offsets.size(), 2u);
+  const double lo = std::min(offsets[0], offsets[1]);
+  const double hi = std::max(offsets[0], offsets[1]);
+  EXPECT_NEAR(lo, 30.0, 3.0);
+  EXPECT_NEAR(hi, 130.0, 3.0);
+}
+
+TEST(EyePattern, SeriesFoldingSmoothsNoise) {
+  Rng rng(6);
+  std::vector<double> series(250 * 50, 0.0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    series[i] = std::abs(rng.gaussian(0.0, 0.1));
+    if (i % 250 == 60) series[i] += 1.0;  // periodic pulse
+  }
+  EyePattern eye(250.0, 250);
+  eye.fold_series(series);
+  const auto offsets = eye.peak_offsets(3.0, 10.0);
+  ASSERT_GE(offsets.size(), 1u);
+  EXPECT_NEAR(offsets[0], 60.5, 2.0);
+}
+
+TEST(EyePattern, ResetClearsAccumulator) {
+  EyePattern eye(100.0, 50);
+  std::vector<Edge> edges = {{.position = 10.0, .differential = {}, .strength = 5.0}};
+  eye.fold_edges(edges);
+  eye.reset();
+  for (double v : eye.histogram()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(IqIo, RoundTripPreservesSamples) {
+  Rng rng(7);
+  SampleBuffer buf(12.5e6, 5000);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = {rng.gaussian(), rng.gaussian()};
+  }
+  const std::string path = ::testing::TempDir() + "roundtrip.lfbsiq";
+  save_iq(buf, path);
+  const SampleBuffer loaded = load_iq(path);
+  ASSERT_EQ(loaded.size(), buf.size());
+  EXPECT_DOUBLE_EQ(loaded.sample_rate(), buf.sample_rate());
+  for (std::size_t i = 0; i < buf.size(); i += 137) {
+    // float32 payload: ~7 significant digits.
+    EXPECT_NEAR(loaded[i].real(), buf[i].real(), 1e-6 + 1e-6 * std::abs(buf[i]));
+    EXPECT_NEAR(loaded[i].imag(), buf[i].imag(), 1e-6 + 1e-6 * std::abs(buf[i]));
+  }
+}
+
+TEST(IqIo, EmptyBufferRoundTrip) {
+  SampleBuffer buf(1e6, std::size_t{0});
+  const std::string path = ::testing::TempDir() + "empty.lfbsiq";
+  save_iq(buf, path);
+  const SampleBuffer loaded = load_iq(path);
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_DOUBLE_EQ(loaded.sample_rate(), 1e6);
+}
+
+TEST(IqIo, RejectsMissingFile) {
+  EXPECT_THROW(load_iq("/nonexistent/nope.lfbsiq"), CheckError);
+}
+
+TEST(IqIo, RejectsGarbageHeader) {
+  const std::string path = ::testing::TempDir() + "garbage.lfbsiq";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not an IQ capture at all";
+  }
+  EXPECT_THROW(load_iq(path), CheckError);
+}
+
+}  // namespace
+}  // namespace lfbs::signal

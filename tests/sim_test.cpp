@@ -1,0 +1,162 @@
+// Tests for the simulation substrate: scenarios, metrics, tables, and the
+// §2.4 collision math.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/collision_math.h"
+#include "sim/metrics.h"
+#include "sim/plot.h"
+#include "sim/scenario.h"
+#include "sim/table.h"
+
+namespace lfbs::sim {
+namespace {
+
+TEST(Scenario, DeterministicGivenSeed) {
+  ScenarioConfig cfg;
+  cfg.num_tags = 4;
+  Rng rng1(55), rng2(55);
+  Scenario a(cfg, rng1), b(cfg, rng2);
+  auto ra = a.run_epoch(a.default_decoder(), rng1);
+  auto rb = b.run_epoch(b.default_decoder(), rng2);
+  EXPECT_EQ(ra.payloads_recovered, rb.payloads_recovered);
+  EXPECT_EQ(ra.sent_payloads, rb.sent_payloads);
+}
+
+TEST(Scenario, RecoversMostTagsAtPaperScale) {
+  ScenarioConfig cfg;
+  cfg.num_tags = 8;
+  Rng rng(77);
+  Scenario scenario(cfg, rng);
+  const auto outcome = scenario.run_epoch(scenario.default_decoder(), rng);
+  EXPECT_EQ(outcome.sent_payloads.size(), 8u);
+  EXPECT_GE(outcome.payloads_recovered, 6u);
+  EXPECT_EQ(outcome.bits_recovered, outcome.payloads_recovered * 96);
+}
+
+TEST(Scenario, RatesAssignedPerTag) {
+  ScenarioConfig cfg;
+  cfg.num_tags = 3;
+  cfg.rates = {10.0 * kKbps, 100.0 * kKbps};
+  Rng rng(5);
+  Scenario scenario(cfg, rng);
+  EXPECT_DOUBLE_EQ(scenario.rate_of(0), 10.0 * kKbps);
+  EXPECT_DOUBLE_EQ(scenario.rate_of(1), 100.0 * kKbps);
+  EXPECT_DOUBLE_EQ(scenario.rate_of(2), 100.0 * kKbps);  // last repeats
+}
+
+TEST(Scenario, DefaultDecoderCoversConfiguredRates) {
+  ScenarioConfig cfg;
+  cfg.rates = {25.0 * kKbps};  // not a paper rate
+  Rng rng(6);
+  Scenario scenario(cfg, rng);
+  const auto dc = scenario.default_decoder();
+  EXPECT_TRUE(dc.rate_plan.is_valid(25.0 * kKbps));
+}
+
+TEST(Metrics, ThroughputMeter) {
+  ThroughputMeter meter;
+  EXPECT_DOUBLE_EQ(meter.goodput(), 0.0);
+  meter.add(1000, 1e-3);
+  meter.add(500, 0.5e-3);
+  EXPECT_NEAR(meter.goodput(), 1e6, 1.0);
+  EXPECT_EQ(meter.bits(), 1500u);
+}
+
+TEST(Metrics, BerMeterComparesAndCountsMissing) {
+  BerMeter meter;
+  meter.compare({true, false, true, true}, {true, true, true});
+  // One mismatch plus one missing bit.
+  EXPECT_EQ(meter.errors(), 2u);
+  EXPECT_EQ(meter.bits(), 4u);
+  EXPECT_DOUBLE_EQ(meter.ber(), 0.5);
+}
+
+TEST(Table, AlignsAndPrints) {
+  Table t({"a", "long header"});
+  t.add_row({"1", "x"});
+  t.add_row({"22", "yy"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a  | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 | yy"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(7.94), "7.9x");
+  EXPECT_EQ(fmt_percent(0.805), "80.5%");
+}
+
+TEST(CollisionMath, EdgeCapacityMatchesPaper) {
+  CollisionModel model;  // 250 samples/bit, 3-sample edges
+  EXPECT_NEAR(model.edge_capacity(), 83.3, 0.1);
+}
+
+TEST(CollisionMath, ClosedFormMatchesMonteCarlo) {
+  Rng rng(9);
+  CollisionModel model;
+  for (std::size_t k : {1u, 2u, 3u}) {
+    const double cf = model.collision_probability(k);
+    const double mc = model.monte_carlo(k, 100000, rng);
+    EXPECT_NEAR(mc, cf, 0.01) << "k=" << k;
+  }
+}
+
+TEST(CollisionMath, ProbabilitiesDecreaseInK) {
+  CollisionModel model;
+  EXPECT_GT(model.collision_probability(1), model.collision_probability(2));
+  EXPECT_GT(model.collision_probability(2), model.collision_probability(3));
+  EXPECT_GT(model.collision_probability(3), model.collision_probability(4));
+}
+
+TEST(CollisionMath, SlowerRatesCollideLess) {
+  CollisionModel fast;                 // 250 samples per bit
+  CollisionModel slow = fast;
+  slow.samples_per_bit = 2500.0;       // 10 kbps at 25 Msps
+  EXPECT_LT(slow.collision_probability(2), fast.collision_probability(2));
+}
+
+TEST(CollisionMath, InPaperBallpark) {
+  // §2.4: P(2-node) = 0.1890, P(3-node) = 0.0181 at 16 nodes / 100 kbps.
+  // Our definition lands in the same ballpark (see bench_sec24 for the
+  // side-by-side).
+  CollisionModel model;
+  EXPECT_NEAR(model.collision_probability(2), 0.189, 0.06);
+  EXPECT_NEAR(model.collision_probability(3), 0.0181, 0.01);
+}
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  AsciiPlot plot(20, 5);
+  plot.add_series("up", {0, 1, 2}, {0, 1, 2});
+  plot.add_series("down", {0, 1, 2}, {2, 1, 0});
+  std::ostringstream os;
+  plot.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find("up"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleHandlesZeros) {
+  AsciiPlot plot(20, 5);
+  plot.set_log_y(true);
+  plot.add_series("ber", {0, 1, 2, 3}, {0.5, 0.01, 0.0, 0.0});
+  std::ostringstream os;
+  plot.print(os);  // must not throw or emit NaN axis labels
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeries) {
+  AsciiPlot plot(20, 5);
+  plot.add_series("flat", {0, 1}, {3.0, 3.0});
+  std::ostringstream os;
+  plot.print(os);
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lfbs::sim

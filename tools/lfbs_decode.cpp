@@ -1,0 +1,136 @@
+// lfbs_decode: decode an LFBSIQ1 capture file and print what was heard.
+//
+// Usage:
+//   lfbs_decode <capture.lfbsiq> [--crc5] [--payload N] [--max-rate KBPS]
+//               [--windowed MS] [--edge-only] [--resample MSPS] [--trace]
+//
+// Exit status: 0 when at least one CRC-valid frame was decoded.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "core/windowed_decoder.h"
+#include "dsp/resample.h"
+#include "signal/iq_io.h"
+#include "sim/table.h"
+
+using namespace lfbs;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: lfbs_decode <capture.lfbsiq> [--crc5] [--payload N] "
+               "[--max-rate KBPS] [--windowed MS] [--edge-only] "
+               "[--resample MSPS] [--trace]\n");
+}
+
+std::string bits_hex(const std::vector<bool>& bits) {
+  std::string out;
+  for (std::size_t i = 0; i < bits.size(); i += 4) {
+    unsigned nibble = 0;
+    for (std::size_t b = 0; b < 4 && i + b < bits.size(); ++b) {
+      nibble = (nibble << 1) | (bits[i + b] ? 1u : 0u);
+    }
+    out += "0123456789abcdef"[nibble & 0xF];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string path = argv[1];
+  core::DecoderConfig dc;
+  double window_ms = 0.0;
+  double resample_msps = 0.0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--crc5") {
+      dc.frame.crc = protocol::CrcKind::kCrc5;
+    } else if (arg == "--payload" && i + 1 < argc) {
+      dc.frame.payload_bits = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--max-rate" && i + 1 < argc) {
+      dc.max_rate = atof(argv[++i]) * kKbps;
+      if (!dc.rate_plan.is_valid(dc.max_rate)) {
+        dc.rate_plan.rates.push_back(dc.max_rate);
+      }
+    } else if (arg == "--windowed" && i + 1 < argc) {
+      window_ms = atof(argv[++i]);
+    } else if (arg == "--resample" && i + 1 < argc) {
+      resample_msps = atof(argv[++i]);
+    } else if (arg == "--edge-only") {
+      dc.collision_recovery = false;
+      dc.error_correction = false;
+    } else if (arg == "--trace") {
+      dc.trace = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  signal::SampleBuffer buffer{1e6, std::size_t{0}};
+  try {
+    buffer = signal::load_iq(path);
+  } catch (const lfbs::CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (resample_msps > 0.0 &&
+      std::abs(resample_msps * 1e6 - buffer.sample_rate()) > 1.0) {
+    auto samples = dsp::resample_linear(buffer.span(), buffer.sample_rate(),
+                                        resample_msps * 1e6);
+    std::printf("resampled %.6g -> %.6g Msps\n", buffer.sample_rate() / 1e6,
+                resample_msps);
+    buffer = signal::SampleBuffer(resample_msps * 1e6, std::move(samples));
+  }
+  std::printf("%s: %zu samples at %.6g Msps (%.3f ms)\n", path.c_str(),
+              buffer.size(), buffer.sample_rate() / 1e6,
+              buffer.duration() * 1e3);
+
+  core::DecodeResult result;
+  if (window_ms > 0.0) {
+    core::WindowedDecoderConfig wc;
+    wc.decoder = dc;
+    wc.window = window_ms * 1e-3;
+    result = core::WindowedDecoder(wc).decode(buffer);
+  } else {
+    result = core::LfDecoder(dc).decode(buffer);
+  }
+
+  std::printf("edges=%zu groups=%zu collisions=%zu unresolved=%zu\n",
+              result.diagnostics.edges, result.diagnostics.groups,
+              result.diagnostics.collision_groups,
+              result.diagnostics.unresolved_groups);
+
+  sim::Table table({"stream", "start (us)", "rate", "SNR (dB)", "collided",
+                    "bits", "frames ok/total", "first payload (hex)"});
+  std::size_t valid_total = 0;
+  for (std::size_t i = 0; i < result.streams.size(); ++i) {
+    const auto& s = result.streams[i];
+    std::size_t ok = 0;
+    std::string first;
+    for (const auto& f : s.frames) {
+      if (f.valid()) {
+        if (first.empty()) first = bits_hex(f.payload);
+        ++ok;
+      }
+    }
+    valid_total += ok;
+    table.add_row({std::to_string(i),
+                   sim::fmt(s.start_sample / buffer.sample_rate() * 1e6, 1),
+                   format_rate(s.rate), sim::fmt(s.snr_db, 1),
+                   s.collided ? "yes" : "no", std::to_string(s.bits.size()),
+                   std::to_string(ok) + "/" + std::to_string(s.frames.size()),
+                   first.empty() ? "-" : first});
+  }
+  table.print();
+  return valid_total > 0 ? 0 : 1;
+}

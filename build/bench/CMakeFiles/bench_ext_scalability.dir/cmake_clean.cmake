@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_scalability.dir/bench_ext_scalability.cpp.o"
+  "CMakeFiles/bench_ext_scalability.dir/bench_ext_scalability.cpp.o.d"
+  "bench_ext_scalability"
+  "bench_ext_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_parallelogram.dir/bench_fig05_parallelogram.cpp.o"
+  "CMakeFiles/bench_fig05_parallelogram.dir/bench_fig05_parallelogram.cpp.o.d"
+  "bench_fig05_parallelogram"
+  "bench_fig05_parallelogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_parallelogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bitrate.dir/bench_fig10_bitrate.cpp.o"
+  "CMakeFiles/bench_fig10_bitrate.dir/bench_fig10_bitrate.cpp.o.d"
+  "bench_fig10_bitrate"
+  "bench_fig10_bitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_identification.dir/bench_fig12_identification.cpp.o"
+  "CMakeFiles/bench_fig12_identification.dir/bench_fig12_identification.cpp.o.d"
+  "bench_fig12_identification"
+  "bench_fig12_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_snr_ber.dir/bench_fig14_snr_ber.cpp.o"
+  "CMakeFiles/bench_fig14_snr_ber.dir/bench_fig14_snr_ber.cpp.o.d"
+  "bench_fig14_snr_ber"
+  "bench_fig14_snr_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_snr_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

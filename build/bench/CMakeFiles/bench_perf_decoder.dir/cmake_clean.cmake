@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_decoder.dir/bench_perf_decoder.cpp.o"
+  "CMakeFiles/bench_perf_decoder.dir/bench_perf_decoder.cpp.o.d"
+  "bench_perf_decoder"
+  "bench_perf_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

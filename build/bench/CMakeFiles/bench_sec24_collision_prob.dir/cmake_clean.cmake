@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec24_collision_prob.dir/bench_sec24_collision_prob.cpp.o"
+  "CMakeFiles/bench_sec24_collision_prob.dir/bench_sec24_collision_prob.cpp.o.d"
+  "bench_sec24_collision_prob"
+  "bench_sec24_collision_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec24_collision_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec24_collision_prob.
+# This may be replaced when dependencies are built.

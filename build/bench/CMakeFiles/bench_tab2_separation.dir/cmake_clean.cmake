@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_separation.dir/bench_tab2_separation.cpp.o"
+  "CMakeFiles/bench_tab2_separation.dir/bench_tab2_separation.cpp.o.d"
+  "bench_tab2_separation"
+  "bench_tab2_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_transistors.dir/bench_tab3_transistors.cpp.o"
+  "CMakeFiles/bench_tab3_transistors.dir/bench_tab3_transistors.cpp.o.d"
+  "bench_tab3_transistors"
+  "bench_tab3_transistors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_transistors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

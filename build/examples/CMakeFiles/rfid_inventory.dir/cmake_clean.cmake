@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_inventory.dir/rfid_inventory.cpp.o"
+  "CMakeFiles/rfid_inventory.dir/rfid_inventory.cpp.o.d"
+  "rfid_inventory"
+  "rfid_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

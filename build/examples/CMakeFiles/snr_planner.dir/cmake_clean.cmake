@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snr_planner.dir/snr_planner.cpp.o"
+  "CMakeFiles/snr_planner.dir/snr_planner.cpp.o.d"
+  "snr_planner"
+  "snr_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snr_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

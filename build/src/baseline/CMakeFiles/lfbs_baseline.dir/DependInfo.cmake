@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/ask_decoder.cpp" "src/baseline/CMakeFiles/lfbs_baseline.dir/ask_decoder.cpp.o" "gcc" "src/baseline/CMakeFiles/lfbs_baseline.dir/ask_decoder.cpp.o.d"
+  "/root/repo/src/baseline/buzz.cpp" "src/baseline/CMakeFiles/lfbs_baseline.dir/buzz.cpp.o" "gcc" "src/baseline/CMakeFiles/lfbs_baseline.dir/buzz.cpp.o.d"
+  "/root/repo/src/baseline/cluster_only.cpp" "src/baseline/CMakeFiles/lfbs_baseline.dir/cluster_only.cpp.o" "gcc" "src/baseline/CMakeFiles/lfbs_baseline.dir/cluster_only.cpp.o.d"
+  "/root/repo/src/baseline/gen2.cpp" "src/baseline/CMakeFiles/lfbs_baseline.dir/gen2.cpp.o" "gcc" "src/baseline/CMakeFiles/lfbs_baseline.dir/gen2.cpp.o.d"
+  "/root/repo/src/baseline/tdma.cpp" "src/baseline/CMakeFiles/lfbs_baseline.dir/tdma.cpp.o" "gcc" "src/baseline/CMakeFiles/lfbs_baseline.dir/tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/lfbs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lfbs_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/lfbs_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/lfbs_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

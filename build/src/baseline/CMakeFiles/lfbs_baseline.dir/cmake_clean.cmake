@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_baseline.dir/ask_decoder.cpp.o"
+  "CMakeFiles/lfbs_baseline.dir/ask_decoder.cpp.o.d"
+  "CMakeFiles/lfbs_baseline.dir/buzz.cpp.o"
+  "CMakeFiles/lfbs_baseline.dir/buzz.cpp.o.d"
+  "CMakeFiles/lfbs_baseline.dir/cluster_only.cpp.o"
+  "CMakeFiles/lfbs_baseline.dir/cluster_only.cpp.o.d"
+  "CMakeFiles/lfbs_baseline.dir/gen2.cpp.o"
+  "CMakeFiles/lfbs_baseline.dir/gen2.cpp.o.d"
+  "CMakeFiles/lfbs_baseline.dir/tdma.cpp.o"
+  "CMakeFiles/lfbs_baseline.dir/tdma.cpp.o.d"
+  "liblfbs_baseline.a"
+  "liblfbs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblfbs_baseline.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_channel.dir/channel_model.cpp.o"
+  "CMakeFiles/lfbs_channel.dir/channel_model.cpp.o.d"
+  "CMakeFiles/lfbs_channel.dir/dynamics.cpp.o"
+  "CMakeFiles/lfbs_channel.dir/dynamics.cpp.o.d"
+  "CMakeFiles/lfbs_channel.dir/link_budget.cpp.o"
+  "CMakeFiles/lfbs_channel.dir/link_budget.cpp.o.d"
+  "CMakeFiles/lfbs_channel.dir/noise.cpp.o"
+  "CMakeFiles/lfbs_channel.dir/noise.cpp.o.d"
+  "liblfbs_channel.a"
+  "liblfbs_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_common.dir/rng.cpp.o"
+  "CMakeFiles/lfbs_common.dir/rng.cpp.o.d"
+  "CMakeFiles/lfbs_common.dir/units.cpp.o"
+  "CMakeFiles/lfbs_common.dir/units.cpp.o.d"
+  "liblfbs_common.a"
+  "liblfbs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

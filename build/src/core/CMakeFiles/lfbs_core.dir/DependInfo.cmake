@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bit_decoder.cpp" "src/core/CMakeFiles/lfbs_core.dir/bit_decoder.cpp.o" "gcc" "src/core/CMakeFiles/lfbs_core.dir/bit_decoder.cpp.o.d"
+  "/root/repo/src/core/collision_detector.cpp" "src/core/CMakeFiles/lfbs_core.dir/collision_detector.cpp.o" "gcc" "src/core/CMakeFiles/lfbs_core.dir/collision_detector.cpp.o.d"
+  "/root/repo/src/core/collision_separator.cpp" "src/core/CMakeFiles/lfbs_core.dir/collision_separator.cpp.o" "gcc" "src/core/CMakeFiles/lfbs_core.dir/collision_separator.cpp.o.d"
+  "/root/repo/src/core/error_corrector.cpp" "src/core/CMakeFiles/lfbs_core.dir/error_corrector.cpp.o" "gcc" "src/core/CMakeFiles/lfbs_core.dir/error_corrector.cpp.o.d"
+  "/root/repo/src/core/lf_decoder.cpp" "src/core/CMakeFiles/lfbs_core.dir/lf_decoder.cpp.o" "gcc" "src/core/CMakeFiles/lfbs_core.dir/lf_decoder.cpp.o.d"
+  "/root/repo/src/core/stream_detector.cpp" "src/core/CMakeFiles/lfbs_core.dir/stream_detector.cpp.o" "gcc" "src/core/CMakeFiles/lfbs_core.dir/stream_detector.cpp.o.d"
+  "/root/repo/src/core/windowed_decoder.cpp" "src/core/CMakeFiles/lfbs_core.dir/windowed_decoder.cpp.o" "gcc" "src/core/CMakeFiles/lfbs_core.dir/windowed_decoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/lfbs_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lfbs_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/lfbs_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_core.dir/bit_decoder.cpp.o"
+  "CMakeFiles/lfbs_core.dir/bit_decoder.cpp.o.d"
+  "CMakeFiles/lfbs_core.dir/collision_detector.cpp.o"
+  "CMakeFiles/lfbs_core.dir/collision_detector.cpp.o.d"
+  "CMakeFiles/lfbs_core.dir/collision_separator.cpp.o"
+  "CMakeFiles/lfbs_core.dir/collision_separator.cpp.o.d"
+  "CMakeFiles/lfbs_core.dir/error_corrector.cpp.o"
+  "CMakeFiles/lfbs_core.dir/error_corrector.cpp.o.d"
+  "CMakeFiles/lfbs_core.dir/lf_decoder.cpp.o"
+  "CMakeFiles/lfbs_core.dir/lf_decoder.cpp.o.d"
+  "CMakeFiles/lfbs_core.dir/stream_detector.cpp.o"
+  "CMakeFiles/lfbs_core.dir/stream_detector.cpp.o.d"
+  "CMakeFiles/lfbs_core.dir/windowed_decoder.cpp.o"
+  "CMakeFiles/lfbs_core.dir/windowed_decoder.cpp.o.d"
+  "liblfbs_core.a"
+  "liblfbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

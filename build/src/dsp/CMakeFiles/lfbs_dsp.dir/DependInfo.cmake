@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/filters.cpp" "src/dsp/CMakeFiles/lfbs_dsp.dir/filters.cpp.o" "gcc" "src/dsp/CMakeFiles/lfbs_dsp.dir/filters.cpp.o.d"
+  "/root/repo/src/dsp/gaussian.cpp" "src/dsp/CMakeFiles/lfbs_dsp.dir/gaussian.cpp.o" "gcc" "src/dsp/CMakeFiles/lfbs_dsp.dir/gaussian.cpp.o.d"
+  "/root/repo/src/dsp/kmeans.cpp" "src/dsp/CMakeFiles/lfbs_dsp.dir/kmeans.cpp.o" "gcc" "src/dsp/CMakeFiles/lfbs_dsp.dir/kmeans.cpp.o.d"
+  "/root/repo/src/dsp/linalg.cpp" "src/dsp/CMakeFiles/lfbs_dsp.dir/linalg.cpp.o" "gcc" "src/dsp/CMakeFiles/lfbs_dsp.dir/linalg.cpp.o.d"
+  "/root/repo/src/dsp/omp.cpp" "src/dsp/CMakeFiles/lfbs_dsp.dir/omp.cpp.o" "gcc" "src/dsp/CMakeFiles/lfbs_dsp.dir/omp.cpp.o.d"
+  "/root/repo/src/dsp/peaks.cpp" "src/dsp/CMakeFiles/lfbs_dsp.dir/peaks.cpp.o" "gcc" "src/dsp/CMakeFiles/lfbs_dsp.dir/peaks.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/lfbs_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/lfbs_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/dsp/CMakeFiles/lfbs_dsp.dir/stats.cpp.o" "gcc" "src/dsp/CMakeFiles/lfbs_dsp.dir/stats.cpp.o.d"
+  "/root/repo/src/dsp/viterbi.cpp" "src/dsp/CMakeFiles/lfbs_dsp.dir/viterbi.cpp.o" "gcc" "src/dsp/CMakeFiles/lfbs_dsp.dir/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

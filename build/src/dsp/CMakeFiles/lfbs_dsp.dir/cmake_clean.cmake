@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_dsp.dir/filters.cpp.o"
+  "CMakeFiles/lfbs_dsp.dir/filters.cpp.o.d"
+  "CMakeFiles/lfbs_dsp.dir/gaussian.cpp.o"
+  "CMakeFiles/lfbs_dsp.dir/gaussian.cpp.o.d"
+  "CMakeFiles/lfbs_dsp.dir/kmeans.cpp.o"
+  "CMakeFiles/lfbs_dsp.dir/kmeans.cpp.o.d"
+  "CMakeFiles/lfbs_dsp.dir/linalg.cpp.o"
+  "CMakeFiles/lfbs_dsp.dir/linalg.cpp.o.d"
+  "CMakeFiles/lfbs_dsp.dir/omp.cpp.o"
+  "CMakeFiles/lfbs_dsp.dir/omp.cpp.o.d"
+  "CMakeFiles/lfbs_dsp.dir/peaks.cpp.o"
+  "CMakeFiles/lfbs_dsp.dir/peaks.cpp.o.d"
+  "CMakeFiles/lfbs_dsp.dir/resample.cpp.o"
+  "CMakeFiles/lfbs_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/lfbs_dsp.dir/stats.cpp.o"
+  "CMakeFiles/lfbs_dsp.dir/stats.cpp.o.d"
+  "CMakeFiles/lfbs_dsp.dir/viterbi.cpp.o"
+  "CMakeFiles/lfbs_dsp.dir/viterbi.cpp.o.d"
+  "liblfbs_dsp.a"
+  "liblfbs_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/duty_cycle.cpp" "src/energy/CMakeFiles/lfbs_energy.dir/duty_cycle.cpp.o" "gcc" "src/energy/CMakeFiles/lfbs_energy.dir/duty_cycle.cpp.o.d"
+  "/root/repo/src/energy/power_model.cpp" "src/energy/CMakeFiles/lfbs_energy.dir/power_model.cpp.o" "gcc" "src/energy/CMakeFiles/lfbs_energy.dir/power_model.cpp.o.d"
+  "/root/repo/src/energy/transistor_model.cpp" "src/energy/CMakeFiles/lfbs_energy.dir/transistor_model.cpp.o" "gcc" "src/energy/CMakeFiles/lfbs_energy.dir/transistor_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

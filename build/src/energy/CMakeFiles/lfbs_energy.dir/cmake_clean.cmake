@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_energy.dir/duty_cycle.cpp.o"
+  "CMakeFiles/lfbs_energy.dir/duty_cycle.cpp.o.d"
+  "CMakeFiles/lfbs_energy.dir/power_model.cpp.o"
+  "CMakeFiles/lfbs_energy.dir/power_model.cpp.o.d"
+  "CMakeFiles/lfbs_energy.dir/transistor_model.cpp.o"
+  "CMakeFiles/lfbs_energy.dir/transistor_model.cpp.o.d"
+  "liblfbs_energy.a"
+  "liblfbs_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/crc.cpp" "src/protocol/CMakeFiles/lfbs_protocol.dir/crc.cpp.o" "gcc" "src/protocol/CMakeFiles/lfbs_protocol.dir/crc.cpp.o.d"
+  "/root/repo/src/protocol/epoch.cpp" "src/protocol/CMakeFiles/lfbs_protocol.dir/epoch.cpp.o" "gcc" "src/protocol/CMakeFiles/lfbs_protocol.dir/epoch.cpp.o.d"
+  "/root/repo/src/protocol/frame.cpp" "src/protocol/CMakeFiles/lfbs_protocol.dir/frame.cpp.o" "gcc" "src/protocol/CMakeFiles/lfbs_protocol.dir/frame.cpp.o.d"
+  "/root/repo/src/protocol/identification.cpp" "src/protocol/CMakeFiles/lfbs_protocol.dir/identification.cpp.o" "gcc" "src/protocol/CMakeFiles/lfbs_protocol.dir/identification.cpp.o.d"
+  "/root/repo/src/protocol/rate_control.cpp" "src/protocol/CMakeFiles/lfbs_protocol.dir/rate_control.cpp.o" "gcc" "src/protocol/CMakeFiles/lfbs_protocol.dir/rate_control.cpp.o.d"
+  "/root/repo/src/protocol/reliability.cpp" "src/protocol/CMakeFiles/lfbs_protocol.dir/reliability.cpp.o" "gcc" "src/protocol/CMakeFiles/lfbs_protocol.dir/reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfbs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_protocol.dir/crc.cpp.o"
+  "CMakeFiles/lfbs_protocol.dir/crc.cpp.o.d"
+  "CMakeFiles/lfbs_protocol.dir/epoch.cpp.o"
+  "CMakeFiles/lfbs_protocol.dir/epoch.cpp.o.d"
+  "CMakeFiles/lfbs_protocol.dir/frame.cpp.o"
+  "CMakeFiles/lfbs_protocol.dir/frame.cpp.o.d"
+  "CMakeFiles/lfbs_protocol.dir/identification.cpp.o"
+  "CMakeFiles/lfbs_protocol.dir/identification.cpp.o.d"
+  "CMakeFiles/lfbs_protocol.dir/rate_control.cpp.o"
+  "CMakeFiles/lfbs_protocol.dir/rate_control.cpp.o.d"
+  "CMakeFiles/lfbs_protocol.dir/reliability.cpp.o"
+  "CMakeFiles/lfbs_protocol.dir/reliability.cpp.o.d"
+  "liblfbs_protocol.a"
+  "liblfbs_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

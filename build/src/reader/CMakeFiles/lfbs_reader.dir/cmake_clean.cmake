@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_reader.dir/carrier.cpp.o"
+  "CMakeFiles/lfbs_reader.dir/carrier.cpp.o.d"
+  "CMakeFiles/lfbs_reader.dir/receiver.cpp.o"
+  "CMakeFiles/lfbs_reader.dir/receiver.cpp.o.d"
+  "CMakeFiles/lfbs_reader.dir/session.cpp.o"
+  "CMakeFiles/lfbs_reader.dir/session.cpp.o.d"
+  "liblfbs_reader.a"
+  "liblfbs_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/edge_detector.cpp" "src/signal/CMakeFiles/lfbs_signal.dir/edge_detector.cpp.o" "gcc" "src/signal/CMakeFiles/lfbs_signal.dir/edge_detector.cpp.o.d"
+  "/root/repo/src/signal/eye_pattern.cpp" "src/signal/CMakeFiles/lfbs_signal.dir/eye_pattern.cpp.o" "gcc" "src/signal/CMakeFiles/lfbs_signal.dir/eye_pattern.cpp.o.d"
+  "/root/repo/src/signal/iq_io.cpp" "src/signal/CMakeFiles/lfbs_signal.dir/iq_io.cpp.o" "gcc" "src/signal/CMakeFiles/lfbs_signal.dir/iq_io.cpp.o.d"
+  "/root/repo/src/signal/sample_buffer.cpp" "src/signal/CMakeFiles/lfbs_signal.dir/sample_buffer.cpp.o" "gcc" "src/signal/CMakeFiles/lfbs_signal.dir/sample_buffer.cpp.o.d"
+  "/root/repo/src/signal/waveform.cpp" "src/signal/CMakeFiles/lfbs_signal.dir/waveform.cpp.o" "gcc" "src/signal/CMakeFiles/lfbs_signal.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/lfbs_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

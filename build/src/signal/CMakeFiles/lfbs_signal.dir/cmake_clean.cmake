@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_signal.dir/edge_detector.cpp.o"
+  "CMakeFiles/lfbs_signal.dir/edge_detector.cpp.o.d"
+  "CMakeFiles/lfbs_signal.dir/eye_pattern.cpp.o"
+  "CMakeFiles/lfbs_signal.dir/eye_pattern.cpp.o.d"
+  "CMakeFiles/lfbs_signal.dir/iq_io.cpp.o"
+  "CMakeFiles/lfbs_signal.dir/iq_io.cpp.o.d"
+  "CMakeFiles/lfbs_signal.dir/sample_buffer.cpp.o"
+  "CMakeFiles/lfbs_signal.dir/sample_buffer.cpp.o.d"
+  "CMakeFiles/lfbs_signal.dir/waveform.cpp.o"
+  "CMakeFiles/lfbs_signal.dir/waveform.cpp.o.d"
+  "liblfbs_signal.a"
+  "liblfbs_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/collision_math.cpp" "src/sim/CMakeFiles/lfbs_sim.dir/collision_math.cpp.o" "gcc" "src/sim/CMakeFiles/lfbs_sim.dir/collision_math.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/lfbs_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/lfbs_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/plot.cpp" "src/sim/CMakeFiles/lfbs_sim.dir/plot.cpp.o" "gcc" "src/sim/CMakeFiles/lfbs_sim.dir/plot.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/lfbs_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/lfbs_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/sim/CMakeFiles/lfbs_sim.dir/table.cpp.o" "gcc" "src/sim/CMakeFiles/lfbs_sim.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lfbs_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/lfbs_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/lfbs_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/lfbs_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/lfbs_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lfbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lfbs_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/lfbs_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_sim.dir/collision_math.cpp.o"
+  "CMakeFiles/lfbs_sim.dir/collision_math.cpp.o.d"
+  "CMakeFiles/lfbs_sim.dir/metrics.cpp.o"
+  "CMakeFiles/lfbs_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/lfbs_sim.dir/plot.cpp.o"
+  "CMakeFiles/lfbs_sim.dir/plot.cpp.o.d"
+  "CMakeFiles/lfbs_sim.dir/scenario.cpp.o"
+  "CMakeFiles/lfbs_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/lfbs_sim.dir/table.cpp.o"
+  "CMakeFiles/lfbs_sim.dir/table.cpp.o.d"
+  "liblfbs_sim.a"
+  "liblfbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

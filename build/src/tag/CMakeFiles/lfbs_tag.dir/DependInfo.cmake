@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tag/clock_model.cpp" "src/tag/CMakeFiles/lfbs_tag.dir/clock_model.cpp.o" "gcc" "src/tag/CMakeFiles/lfbs_tag.dir/clock_model.cpp.o.d"
+  "/root/repo/src/tag/datapath.cpp" "src/tag/CMakeFiles/lfbs_tag.dir/datapath.cpp.o" "gcc" "src/tag/CMakeFiles/lfbs_tag.dir/datapath.cpp.o.d"
+  "/root/repo/src/tag/modulator.cpp" "src/tag/CMakeFiles/lfbs_tag.dir/modulator.cpp.o" "gcc" "src/tag/CMakeFiles/lfbs_tag.dir/modulator.cpp.o.d"
+  "/root/repo/src/tag/sensor.cpp" "src/tag/CMakeFiles/lfbs_tag.dir/sensor.cpp.o" "gcc" "src/tag/CMakeFiles/lfbs_tag.dir/sensor.cpp.o.d"
+  "/root/repo/src/tag/start_trigger.cpp" "src/tag/CMakeFiles/lfbs_tag.dir/start_trigger.cpp.o" "gcc" "src/tag/CMakeFiles/lfbs_tag.dir/start_trigger.cpp.o.d"
+  "/root/repo/src/tag/tag.cpp" "src/tag/CMakeFiles/lfbs_tag.dir/tag.cpp.o" "gcc" "src/tag/CMakeFiles/lfbs_tag.dir/tag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lfbs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lfbs_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/lfbs_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

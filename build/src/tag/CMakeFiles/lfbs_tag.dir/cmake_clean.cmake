@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_tag.dir/clock_model.cpp.o"
+  "CMakeFiles/lfbs_tag.dir/clock_model.cpp.o.d"
+  "CMakeFiles/lfbs_tag.dir/datapath.cpp.o"
+  "CMakeFiles/lfbs_tag.dir/datapath.cpp.o.d"
+  "CMakeFiles/lfbs_tag.dir/modulator.cpp.o"
+  "CMakeFiles/lfbs_tag.dir/modulator.cpp.o.d"
+  "CMakeFiles/lfbs_tag.dir/sensor.cpp.o"
+  "CMakeFiles/lfbs_tag.dir/sensor.cpp.o.d"
+  "CMakeFiles/lfbs_tag.dir/start_trigger.cpp.o"
+  "CMakeFiles/lfbs_tag.dir/start_trigger.cpp.o.d"
+  "CMakeFiles/lfbs_tag.dir/tag.cpp.o"
+  "CMakeFiles/lfbs_tag.dir/tag.cpp.o.d"
+  "liblfbs_tag.a"
+  "liblfbs_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

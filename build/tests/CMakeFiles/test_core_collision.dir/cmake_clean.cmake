@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_collision.dir/core_collision_test.cpp.o"
+  "CMakeFiles/test_core_collision.dir/core_collision_test.cpp.o.d"
+  "test_core_collision"
+  "test_core_collision.pdb"
+  "test_core_collision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

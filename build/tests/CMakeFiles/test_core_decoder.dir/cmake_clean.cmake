@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_decoder.dir/core_decoder_test.cpp.o"
+  "CMakeFiles/test_core_decoder.dir/core_decoder_test.cpp.o.d"
+  "test_core_decoder"
+  "test_core_decoder.pdb"
+  "test_core_decoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

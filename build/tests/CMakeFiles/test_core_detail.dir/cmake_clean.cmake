@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_detail.dir/core_pipeline_detail_test.cpp.o"
+  "CMakeFiles/test_core_detail.dir/core_pipeline_detail_test.cpp.o.d"
+  "test_core_detail"
+  "test_core_detail.pdb"
+  "test_core_detail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_detail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_stream.dir/core_stream_test.cpp.o"
+  "CMakeFiles/test_core_stream.dir/core_stream_test.cpp.o.d"
+  "test_core_stream"
+  "test_core_stream.pdb"
+  "test_core_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

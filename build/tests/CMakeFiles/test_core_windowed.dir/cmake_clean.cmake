@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_windowed.dir/core_windowed_test.cpp.o"
+  "CMakeFiles/test_core_windowed.dir/core_windowed_test.cpp.o.d"
+  "test_core_windowed"
+  "test_core_windowed.pdb"
+  "test_core_windowed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_windowed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_cluster.dir/dsp_cluster_test.cpp.o"
+  "CMakeFiles/test_dsp_cluster.dir/dsp_cluster_test.cpp.o.d"
+  "test_dsp_cluster"
+  "test_dsp_cluster.pdb"
+  "test_dsp_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

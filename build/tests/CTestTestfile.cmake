@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_signal[1]_include.cmake")
+include("/root/repo/build/tests/test_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_tag[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_reader[1]_include.cmake")
+include("/root/repo/build/tests/test_core_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_core_collision[1]_include.cmake")
+include("/root/repo/build/tests/test_core_decoder[1]_include.cmake")
+include("/root/repo/build/tests/test_core_windowed[1]_include.cmake")
+include("/root/repo/build/tests/test_core_detail[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage_extra[1]_include.cmake")

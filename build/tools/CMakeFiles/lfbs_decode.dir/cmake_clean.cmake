@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfbs_decode.dir/lfbs_decode.cpp.o"
+  "CMakeFiles/lfbs_decode.dir/lfbs_decode.cpp.o.d"
+  "lfbs_decode"
+  "lfbs_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfbs_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

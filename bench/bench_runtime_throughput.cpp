@@ -1,0 +1,168 @@
+// Extension bench: effective decode throughput of the concurrent runtime
+// (src/runtime) versus worker count, against the serial WindowedDecoder
+// baseline on the same capture.
+//
+// The paper's reader drinks 25 Msps continuously (§2); a deployment's
+// decode pipeline has to keep its effective samples/sec above the ADC rate
+// or fall behind without bound. Windows are independent until the stitch,
+// so throughput should scale with workers until the serial stitch or the
+// memory system saturates (on a single-core host the curve is flat — the
+// interesting column is then bit-identical output at every width).
+//
+// Usage: bench_runtime_throughput [--json PATH] [--duration MS]
+//   --json writes {"serial_msps": ..., "workers": {"1": ..., ...}} for
+//   scripts/run_all.sh to archive as BENCH_runtime.json.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "core/windowed_decoder.h"
+#include "protocol/frame.h"
+#include "reader/receiver.h"
+#include "runtime/runtime.h"
+#include "sim/table.h"
+#include "tag/tag.h"
+
+using namespace lfbs;
+
+namespace {
+
+/// A long continuous multi-tag capture (the windowed decoder's habitat).
+signal::SampleBuffer make_capture(std::size_t num_tags, Seconds duration) {
+  Rng rng(424242);
+  reader::ReceiverConfig rc;
+  rc.sample_rate = 5.0 * kMsps;
+  rc.noise_power = 1e-5;
+  channel::ChannelModel ch;
+  std::vector<tag::Tag> tags;
+  protocol::FrameConfig fc;
+  for (std::size_t i = 0; i < num_tags; ++i) {
+    ch.add_tag(std::polar(rng.uniform(0.08, 0.2), rng.uniform(0.0, 6.2831)));
+    tag::TagConfig tc;
+    tc.clock.drift_ppm = 150.0;
+    tc.incoming_energy = rng.uniform(0.7, 1.3);
+    tags.emplace_back(tc, rng);
+  }
+  std::vector<signal::StateTimeline> timelines;
+  for (auto& t : tags) {
+    std::vector<std::vector<bool>> frames;
+    const auto n = static_cast<std::size_t>((duration - 1e-3) *
+                                            (100.0 * kKbps) / 113.0);
+    for (std::size_t f = 0; f < n; ++f) {
+      frames.push_back(protocol::build_frame(rng.bits(96), fc));
+    }
+    timelines.push_back(t.transmit_epoch(frames, duration, rng).timeline);
+  }
+  reader::Receiver receiver(rc, ch);
+  return receiver.receive_epoch(timelines, duration, rng);
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  double duration_ms = 160.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--duration" && i + 1 < argc) {
+      duration_ms = atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_runtime_throughput [--json PATH] "
+                   "[--duration MS]\n");
+      return 2;
+    }
+  }
+
+  sim::print_banner(
+      "Extension: streaming runtime throughput",
+      "effective decode samples/sec vs window-worker count",
+      "3 tags at 100 kbps, 5 Msps, windowed at 20 ms; serial baseline is "
+      "core::WindowedDecoder::decode on the same capture");
+
+  const auto capture = make_capture(3, duration_ms * 1e-3);
+  std::printf("capture: %zu samples (%.0f ms at %.1f Msps)\n\n",
+              capture.size(), duration_ms, capture.sample_rate() / 1e6);
+
+  core::WindowedDecoderConfig wc;
+
+  // Serial baseline (best of 2 to shed first-touch noise).
+  double serial_seconds = 1e30;
+  core::DecodeResult serial;
+  for (int rep = 0; rep < 2; ++rep) {
+    const double t0 = now_seconds();
+    serial = core::WindowedDecoder(wc).decode(capture);
+    serial_seconds = std::min(serial_seconds, now_seconds() - t0);
+  }
+  const double serial_msps =
+      static_cast<double>(capture.size()) / serial_seconds / 1e6;
+
+  sim::Table table({"pipeline", "workers", "wall (ms)", "effective Msps",
+                    "speedup", "streams", "identical to serial"});
+  table.add_row({"serial", "-", sim::fmt(serial_seconds * 1e3, 1),
+                 sim::fmt(serial_msps, 2), "1.00x",
+                 std::to_string(serial.streams.size()), "-"});
+
+  std::string json = "{\n  \"serial_msps\": " + sim::fmt(serial_msps, 3) +
+                     ",\n  \"workers\": {";
+  bool first = true;
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    runtime::RuntimeConfig rc;
+    rc.windowed = wc;
+    rc.workers = workers;
+    double best = 1e30;
+    runtime::RuntimeResult run;
+    for (int rep = 0; rep < 2; ++rep) {
+      runtime::DecodeRuntime rt(rc);
+      run = rt.decode(capture);
+      best = std::min(best, run.stats.wall_seconds);
+    }
+    const double msps = static_cast<double>(capture.size()) / best / 1e6;
+    bool identical = run.decode.streams.size() == serial.streams.size();
+    for (std::size_t i = 0; identical && i < serial.streams.size(); ++i) {
+      identical = run.decode.streams[i].bits == serial.streams[i].bits;
+    }
+    table.add_row({"runtime", std::to_string(workers),
+                   sim::fmt(best * 1e3, 1), sim::fmt(msps, 2),
+                   sim::fmt(msps / serial_msps, 2) + "x",
+                   std::to_string(run.decode.streams.size()),
+                   identical ? "yes" : "NO"});
+    json += std::string(first ? "" : ",") + "\n    \"" +
+            std::to_string(workers) + "\": " + sim::fmt(msps, 3);
+    first = false;
+    if (!identical) {
+      table.print();
+      std::fprintf(stderr,
+                   "FAIL: runtime at %zu workers diverged from serial\n",
+                   workers);
+      return 1;
+    }
+  }
+  json += "\n  }\n}\n";
+  table.print();
+  std::printf(
+      "\nnote: speedup tracks available cores; a single-core host shows "
+      "~1x while the paper's 25 Msps budget needs the multi-core curve.\n");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,7 +1,13 @@
 #!/usr/bin/env sh
-# Build, test, and regenerate every paper table/figure.
+# Build, test, and regenerate every paper table/figure, plus the runtime
+# throughput record (BENCH_runtime.json: workers → effective Msps).
 set -e
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
-for b in build/bench/bench_*; do "$b"; done
+for b in build/bench/bench_*; do
+  case "$(basename "$b")" in
+    bench_runtime_throughput) "$b" --json BENCH_runtime.json ;;
+    *) "$b" ;;
+  esac
+done

@@ -10,21 +10,6 @@ namespace lfbs::core {
 
 namespace {
 
-/// An end-to-end stream under assembly.
-struct Thread {
-  BitRate rate = 0.0;
-  double period = 0.0;          ///< samples per bit (refined from anchors)
-  bool period_refined = false;  ///< true once measured across a stitch
-  Complex edge_vector;
-  double start_abs = 0.0;       ///< anchor position in capture samples
-  double anchor_pos = 0.0;      ///< last stitched stream's measured anchor
-  std::size_t bits_at_anchor = 0;
-  double next_boundary = 0.0;   ///< predicted boundary after the last bit
-  bool last_level = false;
-  bool collided = false;
-  std::vector<bool> bits;
-};
-
 /// Drops trailing all-zero frames (decoded idle level), same convention as
 /// the base decoder.
 void trim_trailing_zeros(std::vector<bool>& bits, std::size_t frame_bits) {
@@ -39,186 +24,167 @@ void trim_trailing_zeros(std::vector<bool>& bits, std::size_t frame_bits) {
 
 }  // namespace
 
-WindowedDecoder::WindowedDecoder(WindowedDecoderConfig config)
-    : config_(std::move(config)) {
-  LFBS_CHECK(config_.window > 0.0);
-  LFBS_CHECK(config_.phase_tolerance > 0.0);
-  LFBS_CHECK(config_.vector_tolerance > 0.0);
+WindowStitcher::WindowStitcher(const WindowedDecoderConfig& config,
+                               SampleRate sample_rate)
+    : config_(config), fs_(sample_rate) {
+  LFBS_CHECK(fs_ > 0.0);
 }
 
-DecodeResult WindowedDecoder::decode(const signal::SampleBuffer& buffer) const {
-  const LfDecoder base(config_.decoder);
-  if (buffer.empty() ||
-      buffer.duration() <= 1.5 * config_.window) {
-    return base.decode(buffer);
-  }
-  const double fs = buffer.sample_rate();
-  const auto window_samples = static_cast<std::size_t>(config_.window * fs);
-  LFBS_CHECK(window_samples > 0);
+void WindowStitcher::add_window(DecodeResult window,
+                                std::size_t offset_samples) {
+  ++windows_;
+  const double fs = fs_;
+  result_.diagnostics.edges += window.diagnostics.edges;
+  result_.diagnostics.groups += window.diagnostics.groups;
+  result_.diagnostics.collision_groups +=
+      window.diagnostics.collision_groups;
+  result_.diagnostics.unresolved_groups +=
+      window.diagnostics.unresolved_groups;
 
-  DecodeResult result;
-  std::vector<Thread> threads;
+  // Earlier streams first so head-of-thread matching is stable.
+  std::sort(window.streams.begin(), window.streams.end(),
+            [](const DecodedStream& a, const DecodedStream& b) {
+              return a.start_sample < b.start_sample;
+            });
 
-  for (std::size_t offset = 0; offset < buffer.size();
-       offset += window_samples) {
-    const std::size_t end =
-        std::min(buffer.size(), offset + window_samples);
-    if (end - offset < window_samples / 4) break;  // ignore a tiny tail
-    const auto slice_span = buffer.slice(offset, end);
-    signal::SampleBuffer slice(
-        fs, std::vector<Complex>(slice_span.begin(), slice_span.end()));
-    DecodeResult window = base.decode(slice);
-    result.diagnostics.edges += window.diagnostics.edges;
-    result.diagnostics.groups += window.diagnostics.groups;
-    result.diagnostics.collision_groups +=
-        window.diagnostics.collision_groups;
-    result.diagnostics.unresolved_groups +=
-        window.diagnostics.unresolved_groups;
+  std::vector<bool> thread_taken(threads_.size(), false);
+  for (DecodedStream& s : window.streams) {
+    if (s.bits.empty() || s.rate <= 0.0) continue;
+    const double abs_start =
+        s.start_sample + static_cast<double>(offset_samples);
+    const double period = fs / s.rate;
 
-    // Earlier streams first so head-of-thread matching is stable.
-    std::sort(window.streams.begin(), window.streams.end(),
-              [](const DecodedStream& a, const DecodedStream& b) {
-                return a.start_sample < b.start_sample;
-              });
-
-    std::vector<bool> thread_taken(threads.size(), false);
-    for (DecodedStream& s : window.streams) {
-      if (s.bits.empty() || s.rate <= 0.0) continue;
-      const double abs_start =
-          s.start_sample + static_cast<double>(offset);
-      const double period = fs / s.rate;
-
-      // Find the best continuing thread.
-      double best_score = std::numeric_limits<double>::infinity();
-      std::size_t best_thread = threads.size();
-      bool best_flip = false;
-      std::size_t best_expand = 1;
-      for (std::size_t t = 0; t < threads.size(); ++t) {
-        if (thread_taken[t]) continue;
-        Thread& thread = threads[t];
-        // A short window can under-determine a fragment's rate: a stream
-        // whose edges happened to sit on a coarser lattice decodes at a
-        // sub-multiple rate. Its bits are then exact m-fold repetitions of
-        // the true levels, so it can be expanded and stitched.
-        std::size_t expand = 1;
-        if (std::abs(thread.rate - s.rate) > 0.01 * thread.rate) {
-          const double ratio = thread.rate / s.rate;
-          const auto m = static_cast<std::size_t>(std::llround(ratio));
-          if (m < 2 || m > 200 ||
-              std::abs(ratio - static_cast<double>(m)) > 0.01) {
-            continue;
-          }
-          expand = m;
-        }
-        const double gap = abs_start - thread.next_boundary;
-        if (gap < -2.0 * period) continue;  // going backwards
-        // Phase continuity. Until the thread's period has been measured
-        // across a stitch, the nominal period accumulates the tag's full
-        // crystal error over the span since the last anchor; afterwards
-        // only residual jitter remains.
-        const double span = std::max(abs_start - thread.anchor_pos, 0.0);
-        const double drift_allowance =
-            (thread.period_refined ? 60e-6 : 400e-6) * span;
-        const double tol = config_.phase_tolerance + drift_allowance;
-        const double residual =
-            std::abs(std::remainder(gap, period));
-        if (residual > tol) continue;
-        // Edge-vector continuity, allowing a polarity flip.
-        const double direct = std::abs(s.edge_vector - thread.edge_vector);
-        const double flipped = std::abs(s.edge_vector + thread.edge_vector);
-        const double scale = std::max(std::abs(thread.edge_vector), 1e-12);
-        const bool flip = flipped < direct;
-        if (std::min(direct, flipped) > config_.vector_tolerance * scale) {
+    // Find the best continuing thread.
+    double best_score = std::numeric_limits<double>::infinity();
+    std::size_t best_thread = threads_.size();
+    bool best_flip = false;
+    std::size_t best_expand = 1;
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+      if (thread_taken[t]) continue;
+      Thread& thread = threads_[t];
+      // A short window can under-determine a fragment's rate: a stream
+      // whose edges happened to sit on a coarser lattice decodes at a
+      // sub-multiple rate. Its bits are then exact m-fold repetitions of
+      // the true levels, so it can be expanded and stitched.
+      std::size_t expand = 1;
+      if (std::abs(thread.rate - s.rate) > 0.01 * thread.rate) {
+        const double ratio = thread.rate / s.rate;
+        const auto m = static_cast<std::size_t>(std::llround(ratio));
+        if (m < 2 || m > 200 ||
+            std::abs(ratio - static_cast<double>(m)) > 0.01) {
           continue;
         }
-        double score = residual / tol + std::min(direct, flipped) / scale;
-        if (expand > 1) score += 0.5;  // prefer exact-rate matches
-        if (score < best_score) {
-          best_score = score;
-          best_thread = t;
-          best_flip = flip;
-          best_expand = expand;
-        }
+        expand = m;
       }
-
-      std::vector<bool> bits = std::move(s.bits);
-      if (best_thread < threads.size()) {
-        Thread& thread = threads[best_thread];
-        thread_taken[best_thread] = true;
-        if (best_flip) bits.flip();
-        if (best_expand > 1) {
-          std::vector<bool> expanded;
-          expanded.reserve(bits.size() * best_expand);
-          for (bool b : bits) {
-            expanded.insert(expanded.end(), best_expand, b);
-          }
-          bits = std::move(expanded);
-        }
-        // Refine the thread period from the measured anchor-to-anchor span:
-        // the bit count between anchors is unambiguous once rounded at the
-        // (coarser) nominal period.
-        const double span = abs_start - thread.anchor_pos;
-        const auto span_bits =
-            static_cast<std::int64_t>(std::llround(span / thread.period));
-        if (span_bits > 200) {
-          const double measured = span / static_cast<double>(span_bits);
-          const double nominal = fs / thread.rate;
-          if (std::abs(measured / nominal - 1.0) < 400e-6) {
-            thread.period = measured;
-            thread.period_refined = true;
-          }
-        }
-        // Fill the inter-window gap from timing: missing boundaries carry
-        // the thread's held level. All arithmetic is at the thread's own
-        // (refined) period.
-        const double tperiod = thread.period;
-        const auto gap_bits = static_cast<std::int64_t>(
-            std::llround((abs_start - thread.next_boundary) / tperiod));
-        std::size_t dropped = 0;
-        if (gap_bits >= 0) {
-          thread.bits.insert(thread.bits.end(),
-                             static_cast<std::size_t>(gap_bits),
-                             thread.last_level);
-        } else {
-          // Overlapping re-decode of the seam: drop the duplicate head.
-          dropped = static_cast<std::size_t>(-gap_bits);
-          if (dropped >= bits.size()) continue;
-          bits.erase(bits.begin(),
-                     bits.begin() + static_cast<std::ptrdiff_t>(dropped));
-        }
-        thread.bits.insert(thread.bits.end(), bits.begin(), bits.end());
-        thread.next_boundary =
-            abs_start + static_cast<double>(dropped + bits.size()) * tperiod;
-        thread.anchor_pos = abs_start;
-        thread.bits_at_anchor = thread.bits.size();
-        thread.last_level = thread.bits.back();
-        thread.collided = thread.collided || s.collided;
-        // Keep the freshest vector estimate (channel can creep slowly).
-        thread.edge_vector = best_flip ? -s.edge_vector : s.edge_vector;
-      } else {
-        Thread thread;
-        thread.rate = s.rate;
-        thread.period = period;
-        thread.edge_vector = s.edge_vector;
-        thread.start_abs = abs_start;
-        thread.anchor_pos = abs_start;
-        thread.bits = std::move(bits);
-        thread.bits_at_anchor = thread.bits.size();
-        thread.next_boundary =
-            abs_start + static_cast<double>(thread.bits.size()) * period;
-        thread.last_level = thread.bits.back();
-        thread.collided = s.collided;
-        threads.push_back(std::move(thread));
-        // A thread born in this window is not a stitch target for the
-        // window's remaining streams (and keeps thread_taken in step with
-        // the threads vector).
-        thread_taken.push_back(true);
+      const double gap = abs_start - thread.next_boundary;
+      if (gap < -2.0 * period) continue;  // going backwards
+      // Phase continuity. Until the thread's period has been measured
+      // across a stitch, the nominal period accumulates the tag's full
+      // crystal error over the span since the last anchor; afterwards
+      // only residual jitter remains.
+      const double span = std::max(abs_start - thread.anchor_pos, 0.0);
+      const double drift_allowance =
+          (thread.period_refined ? 60e-6 : 400e-6) * span;
+      const double tol = config_.phase_tolerance + drift_allowance;
+      const double residual =
+          std::abs(std::remainder(gap, period));
+      if (residual > tol) continue;
+      // Edge-vector continuity, allowing a polarity flip.
+      const double direct = std::abs(s.edge_vector - thread.edge_vector);
+      const double flipped = std::abs(s.edge_vector + thread.edge_vector);
+      const double scale = std::max(std::abs(thread.edge_vector), 1e-12);
+      const bool flip = flipped < direct;
+      if (std::min(direct, flipped) > config_.vector_tolerance * scale) {
+        continue;
+      }
+      double score = residual / tol + std::min(direct, flipped) / scale;
+      if (expand > 1) score += 0.5;  // prefer exact-rate matches
+      if (score < best_score) {
+        best_score = score;
+        best_thread = t;
+        best_flip = flip;
+        best_expand = expand;
       }
     }
-  }
 
-  // Emit the stitched threads.
-  for (Thread& thread : threads) {
+    std::vector<bool> bits = std::move(s.bits);
+    if (best_thread < threads_.size()) {
+      Thread& thread = threads_[best_thread];
+      thread_taken[best_thread] = true;
+      if (best_flip) bits.flip();
+      if (best_expand > 1) {
+        std::vector<bool> expanded;
+        expanded.reserve(bits.size() * best_expand);
+        for (bool b : bits) {
+          expanded.insert(expanded.end(), best_expand, b);
+        }
+        bits = std::move(expanded);
+      }
+      // Refine the thread period from the measured anchor-to-anchor span:
+      // the bit count between anchors is unambiguous once rounded at the
+      // (coarser) nominal period.
+      const double span = abs_start - thread.anchor_pos;
+      const auto span_bits =
+          static_cast<std::int64_t>(std::llround(span / thread.period));
+      if (span_bits > 200) {
+        const double measured = span / static_cast<double>(span_bits);
+        const double nominal = fs / thread.rate;
+        if (std::abs(measured / nominal - 1.0) < 400e-6) {
+          thread.period = measured;
+          thread.period_refined = true;
+        }
+      }
+      // Fill the inter-window gap from timing: missing boundaries carry
+      // the thread's held level. All arithmetic is at the thread's own
+      // (refined) period.
+      const double tperiod = thread.period;
+      const auto gap_bits = static_cast<std::int64_t>(
+          std::llround((abs_start - thread.next_boundary) / tperiod));
+      std::size_t dropped = 0;
+      if (gap_bits >= 0) {
+        thread.bits.insert(thread.bits.end(),
+                           static_cast<std::size_t>(gap_bits),
+                           thread.last_level);
+      } else {
+        // Overlapping re-decode of the seam: drop the duplicate head.
+        dropped = static_cast<std::size_t>(-gap_bits);
+        if (dropped >= bits.size()) continue;
+        bits.erase(bits.begin(),
+                   bits.begin() + static_cast<std::ptrdiff_t>(dropped));
+      }
+      thread.bits.insert(thread.bits.end(), bits.begin(), bits.end());
+      thread.next_boundary =
+          abs_start + static_cast<double>(dropped + bits.size()) * tperiod;
+      thread.anchor_pos = abs_start;
+      thread.bits_at_anchor = thread.bits.size();
+      thread.last_level = thread.bits.back();
+      thread.collided = thread.collided || s.collided;
+      // Keep the freshest vector estimate (channel can creep slowly).
+      thread.edge_vector = best_flip ? -s.edge_vector : s.edge_vector;
+    } else {
+      Thread thread;
+      thread.rate = s.rate;
+      thread.period = period;
+      thread.edge_vector = s.edge_vector;
+      thread.start_abs = abs_start;
+      thread.anchor_pos = abs_start;
+      thread.bits = std::move(bits);
+      thread.bits_at_anchor = thread.bits.size();
+      thread.next_boundary =
+          abs_start + static_cast<double>(thread.bits.size()) * period;
+      thread.last_level = thread.bits.back();
+      thread.collided = s.collided;
+      threads_.push_back(std::move(thread));
+      // A thread born in this window is not a stitch target for the
+      // window's remaining streams (and keeps thread_taken in step with
+      // the threads vector).
+      thread_taken.push_back(true);
+    }
+  }
+}
+
+DecodeResult WindowStitcher::finish() {
+  for (Thread& thread : threads_) {
     DecodedStream stream;
     stream.start_sample = thread.start_abs;
     stream.rate = thread.rate;
@@ -229,9 +195,69 @@ DecodeResult WindowedDecoder::decode(const signal::SampleBuffer& buffer) const {
     // Seams can slip a bit; resynchronize on CRC-valid frames.
     stream.frames =
         protocol::scan_frames(stream.bits, config_.decoder.frame);
-    result.streams.push_back(std::move(stream));
+    result_.streams.push_back(std::move(stream));
   }
-  return result;
+  threads_.clear();
+  return std::move(result_);
+}
+
+WindowedDecoder::WindowedDecoder(WindowedDecoderConfig config)
+    : config_(std::move(config)) {
+  LFBS_CHECK(config_.window > 0.0);
+  LFBS_CHECK(config_.phase_tolerance > 0.0);
+  LFBS_CHECK(config_.vector_tolerance > 0.0);
+}
+
+std::size_t WindowedDecoder::window_samples(SampleRate fs) const {
+  const auto n = static_cast<std::size_t>(config_.window * fs);
+  LFBS_CHECK(n > 0);
+  return n;
+}
+
+bool WindowedDecoder::is_short_capture(std::size_t total_samples,
+                                       SampleRate fs) const {
+  return static_cast<double>(total_samples) / fs <= 1.5 * config_.window;
+}
+
+std::uint64_t WindowedDecoder::window_seed(std::uint64_t seed,
+                                           std::size_t window_index) {
+  // splitmix64 over the combined word: even adjacent windows get
+  // uncorrelated k-means restart streams.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull *
+                               (static_cast<std::uint64_t>(window_index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+DecodeResult WindowedDecoder::decode_window(const signal::SampleBuffer& slice,
+                                            std::size_t window_index) const {
+  DecoderConfig dc = config_.decoder;
+  dc.seed = window_seed(config_.decoder.seed, window_index);
+  return LfDecoder(dc).decode(slice);
+}
+
+DecodeResult WindowedDecoder::decode(const signal::SampleBuffer& buffer) const {
+  if (buffer.empty() ||
+      is_short_capture(buffer.size(), buffer.sample_rate())) {
+    return LfDecoder(config_.decoder).decode(buffer);
+  }
+  const double fs = buffer.sample_rate();
+  const std::size_t window_samples_n = window_samples(fs);
+
+  WindowStitcher stitcher(config_, fs);
+  std::size_t window_index = 0;
+  for (std::size_t offset = 0; offset < buffer.size();
+       offset += window_samples_n, ++window_index) {
+    const std::size_t end =
+        std::min(buffer.size(), offset + window_samples_n);
+    if (end - offset < window_samples_n / 4) break;  // ignore a tiny tail
+    const auto slice_span = buffer.slice(offset, end);
+    signal::SampleBuffer slice(
+        fs, std::vector<Complex>(slice_span.begin(), slice_span.end()));
+    stitcher.add_window(decode_window(slice, window_index), offset);
+  }
+  return stitcher.finish();
 }
 
 }  // namespace lfbs::core

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 #include "core/lf_decoder.h"
 
 namespace lfbs::core {
@@ -26,6 +28,11 @@ namespace lfbs::core {
 /// where its group was lost) are filled by timing: the number of missing
 /// bits falls out of the boundary positions, and their value is the
 /// thread's last level.
+///
+/// The two phases are exposed separately so the concurrent runtime
+/// (src/runtime) can decode windows on a worker pool and stitch on a single
+/// thread: decode_window() is pure and safe to call from any thread, while
+/// a WindowStitcher consumes window results strictly in window order.
 struct WindowedDecoderConfig {
   DecoderConfig decoder;
   /// Processing window. Must be long enough that the slowest expected tag
@@ -40,6 +47,48 @@ struct WindowedDecoderConfig {
   double vector_tolerance = 0.4;
 };
 
+/// Serial half of the windowed decode: consumes per-window DecodeResults
+/// strictly in window order and assembles end-to-end threads via the three
+/// continuity keys. Not thread-safe; the runtime funnels all worker output
+/// through one stitcher thread.
+class WindowStitcher {
+ public:
+  WindowStitcher(const WindowedDecoderConfig& config, SampleRate sample_rate);
+
+  /// Folds in the decode of the window starting at absolute sample
+  /// `offset_samples`. Windows must arrive in capture order.
+  void add_window(DecodeResult window, std::size_t offset_samples);
+
+  /// Emits the stitched threads (trimmed, frame-scanned) together with the
+  /// accumulated diagnostics. The stitcher is spent afterwards.
+  DecodeResult finish();
+
+  /// Number of windows folded in so far.
+  std::size_t windows() const { return windows_; }
+
+ private:
+  /// An end-to-end stream under assembly.
+  struct Thread {
+    BitRate rate = 0.0;
+    double period = 0.0;          ///< samples per bit (refined from anchors)
+    bool period_refined = false;  ///< true once measured across a stitch
+    Complex edge_vector;
+    double start_abs = 0.0;       ///< anchor position in capture samples
+    double anchor_pos = 0.0;      ///< last stitched stream's measured anchor
+    std::size_t bits_at_anchor = 0;
+    double next_boundary = 0.0;   ///< predicted boundary after the last bit
+    bool last_level = false;
+    bool collided = false;
+    std::vector<bool> bits;
+  };
+
+  WindowedDecoderConfig config_;
+  double fs_ = 0.0;
+  std::size_t windows_ = 0;
+  DecodeResult result_;  ///< accumulates diagnostics until finish()
+  std::vector<Thread> threads_;
+};
+
 class WindowedDecoder {
  public:
   explicit WindowedDecoder(WindowedDecoderConfig config);
@@ -47,8 +96,30 @@ class WindowedDecoder {
   const WindowedDecoderConfig& config() const { return config_; }
 
   /// Decodes a capture of any length. Short captures (≤ 1.5 windows) fall
-  /// through to the plain decoder.
+  /// through to the plain decoder. Equivalent to decode_window() over every
+  /// window followed by a WindowStitcher — the runtime's parallel path
+  /// produces bit-identical output.
   DecodeResult decode(const signal::SampleBuffer& buffer) const;
+
+  /// Window length in samples at the given rate.
+  std::size_t window_samples(SampleRate fs) const;
+
+  /// True when `total_samples` is short enough that decode() would fall
+  /// through to the plain (unwindowed) decoder.
+  bool is_short_capture(std::size_t total_samples, SampleRate fs) const;
+
+  /// Decodes one window independently of every other window. `slice` holds
+  /// the window's samples only; positions in the result are window-local.
+  /// Deterministic and thread-safe: the decoder's k-means seed is mixed
+  /// with `window_index`, giving every window (and hence every runtime
+  /// worker) its own reproducible common::Rng stream regardless of which
+  /// thread decodes it or in what order.
+  DecodeResult decode_window(const signal::SampleBuffer& slice,
+                             std::size_t window_index) const;
+
+  /// The per-window decoder seed: splitmix64 of (seed, window_index).
+  static std::uint64_t window_seed(std::uint64_t seed,
+                                   std::size_t window_index);
 
  private:
   WindowedDecoderConfig config_;

@@ -4,9 +4,11 @@
 
 namespace lfbs::reader {
 
-ReaderSession::ReaderSession(SessionConfig config, AirInterface air)
+ReaderSession::ReaderSession(SessionConfig config, AirInterface air,
+                             Decode decode)
     : config_(config),
       air_(std::move(air)),
+      decode_(std::move(decode)),
       carrier_(config.epoch.duration, config.epoch.gap),
       controller_(config.decoder.rate_plan, config.epoch.max_rate,
                   config.rate_controller) {
@@ -22,8 +24,8 @@ BitRate ReaderSession::current_max_rate() const {
 core::DecodeResult ReaderSession::run_epoch() {
   const signal::SampleBuffer buffer =
       air_(controller_.current_max(), config_.epoch.duration);
-  const core::LfDecoder decoder(config_.decoder);
-  core::DecodeResult result = decoder.decode(buffer);
+  core::DecodeResult result =
+      decode_ ? decode_(buffer) : core::LfDecoder(config_.decoder).decode(buffer);
 
   ++stats_.epochs;
   stats_.air_time += carrier_.cycle();

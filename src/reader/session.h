@@ -47,7 +47,14 @@ class ReaderSession {
   using AirInterface =
       std::function<signal::SampleBuffer(BitRate max_rate, Seconds duration)>;
 
-  ReaderSession(SessionConfig config, AirInterface air);
+  /// Decodes one epoch capture. The default (empty) hook decodes serially
+  /// with core::LfDecoder on the calling thread; runtime::session_decoder
+  /// swaps in the concurrent streaming pipeline without the session (or
+  /// its callers) changing shape.
+  using Decode =
+      std::function<core::DecodeResult(const signal::SampleBuffer&)>;
+
+  ReaderSession(SessionConfig config, AirInterface air, Decode decode = {});
 
   const SessionConfig& config() const { return config_; }
   const SessionStats& stats() const { return stats_; }
@@ -60,6 +67,7 @@ class ReaderSession {
  private:
   SessionConfig config_;
   AirInterface air_;
+  Decode decode_;
   Carrier carrier_;
   protocol::RateController controller_;
   SessionStats stats_;

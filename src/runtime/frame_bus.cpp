@@ -1,0 +1,40 @@
+#include "runtime/frame_bus.h"
+
+#include <algorithm>
+
+namespace lfbs::runtime {
+
+FrameBus::SubscriberId FrameBus::subscribe(Handler handler) {
+  std::lock_guard lock(mutex_);
+  const SubscriberId id = next_id_++;
+  subscribers_.push_back({id, std::move(handler)});
+  return id;
+}
+
+void FrameBus::unsubscribe(SubscriberId id) {
+  std::lock_guard lock(mutex_);
+  subscribers_.erase(
+      std::remove_if(subscribers_.begin(), subscribers_.end(),
+                     [&](const Subscriber& s) { return s.id == id; }),
+      subscribers_.end());
+}
+
+void FrameBus::publish(const FrameEvent& event) {
+  // Copy the handler list so a handler can (un)subscribe re-entrantly
+  // without deadlocking on the bus mutex.
+  std::vector<Handler> handlers;
+  {
+    std::lock_guard lock(mutex_);
+    ++published_;
+    handlers.reserve(subscribers_.size());
+    for (const auto& s : subscribers_) handlers.push_back(s.handler);
+  }
+  for (const auto& h : handlers) h(event);
+}
+
+std::size_t FrameBus::published() const {
+  std::lock_guard lock(mutex_);
+  return published_;
+}
+
+}  // namespace lfbs::runtime

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/units.h"
+#include "protocol/frame.h"
+
+namespace lfbs::runtime {
+
+/// One decoded frame, as delivered to FrameBus subscribers.
+struct FrameEvent {
+  std::size_t stream_index = 0;   ///< index of the stitched stream
+  double stream_start = 0.0;      ///< stream anchor, capture samples
+  BitRate rate = 0.0;             ///< the stream's estimated bitrate
+  bool collided = false;          ///< stream recovered from a collision
+  protocol::ParsedFrame frame;    ///< payload + integrity flags
+};
+
+/// Fan-out of decoded frames to registered callbacks. Handlers run on the
+/// runtime's stitcher thread, synchronously and in subscription order, so
+/// a handler that blocks stalls delivery (by design: it is the natural
+/// place for an application to apply its own backpressure).
+class FrameBus {
+ public:
+  using Handler = std::function<void(const FrameEvent&)>;
+  using SubscriberId = std::uint64_t;
+
+  SubscriberId subscribe(Handler handler);
+  void unsubscribe(SubscriberId id);
+
+  /// Delivers one event to every current subscriber.
+  void publish(const FrameEvent& event);
+
+  std::size_t published() const;
+
+ private:
+  struct Subscriber {
+    SubscriberId id;
+    Handler handler;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Subscriber> subscribers_;
+  SubscriberId next_id_ = 1;
+  std::size_t published_ = 0;
+};
+
+}  // namespace lfbs::runtime

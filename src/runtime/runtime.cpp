@@ -1,0 +1,306 @@
+#include "runtime/runtime.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "runtime/chunk.h"
+#include "runtime/ring_buffer.h"
+
+namespace lfbs::runtime {
+
+namespace {
+
+/// One window's worth of samples, ready to decode. `short_capture` marks
+/// the whole-capture fallback job (capture ≤ 1.5 windows), which decodes
+/// with the plain decoder exactly like WindowedDecoder::decode.
+struct WindowJob {
+  std::size_t index = 0;
+  bool short_capture = false;
+  signal::SampleBuffer samples;
+};
+
+struct WindowOutcome {
+  bool short_capture = false;
+  core::DecodeResult result;
+};
+
+/// Handoff from the worker pool back into window order: workers deliver
+/// results as they finish, the stitcher awaits them strictly in sequence.
+class ReorderInbox {
+ public:
+  void deliver(std::size_t index, WindowOutcome outcome) {
+    {
+      std::lock_guard lock(mutex_);
+      ready_.emplace(index, std::move(outcome));
+    }
+    cv_.notify_all();
+  }
+
+  /// Announces the total number of windows (known only once the source is
+  /// drained); unblocks the stitcher's final await.
+  void set_expected(std::size_t n) {
+    {
+      std::lock_guard lock(mutex_);
+      expected_ = n;
+      has_expected_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until window `index` arrives; std::nullopt once the run is
+  /// known to hold no window `index`.
+  std::optional<WindowOutcome> await(std::size_t index) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] {
+      return ready_.count(index) != 0 ||
+             (has_expected_ && index >= expected_);
+    });
+    const auto it = ready_.find(index);
+    if (it == ready_.end()) return std::nullopt;
+    WindowOutcome outcome = std::move(it->second);
+    ready_.erase(it);
+    return outcome;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::size_t, WindowOutcome> ready_;
+  std::size_t expected_ = 0;
+  bool has_expected_ = false;
+};
+
+}  // namespace
+
+DecodeRuntime::DecodeRuntime(RuntimeConfig config)
+    : config_(std::move(config)) {
+  LFBS_CHECK(config_.windowed.window > 0.0);
+}
+
+RuntimeResult DecodeRuntime::run(SampleSource& source) {
+  const SampleRate fs = source.sample_rate();
+  LFBS_CHECK_MSG(fs > 0.0, "sample source must declare a sample rate");
+  const core::WindowedDecoder decoder(config_.windowed);
+  const std::size_t window_samples = decoder.window_samples(fs);
+  const std::size_t num_workers = std::max<std::size_t>(1, config_.workers);
+
+  BoundedRing<SampleChunk> ring(
+      std::max<std::size_t>(1, config_.ring_capacity));
+  BoundedRing<WindowJob> jobs(std::max<std::size_t>(2 * num_workers, 4));
+  ReorderInbox inbox;
+  LatencyRecorder latency;
+  std::atomic<std::size_t> windows_dispatched{0};
+  std::atomic<std::size_t> windows_decoded{0};
+  std::uint64_t samples_in = 0;   // written by assembler, read after join
+  std::uint64_t samples_gap = 0;
+  std::size_t frames_published = 0;  // written by stitcher, read after join
+  RuntimeResult out;
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Assembler: chunk stream → window-sized jobs. Holds early windows back
+  // until the capture is known to be longer than 1.5 windows, so a short
+  // capture takes the same whole-buffer plain-decoder path as the serial
+  // WindowedDecoder.
+  std::thread assembler([&] {
+    std::vector<Complex> window;
+    window.reserve(window_samples);
+    std::vector<WindowJob> held;
+    std::uint64_t next_expected = 0;
+    std::size_t next_window_index = 0;
+    bool known_long = false;
+
+    const auto dispatch = [&](WindowJob job) {
+      ++windows_dispatched;
+      jobs.push(std::move(job));
+    };
+    const auto close_full_window = [&] {
+      WindowJob job;
+      job.index = next_window_index++;
+      job.samples = signal::SampleBuffer(fs, std::move(window));
+      window = {};
+      window.reserve(window_samples);
+      if (known_long) {
+        dispatch(std::move(job));
+      } else {
+        held.push_back(std::move(job));
+      }
+    };
+    const auto append = [&](const Complex* data, std::size_t n) {
+      std::size_t done = 0;
+      while (done < n) {
+        const std::size_t take =
+            std::min(n - done, window_samples - window.size());
+        window.insert(window.end(), data + done, data + done + take);
+        done += take;
+        if (window.size() == window_samples) close_full_window();
+      }
+    };
+
+    while (auto chunk = ring.pop()) {
+      // A jump in first_sample is a chunk lost to ring overflow: zero-fill
+      // so the surviving samples keep their absolute window positions.
+      if (chunk->first_sample > next_expected) {
+        std::uint64_t gap = chunk->first_sample - next_expected;
+        samples_gap += gap;
+        const std::vector<Complex> zeros(
+            std::min<std::uint64_t>(gap, window_samples), Complex{});
+        while (gap > 0) {
+          const auto take = std::min<std::uint64_t>(gap, zeros.size());
+          append(zeros.data(), static_cast<std::size_t>(take));
+          gap -= take;
+        }
+        next_expected = chunk->first_sample;
+      }
+      // Skip any overlap (defensive; the bundled sources never rewind).
+      std::size_t skip = 0;
+      if (chunk->first_sample < next_expected) {
+        skip = static_cast<std::size_t>(std::min<std::uint64_t>(
+            next_expected - chunk->first_sample, chunk->size()));
+      }
+      const std::size_t fresh = chunk->size() - skip;
+      append(chunk->samples.data() + skip, fresh);
+      samples_in += fresh;
+      next_expected += fresh;
+      if (!known_long &&
+          !decoder.is_short_capture(
+              static_cast<std::size_t>(next_expected), fs)) {
+        known_long = true;
+        for (auto& job : held) dispatch(std::move(job));
+        held.clear();
+      }
+    }
+
+    std::size_t expected = 0;
+    if (!known_long) {
+      // Short capture: reassemble everything and decode it in one piece
+      // with the plain decoder, exactly like the serial fall-through.
+      std::vector<Complex> all;
+      for (auto& job : held) {
+        const auto view = job.samples.span();
+        all.insert(all.end(), view.begin(), view.end());
+      }
+      all.insert(all.end(), window.begin(), window.end());
+      WindowJob job;
+      job.index = 0;
+      job.short_capture = true;
+      job.samples = signal::SampleBuffer(fs, std::move(all));
+      dispatch(std::move(job));
+      expected = 1;
+    } else {
+      // Serial parity: a tail shorter than a quarter window is ignored.
+      if (window.size() >= window_samples / 4) {
+        WindowJob job;
+        job.index = next_window_index++;
+        job.samples = signal::SampleBuffer(fs, std::move(window));
+        dispatch(std::move(job));
+      }
+      expected = next_window_index;
+    }
+    inbox.set_expected(expected);
+    jobs.close();
+  });
+
+  // Worker pool: windows decode independently and in any order; each
+  // window's decoder seed is keyed by window index (WindowedDecoder::
+  // decode_window), so results do not depend on which worker ran it.
+  std::vector<std::thread> pool;
+  pool.reserve(num_workers);
+  for (std::size_t w = 0; w < num_workers; ++w) {
+    pool.emplace_back([&] {
+      while (auto job = jobs.pop()) {
+        const auto start = std::chrono::steady_clock::now();
+        WindowOutcome outcome;
+        outcome.short_capture = job->short_capture;
+        outcome.result =
+            job->short_capture
+                ? core::LfDecoder(config_.windowed.decoder)
+                      .decode(job->samples)
+                : decoder.decode_window(job->samples, job->index);
+        latency.record(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+        ++windows_decoded;
+        inbox.deliver(job->index, std::move(outcome));
+      }
+    });
+  }
+
+  // Stitcher: folds windows back together strictly in order, then fans
+  // the decoded frames out on the bus.
+  std::thread stitcher_thread([&] {
+    core::WindowStitcher stitcher(config_.windowed, fs);
+    std::size_t next = 0;
+    bool is_short = false;
+    while (auto outcome = inbox.await(next)) {
+      if (outcome->short_capture) {
+        out.decode = std::move(outcome->result);
+        is_short = true;
+      } else {
+        stitcher.add_window(std::move(outcome->result),
+                            next * window_samples);
+      }
+      ++next;
+    }
+    if (!is_short) out.decode = stitcher.finish();
+    for (std::size_t i = 0; i < out.decode.streams.size(); ++i) {
+      const auto& stream = out.decode.streams[i];
+      for (const auto& frame : stream.frames) {
+        FrameEvent event;
+        event.stream_index = i;
+        event.stream_start = stream.start_sample;
+        event.rate = stream.rate;
+        event.collided = stream.collided;
+        event.frame = frame;
+        bus_.publish(event);
+        ++frames_published;
+      }
+    }
+  });
+
+  // Ingest on the caller's thread: source → chunk ring, with the
+  // configured overflow policy.
+  while (auto chunk = source.next_chunk()) {
+    if (config_.drop_when_full) {
+      ring.offer(std::move(*chunk));
+    } else {
+      ring.push(std::move(*chunk));
+    }
+  }
+  ring.close();
+
+  assembler.join();
+  for (auto& t : pool) t.join();
+  stitcher_thread.join();
+
+  out.stats.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+  out.stats.chunks_in = ring.pushed();
+  out.stats.chunks_dropped = ring.dropped();
+  out.stats.ring_high_watermark = ring.high_watermark();
+  out.stats.samples_in = samples_in;
+  out.stats.samples_gap = samples_gap;
+  out.stats.windows_dispatched = windows_dispatched.load();
+  out.stats.windows_decoded = windows_decoded.load();
+  out.stats.streams = out.decode.streams.size();
+  out.stats.frames_published = frames_published;
+  latency.summarize(out.stats);
+  return out;
+}
+
+RuntimeResult DecodeRuntime::decode(const signal::SampleBuffer& buffer,
+                                    std::size_t chunk_samples) {
+  MemorySource source(buffer, chunk_samples);
+  return run(source);
+}
+
+}  // namespace lfbs::runtime

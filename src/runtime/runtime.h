@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/windowed_decoder.h"
+#include "runtime/frame_bus.h"
+#include "runtime/sample_source.h"
+#include "runtime/stats.h"
+#include "signal/sample_buffer.h"
+
+namespace lfbs::runtime {
+
+/// Concurrent streaming decode pipeline:
+///
+///   SampleSource → [chunk ring] → assembler → [job queue] → worker pool
+///                                                               │
+///            FrameBus ← stitcher thread ← [in-order reorder] ←──┘
+///
+/// The source is drained on the caller's thread into a bounded chunk ring
+/// (blocking or drop-on-overflow per `drop_when_full`). The assembler
+/// thread slices the sample stream into WindowedDecoder windows and feeds
+/// a bounded job queue; `workers` threads decode windows independently
+/// (each window's decoder draws from its own Rng stream, keyed by window
+/// index); a single stitcher thread reorders results back into window
+/// order and runs the serial continuity-key stitch, so the output is
+/// bit-identical to core::WindowedDecoder::decode on the same samples.
+/// Decoded frames fan out through the FrameBus (on the stitcher thread)
+/// before run() returns the stitched DecodeResult and a stats snapshot.
+struct RuntimeConfig {
+  core::WindowedDecoderConfig windowed{};
+  /// Window decode threads. 0 is clamped to 1.
+  std::size_t workers = 4;
+  /// Chunk ring capacity, in chunks.
+  std::size_t ring_capacity = 64;
+  /// Overflow policy when the decode side falls behind the source: false
+  /// blocks the producer (lossless — replay and in-memory decode); true
+  /// drops whole chunks and counts them (live capture can't wait), and the
+  /// assembler zero-fills the gap to keep the window lattice aligned.
+  bool drop_when_full = false;
+};
+
+struct RuntimeResult {
+  core::DecodeResult decode;
+  RuntimeStats stats;
+};
+
+class DecodeRuntime {
+ public:
+  explicit DecodeRuntime(RuntimeConfig config);
+
+  const RuntimeConfig& config() const { return config_; }
+
+  /// Subscribers registered here see every decoded frame of subsequent
+  /// run() calls; handlers fire on the stitcher thread.
+  FrameBus& bus() { return bus_; }
+
+  /// Blocking: drains `source` to end-of-stream through the pipeline and
+  /// returns the stitched result. One run at a time per runtime.
+  RuntimeResult run(SampleSource& source);
+
+  /// Convenience: streams an in-memory capture through the pipeline.
+  RuntimeResult decode(const signal::SampleBuffer& buffer,
+                       std::size_t chunk_samples = 1 << 16);
+
+ private:
+  RuntimeConfig config_;
+  FrameBus bus_;
+};
+
+}  // namespace lfbs::runtime

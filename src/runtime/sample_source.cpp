@@ -1,0 +1,85 @@
+#include "runtime/sample_source.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sim/scenario.h"
+
+namespace lfbs::runtime {
+
+MemorySource::MemorySource(const signal::SampleBuffer& buffer,
+                           std::size_t chunk_samples)
+    : buffer_(buffer), chunk_samples_(chunk_samples) {
+  LFBS_CHECK(chunk_samples_ > 0);
+}
+
+SampleRate MemorySource::sample_rate() const { return buffer_.sample_rate(); }
+
+std::optional<SampleChunk> MemorySource::next_chunk() {
+  if (position_ >= buffer_.size()) return std::nullopt;
+  const std::size_t end =
+      std::min(buffer_.size(), position_ + chunk_samples_);
+  SampleChunk chunk;
+  chunk.first_sample = position_;
+  const auto view = buffer_.slice(position_, end);
+  chunk.samples.assign(view.begin(), view.end());
+  position_ = end;
+  return chunk;
+}
+
+IqFileSource::IqFileSource(const std::string& path, std::size_t chunk_samples)
+    : reader_(path), chunk_samples_(chunk_samples) {
+  LFBS_CHECK(chunk_samples_ > 0);
+}
+
+SampleRate IqFileSource::sample_rate() const { return reader_.sample_rate(); }
+
+std::optional<SampleChunk> IqFileSource::next_chunk() {
+  SampleChunk chunk;
+  chunk.first_sample = position_;
+  if (reader_.read(chunk_samples_, chunk.samples) == 0) return std::nullopt;
+  position_ += chunk.samples.size();
+  return chunk;
+}
+
+ScenarioSource::ScenarioSource(sim::Scenario& scenario, Rng& rng,
+                               Config config)
+    : scenario_(scenario), rng_(rng), config_(config) {
+  LFBS_CHECK(config_.chunk_samples > 0);
+  LFBS_CHECK(config_.epochs > 0);
+}
+
+ScenarioSource::~ScenarioSource() = default;
+
+SampleRate ScenarioSource::sample_rate() const {
+  return scenario_.config().sample_rate;
+}
+
+std::optional<SampleChunk> ScenarioSource::next_chunk() {
+  if (position_in_current_ >= current_.size()) {
+    if (epochs_generated_ >= config_.epochs) return std::nullopt;
+    const std::size_t payload_bits = scenario_.config().frame.payload_bits;
+    std::vector<std::vector<std::vector<bool>>> per_tag(
+        scenario_.num_tags());
+    for (auto& frames : per_tag) {
+      for (std::size_t f = 0; f < config_.frames_per_tag; ++f) {
+        frames.push_back(rng_.bits(payload_bits));
+        sent_payloads_.push_back(frames.back());
+      }
+    }
+    current_ = scenario_.capture_epoch(per_tag, rng_, config_.max_rate);
+    position_in_current_ = 0;
+    ++epochs_generated_;
+  }
+  const std::size_t end = std::min(
+      current_.size(), position_in_current_ + config_.chunk_samples);
+  SampleChunk chunk;
+  chunk.first_sample = absolute_position_;
+  const auto view = current_.slice(position_in_current_, end);
+  chunk.samples.assign(view.begin(), view.end());
+  absolute_position_ += chunk.samples.size();
+  position_in_current_ = end;
+  return chunk;
+}
+
+}  // namespace lfbs::runtime

@@ -1,0 +1,19 @@
+#include "runtime/session_decoder.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace lfbs::runtime {
+
+reader::ReaderSession::Decode session_decoder(
+    std::shared_ptr<DecodeRuntime> rt, std::size_t chunk_samples) {
+  LFBS_CHECK(rt != nullptr);
+  LFBS_CHECK(chunk_samples > 0);
+  return [rt = std::move(rt), chunk_samples](
+             const signal::SampleBuffer& buffer) {
+    return rt->decode(buffer, chunk_samples).decode;
+  };
+}
+
+}  // namespace lfbs::runtime

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "reader/session.h"
+#include "runtime/runtime.h"
+
+namespace lfbs::runtime {
+
+/// Routes a reader::ReaderSession's epoch decode through the concurrent
+/// runtime: each epoch capture is streamed chunk-wise through the pipeline
+/// (short epochs fall through to the plain decoder inside the runtime, so
+/// results match the session's serial default bit for bit). The returned
+/// hook shares ownership of the runtime; subscribe to its FrameBus to see
+/// every epoch's frames as they are stitched.
+reader::ReaderSession::Decode session_decoder(
+    std::shared_ptr<DecodeRuntime> rt, std::size_t chunk_samples = 1 << 16);
+
+}  // namespace lfbs::runtime

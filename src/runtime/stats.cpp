@@ -1,0 +1,39 @@
+#include "runtime/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lfbs::runtime {
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+void LatencyRecorder::record(Seconds seconds) {
+  std::lock_guard lock(mutex_);
+  samples_.push_back(seconds);
+}
+
+void LatencyRecorder::summarize(RuntimeStats& stats) const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard lock(mutex_);
+    sorted = samples_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  stats.window_latency_p50_ms = percentile(sorted, 0.50) * 1e3;
+  stats.window_latency_p90_ms = percentile(sorted, 0.90) * 1e3;
+  stats.window_latency_p99_ms = percentile(sorted, 0.99) * 1e3;
+  stats.window_latency_max_ms = sorted.empty() ? 0.0 : sorted.back() * 1e3;
+}
+
+}  // namespace lfbs::runtime

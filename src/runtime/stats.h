@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lfbs::runtime {
+
+/// Snapshot of one runtime run, taken after the pipeline drains (or on
+/// demand mid-run via DecodeRuntime — counters are monotonic).
+struct RuntimeStats {
+  // Ingest.
+  std::size_t chunks_in = 0;        ///< chunks accepted into the ring
+  std::size_t chunks_dropped = 0;   ///< chunks lost to ring overflow
+  std::uint64_t samples_in = 0;     ///< real samples decoded
+  std::uint64_t samples_gap = 0;    ///< zero-filled samples (dropped chunks)
+  std::size_t ring_high_watermark = 0;  ///< deepest ring occupancy (chunks)
+
+  // Decode.
+  std::size_t windows_dispatched = 0;
+  std::size_t windows_decoded = 0;
+  double window_latency_p50_ms = 0.0;  ///< per-window decode latency
+  double window_latency_p90_ms = 0.0;
+  double window_latency_p99_ms = 0.0;
+  double window_latency_max_ms = 0.0;
+
+  // Output.
+  std::size_t streams = 0;
+  std::size_t frames_published = 0;
+
+  // Throughput.
+  Seconds wall_seconds = 0.0;
+  /// Real samples decoded per wall-clock second, in Msps — the number the
+  /// paper's 25 Msps feed has to stay under.
+  double effective_msps() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(samples_in) / wall_seconds / 1e6
+               : 0.0;
+  }
+};
+
+/// Thread-safe recorder of per-window decode latencies; workers append,
+/// the final snapshot computes percentiles.
+class LatencyRecorder {
+ public:
+  void record(Seconds seconds);
+
+  /// Fills the four latency fields of `stats`.
+  void summarize(RuntimeStats& stats) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+}  // namespace lfbs::runtime

@@ -1,5 +1,6 @@
 #include "signal/iq_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -54,6 +55,39 @@ SampleBuffer load_iq(const std::string& path) {
                   static_cast<double>(interleaved[2 * i + 1])};
   }
   return SampleBuffer(fs, std::move(samples));
+}
+
+IqReader::IqReader(const std::string& path) : in_(path, std::ios::binary) {
+  LFBS_CHECK_MSG(in_.good(), "cannot open IQ file: " + path);
+  char magic[sizeof kIqMagic];
+  in_.read(magic, sizeof magic);
+  LFBS_CHECK_MSG(in_.good() && std::memcmp(magic, kIqMagic, sizeof magic) == 0,
+                 "not an LFBSIQ1 capture: " + path);
+  in_.read(reinterpret_cast<char*>(&fs_), sizeof fs_);
+  in_.read(reinterpret_cast<char*>(&total_), sizeof total_);
+  LFBS_CHECK_MSG(in_.good() && fs_ > 0.0, "malformed IQ header: " + path);
+}
+
+std::size_t IqReader::read(std::size_t max_samples, std::vector<Complex>& out) {
+  const std::uint64_t want =
+      std::min<std::uint64_t>(max_samples, remaining());
+  if (want == 0) return 0;
+  std::vector<float> interleaved(2 * want);
+  in_.read(reinterpret_cast<char*>(interleaved.data()),
+           static_cast<std::streamsize>(interleaved.size() * sizeof(float)));
+  // A truncated file yields whatever was present; gcount is always even
+  // pairs short of the request by at most one partial sample, which we drop.
+  const auto floats_read =
+      static_cast<std::size_t>(in_.gcount()) / sizeof(float);
+  const std::size_t got = floats_read / 2;
+  out.reserve(out.size() + got);
+  for (std::size_t i = 0; i < got; ++i) {
+    out.emplace_back(static_cast<double>(interleaved[2 * i]),
+                     static_cast<double>(interleaved[2 * i + 1]));
+  }
+  position_ += got;
+  if (got < want) total_ = position_;  // truncated: clamp to what exists
+  return got;
 }
 
 }  // namespace lfbs::signal

@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "signal/sample_buffer.h"
 
@@ -26,5 +29,30 @@ void save_iq(const SampleBuffer& buffer, const std::string& path);
 /// Reads a capture back. Throws CheckError on I/O failure or a malformed
 /// header.
 SampleBuffer load_iq(const std::string& path);
+
+/// Incremental LFBSIQ1 reader: parses the header on open and then hands out
+/// samples chunk by chunk, so the streaming runtime can replay captures far
+/// larger than memory. Throws CheckError on I/O failure or a malformed
+/// header; a truncated payload surfaces as an early end-of-stream.
+class IqReader {
+ public:
+  explicit IqReader(const std::string& path);
+
+  SampleRate sample_rate() const { return fs_; }
+  /// Total samples declared by the header.
+  std::uint64_t total() const { return total_; }
+  /// Samples not yet read.
+  std::uint64_t remaining() const { return total_ - position_; }
+
+  /// Appends up to `max_samples` samples to `out`; returns how many were
+  /// read (0 at end-of-stream).
+  std::size_t read(std::size_t max_samples, std::vector<Complex>& out);
+
+ private:
+  std::ifstream in_;
+  SampleRate fs_ = 0.0;
+  std::uint64_t total_ = 0;
+  std::uint64_t position_ = 0;
+};
 
 }  // namespace lfbs::signal

@@ -2,17 +2,26 @@
 //
 // Usage:
 //   lfbs_decode <capture.lfbsiq> [--crc5] [--payload N] [--max-rate KBPS]
-//               [--windowed MS] [--edge-only] [--resample MSPS] [--trace]
+//               [--windowed MS] [--workers N] [--edge-only]
+//               [--resample MSPS] [--trace]
+//
+// --workers N streams the file through the concurrent decode runtime
+// (src/runtime) with N window workers instead of the serial decoder; the
+// frames are identical, and a stats line reports the pipeline's throughput.
+// (--workers with --resample falls back to an in-memory source, since
+// resampling needs the whole capture first.)
 //
 // Exit status: 0 when at least one CRC-valid frame was decoded.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "core/windowed_decoder.h"
 #include "dsp/resample.h"
+#include "runtime/runtime.h"
 #include "signal/iq_io.h"
 #include "sim/table.h"
 
@@ -23,8 +32,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: lfbs_decode <capture.lfbsiq> [--crc5] [--payload N] "
-               "[--max-rate KBPS] [--windowed MS] [--edge-only] "
-               "[--resample MSPS] [--trace]\n");
+               "[--max-rate KBPS] [--windowed MS] [--workers N] "
+               "[--edge-only] [--resample MSPS] [--trace]\n");
 }
 
 std::string bits_hex(const std::vector<bool>& bits) {
@@ -50,6 +59,7 @@ int main(int argc, char** argv) {
   core::DecoderConfig dc;
   double window_ms = 0.0;
   double resample_msps = 0.0;
+  std::size_t workers = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--crc5") {
@@ -63,6 +73,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--windowed" && i + 1 < argc) {
       window_ms = atof(argv[++i]);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<std::size_t>(atoi(argv[++i]));
     } else if (arg == "--resample" && i + 1 < argc) {
       resample_msps = atof(argv[++i]);
     } else if (arg == "--edge-only") {
@@ -76,33 +88,70 @@ int main(int argc, char** argv) {
     }
   }
 
-  signal::SampleBuffer buffer{1e6, std::size_t{0}};
+  core::WindowedDecoderConfig wc;
+  wc.decoder = dc;
+  if (window_ms > 0.0) wc.window = window_ms * 1e-3;
+
+  core::DecodeResult result;
+  double sample_rate = 0.0;
+  std::size_t sample_count = 0;
   try {
-    buffer = signal::load_iq(path);
+    if (workers > 0 && resample_msps <= 0.0) {
+      // Stream the file through the concurrent runtime: the capture is
+      // never fully resident, and windows decode on `workers` threads.
+      runtime::RuntimeConfig rc;
+      rc.windowed = wc;
+      rc.workers = workers;
+      runtime::IqFileSource source(path, 1 << 16);
+      sample_rate = source.sample_rate();
+      sample_count = source.total_samples();
+      std::printf("%s: %zu samples at %.6g Msps (%.3f ms)\n", path.c_str(),
+                  sample_count, sample_rate / 1e6,
+                  static_cast<double>(sample_count) / sample_rate * 1e3);
+      runtime::DecodeRuntime rt(rc);
+      auto run = rt.run(source);
+      result = std::move(run.decode);
+      std::printf(
+          "runtime: %zu workers, %zu windows, %.2f effective Msps, "
+          "window p50/p99 %.1f/%.1f ms, ring high-water %zu, dropped %zu\n",
+          workers, run.stats.windows_decoded, run.stats.effective_msps(),
+          run.stats.window_latency_p50_ms, run.stats.window_latency_p99_ms,
+          run.stats.ring_high_watermark, run.stats.chunks_dropped);
+    } else {
+      signal::SampleBuffer buffer = signal::load_iq(path);
+      if (resample_msps > 0.0 &&
+          std::abs(resample_msps * 1e6 - buffer.sample_rate()) > 1.0) {
+        auto samples = dsp::resample_linear(
+            buffer.span(), buffer.sample_rate(), resample_msps * 1e6);
+        std::printf("resampled %.6g -> %.6g Msps\n",
+                    buffer.sample_rate() / 1e6, resample_msps);
+        buffer = signal::SampleBuffer(resample_msps * 1e6, std::move(samples));
+      }
+      sample_rate = buffer.sample_rate();
+      sample_count = buffer.size();
+      std::printf("%s: %zu samples at %.6g Msps (%.3f ms)\n", path.c_str(),
+                  buffer.size(), buffer.sample_rate() / 1e6,
+                  buffer.duration() * 1e3);
+      if (workers > 0) {
+        runtime::RuntimeConfig rc;
+        rc.windowed = wc;
+        rc.workers = workers;
+        runtime::DecodeRuntime rt(rc);
+        auto run = rt.decode(buffer);
+        result = std::move(run.decode);
+        std::printf("runtime: %zu workers, %zu windows, %.2f effective "
+                    "Msps, dropped %zu\n",
+                    workers, run.stats.windows_decoded,
+                    run.stats.effective_msps(), run.stats.chunks_dropped);
+      } else if (window_ms > 0.0) {
+        result = core::WindowedDecoder(wc).decode(buffer);
+      } else {
+        result = core::LfDecoder(dc).decode(buffer);
+      }
+    }
   } catch (const lfbs::CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
-  }
-  if (resample_msps > 0.0 &&
-      std::abs(resample_msps * 1e6 - buffer.sample_rate()) > 1.0) {
-    auto samples = dsp::resample_linear(buffer.span(), buffer.sample_rate(),
-                                        resample_msps * 1e6);
-    std::printf("resampled %.6g -> %.6g Msps\n", buffer.sample_rate() / 1e6,
-                resample_msps);
-    buffer = signal::SampleBuffer(resample_msps * 1e6, std::move(samples));
-  }
-  std::printf("%s: %zu samples at %.6g Msps (%.3f ms)\n", path.c_str(),
-              buffer.size(), buffer.sample_rate() / 1e6,
-              buffer.duration() * 1e3);
-
-  core::DecodeResult result;
-  if (window_ms > 0.0) {
-    core::WindowedDecoderConfig wc;
-    wc.decoder = dc;
-    wc.window = window_ms * 1e-3;
-    result = core::WindowedDecoder(wc).decode(buffer);
-  } else {
-    result = core::LfDecoder(dc).decode(buffer);
   }
 
   std::printf("edges=%zu groups=%zu collisions=%zu unresolved=%zu\n",
@@ -125,7 +174,7 @@ int main(int argc, char** argv) {
     }
     valid_total += ok;
     table.add_row({std::to_string(i),
-                   sim::fmt(s.start_sample / buffer.sample_rate() * 1e6, 1),
+                   sim::fmt(s.start_sample / sample_rate * 1e6, 1),
                    format_rate(s.rate), sim::fmt(s.snr_db, 1),
                    s.collided ? "yes" : "no", std::to_string(s.bits.size()),
                    std::to_string(ok) + "/" + std::to_string(s.frames.size()),

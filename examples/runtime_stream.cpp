@@ -62,9 +62,10 @@ int main() {
   std::printf(
       "\nrecovered %zu/%zu payloads across %zu streams\n"
       "pipeline: %zu chunks in, %zu windows, %.2f effective Msps, "
-      "window p50/p99 %.1f/%.1f ms, ring high-water %zu\n",
+      "window p50/p99 %.1f/%.1f ms, ring high-water %zu, health %s\n",
       recovered, source.sent_payloads().size(), st.streams, st.chunks_in,
       st.windows_decoded, st.effective_msps(), st.window_latency_p50_ms,
-      st.window_latency_p99_ms, st.ring_high_watermark);
+      st.window_latency_p99_ms, st.ring_high_watermark,
+      runtime::to_string(st.health));
   return recovered > source.sent_payloads().size() / 2 ? 0 : 1;
 }

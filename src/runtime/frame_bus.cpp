@@ -29,12 +29,30 @@ void FrameBus::publish(const FrameEvent& event) {
     handlers.reserve(subscribers_.size());
     for (const auto& s : subscribers_) handlers.push_back(s.handler);
   }
-  for (const auto& h : handlers) h(event);
+  std::size_t exceptions = 0;
+  for (const auto& h : handlers) {
+    try {
+      h(event);
+    } catch (...) {
+      // Contain: the remaining subscribers still see the event, and the
+      // runtime surfaces the count (and degrades health) via its stats.
+      ++exceptions;
+    }
+  }
+  if (exceptions > 0) {
+    std::lock_guard lock(mutex_);
+    handler_exceptions_ += exceptions;
+  }
 }
 
 std::size_t FrameBus::published() const {
   std::lock_guard lock(mutex_);
   return published_;
+}
+
+std::size_t FrameBus::handler_exceptions() const {
+  std::lock_guard lock(mutex_);
+  return handler_exceptions_;
 }
 
 }  // namespace lfbs::runtime

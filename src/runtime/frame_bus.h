@@ -23,6 +23,11 @@ struct FrameEvent {
 /// runtime's stitcher thread, synchronously and in subscription order, so
 /// a handler that blocks stalls delivery (by design: it is the natural
 /// place for an application to apply its own backpressure).
+///
+/// Subscribers are isolated from each other: a handler that throws is
+/// contained and counted, and the event still reaches every remaining
+/// subscriber — one misbehaving consumer cannot take down the stitcher
+/// thread or starve its peers.
 class FrameBus {
  public:
   using Handler = std::function<void(const FrameEvent&)>;
@@ -31,10 +36,13 @@ class FrameBus {
   SubscriberId subscribe(Handler handler);
   void unsubscribe(SubscriberId id);
 
-  /// Delivers one event to every current subscriber.
+  /// Delivers one event to every current subscriber; handler exceptions
+  /// are swallowed and counted.
   void publish(const FrameEvent& event);
 
   std::size_t published() const;
+  /// Handler invocations that ended in an exception, across all publishes.
+  std::size_t handler_exceptions() const;
 
  private:
   struct Subscriber {
@@ -46,6 +54,7 @@ class FrameBus {
   std::vector<Subscriber> subscribers_;
   SubscriberId next_id_ = 1;
   std::size_t published_ = 0;
+  std::size_t handler_exceptions_ = 0;
 };
 
 }  // namespace lfbs::runtime

@@ -97,6 +97,9 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
   BoundedRing<WindowJob> jobs(std::max<std::size_t>(2 * num_workers, 4));
   ReorderInbox inbox;
   LatencyRecorder latency;
+  Supervisor supervisor(config_.supervision, num_workers);
+  supervisor.start();
+  const std::size_t bus_exceptions_before = bus_.handler_exceptions();
   std::atomic<std::size_t> windows_dispatched{0};
   std::atomic<std::size_t> windows_decoded{0};
   std::uint64_t samples_in = 0;   // written by assembler, read after join
@@ -215,16 +218,29 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
   std::vector<std::thread> pool;
   pool.reserve(num_workers);
   for (std::size_t w = 0; w < num_workers; ++w) {
-    pool.emplace_back([&] {
+    pool.emplace_back([&, w] {
       while (auto job = jobs.pop()) {
         const auto start = std::chrono::steady_clock::now();
         WindowOutcome outcome;
         outcome.short_capture = job->short_capture;
-        outcome.result =
-            job->short_capture
-                ? core::LfDecoder(config_.windowed.decoder)
-                      .decode(job->samples)
-                : decoder.decode_window(job->samples, job->index);
+        // Exception containment: a throwing window decode yields an empty
+        // (zero-filled) window result, exactly what a silent window would
+        // produce — the stitcher carries surviving threads across it — and
+        // the run degrades instead of terminating the process.
+        try {
+          const auto activity = supervisor.track_worker(w);
+          if (supervisor.config().decode_fault_hook) {
+            supervisor.config().decode_fault_hook(job->index);
+          }
+          outcome.result =
+              job->short_capture
+                  ? core::LfDecoder(config_.windowed.decoder)
+                        .decode(job->samples)
+                  : decoder.decode_window(job->samples, job->index);
+        } catch (const std::exception&) {
+          outcome.result = core::DecodeResult{};
+          supervisor.record_worker_exception();
+        }
         latency.record(std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)
                            .count());
@@ -267,8 +283,11 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
   });
 
   // Ingest on the caller's thread: source → chunk ring, with the
-  // configured overflow policy.
-  while (auto chunk = source.next_chunk()) {
+  // configured overflow policy. Reads go through the supervisor — retry
+  // with backoff on transient errors, scrub non-finite samples — so a
+  // flaky source degrades the run instead of wedging or killing it.
+  while (auto chunk = supervisor.next_chunk(source)) {
+    supervisor.scrub(*chunk);
     if (config_.drop_when_full) {
       ring.offer(std::move(*chunk));
     } else {
@@ -280,6 +299,13 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
   assembler.join();
   for (auto& t : pool) t.join();
   stitcher_thread.join();
+  supervisor.stop();
+
+  // Data lost in flight (ring overflow, zero-filled gaps) is a contained
+  // fault: the output is no longer the full capture's decode.
+  if (ring.dropped() > 0 || samples_gap > 0) supervisor.record_data_loss();
+  supervisor.record_subscriber_exceptions(bus_.handler_exceptions() -
+                                          bus_exceptions_before);
 
   out.stats.wall_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - t0)
@@ -293,6 +319,8 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
   out.stats.windows_decoded = windows_decoded.load();
   out.stats.streams = out.decode.streams.size();
   out.stats.frames_published = frames_published;
+  out.stats.health = supervisor.health();
+  out.stats.faults = supervisor.counters();
   latency.summarize(out.stats);
   return out;
 }

@@ -6,6 +6,7 @@
 #include "runtime/frame_bus.h"
 #include "runtime/sample_source.h"
 #include "runtime/stats.h"
+#include "runtime/supervisor.h"
 #include "signal/sample_buffer.h"
 
 namespace lfbs::runtime {
@@ -26,6 +27,14 @@ namespace lfbs::runtime {
 /// bit-identical to core::WindowedDecoder::decode on the same samples.
 /// Decoded frames fan out through the FrameBus (on the stitcher thread)
 /// before run() returns the stitched DecodeResult and a stats snapshot.
+///
+/// A Supervisor wraps the whole pipeline (see supervisor.h): transient
+/// source errors are retried with backoff, stalled reads and decodes are
+/// detected by a watchdog, a throwing window decode is zero-filled instead
+/// of killing the run, subscriber exceptions are isolated on the bus, and
+/// the run's health (healthy / degraded / failed) plus per-fault counters
+/// come back in RuntimeStats. run() completes and returns on every fault
+/// path — it degrades, it never crashes or deadlocks.
 struct RuntimeConfig {
   core::WindowedDecoderConfig windowed{};
   /// Window decode threads. 0 is clamped to 1.
@@ -37,6 +46,10 @@ struct RuntimeConfig {
   /// drops whole chunks and counts them (live capture can't wait), and the
   /// assembler zero-fills the gap to keep the window lattice aligned.
   bool drop_when_full = false;
+  /// Fault supervision: source retry/backoff, stall watchdog, worker
+  /// exception containment, non-finite scrubbing, health accounting. The
+  /// defaults are inert on fault-free runs (bit-identical output).
+  SupervisorConfig supervision{};
 };
 
 struct RuntimeResult {

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -16,10 +17,27 @@ class Scenario;
 
 namespace lfbs::runtime {
 
+/// Thrown by SampleSource::next_chunk when a read fails. `transient()`
+/// separates faults worth retrying (a flaky SDR link hiccup, an EAGAIN-ish
+/// condition) from fatal ones (device gone); the runtime's supervisor
+/// retries transient errors with exponential backoff and fails the run
+/// cleanly — never by crashing — on fatal or persistent ones.
+class SourceError : public std::runtime_error {
+ public:
+  explicit SourceError(const std::string& what, bool transient = true)
+      : std::runtime_error(what), transient_(transient) {}
+  bool transient() const { return transient_; }
+
+ private:
+  bool transient_;
+};
+
 /// Where the runtime's samples come from. Implementations are pulled from
 /// the producer thread only (single consumer of the source); `next_chunk`
-/// returns std::nullopt at end-of-stream. A live deployment would add an
-/// SDR-backed source; everything downstream is source-agnostic.
+/// returns std::nullopt at end-of-stream and may throw SourceError on a
+/// failed read (retried by the supervisor when transient). A live
+/// deployment would add an SDR-backed source; everything downstream is
+/// source-agnostic.
 class SampleSource {
  public:
   virtual ~SampleSource() = default;
@@ -47,6 +65,8 @@ class MemorySource : public SampleSource {
 
 /// LFBSIQ1 file replay via the incremental signal::IqReader — captures far
 /// larger than memory stream through without ever being fully resident.
+/// Construction throws signal::IqFormatError on a malformed file; a
+/// truncated payload streams what exists and reports `truncated()`.
 class IqFileSource : public SampleSource {
  public:
   IqFileSource(const std::string& path, std::size_t chunk_samples);
@@ -54,6 +74,8 @@ class IqFileSource : public SampleSource {
   SampleRate sample_rate() const override;
   std::optional<SampleChunk> next_chunk() override;
   std::uint64_t total_samples() const { return reader_.total(); }
+  bool truncated() const { return reader_.truncated(); }
+  std::uint64_t declared_samples() const { return reader_.declared(); }
 
  private:
   signal::IqReader reader_;

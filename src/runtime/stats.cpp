@@ -18,6 +18,15 @@ double percentile(const std::vector<double>& sorted, double p) {
 
 }  // namespace
 
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
 void LatencyRecorder::record(Seconds seconds) {
   std::lock_guard lock(mutex_);
   samples_.push_back(seconds);

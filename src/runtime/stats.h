@@ -8,6 +8,44 @@
 
 namespace lfbs::runtime {
 
+/// Aggregate health of a runtime run — the paper's fail-soft philosophy
+/// applied to the software pipeline itself. Strictly ordered: health only
+/// ever escalates within a run.
+///
+///   kHealthy:  no fault observed; output is bit-identical to the serial
+///              WindowedDecoder path.
+///   kDegraded: faults occurred but were contained — retried reads, zero-
+///              filled windows, scrubbed samples, dropped chunks, isolated
+///              subscriber exceptions. The run completed and decoded what
+///              survived.
+///   kFailed:   the source died unrecoverably (retries exhausted or a
+///              non-transient error). The pipeline still drains and
+///              returns whatever it decoded before the failure — a failed
+///              run ends cleanly, never by crash or deadlock.
+enum class HealthState { kHealthy = 0, kDegraded = 1, kFailed = 2 };
+
+const char* to_string(HealthState state);
+
+/// Per-fault counters, all contained faults observed during one run.
+struct FaultCounters {
+  std::size_t source_transient_errors = 0;  ///< SourceErrors seen (retried)
+  std::size_t source_retries = 0;           ///< retry attempts issued
+  std::size_t source_failures = 0;  ///< reads abandoned (retries exhausted
+                                    ///< or non-transient error)
+  std::size_t source_stalls = 0;    ///< watchdog: source reads over timeout
+  std::size_t worker_stalls = 0;    ///< watchdog: window decodes over timeout
+  std::size_t worker_exceptions = 0;     ///< windows zero-filled after throw
+  std::size_t subscriber_exceptions = 0; ///< FrameBus handlers that threw
+  std::uint64_t samples_scrubbed = 0;    ///< non-finite samples zeroed
+
+  /// Total contained faults (stall detections excluded from double counts).
+  std::size_t total() const {
+    return source_transient_errors + source_failures + source_stalls +
+           worker_stalls + worker_exceptions + subscriber_exceptions +
+           static_cast<std::size_t>(samples_scrubbed > 0 ? 1 : 0);
+  }
+};
+
 /// Snapshot of one runtime run, taken after the pipeline drains (or on
 /// demand mid-run via DecodeRuntime — counters are monotonic).
 struct RuntimeStats {
@@ -29,6 +67,10 @@ struct RuntimeStats {
   // Output.
   std::size_t streams = 0;
   std::size_t frames_published = 0;
+
+  // Supervision.
+  HealthState health = HealthState::kHealthy;
+  FaultCounters faults;
 
   // Throughput.
   Seconds wall_seconds = 0.0;

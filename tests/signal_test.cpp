@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <limits>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -256,6 +259,122 @@ TEST(IqIo, RejectsGarbageHeader) {
     out << "this is not an IQ capture at all";
   }
   EXPECT_THROW(load_iq(path), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-capture hardening: every defect class maps to a typed
+// IqFormatError (still a CheckError, so old catch sites hold), and the
+// streaming IqReader fails soft on truncation where load_iq fails strict.
+
+namespace {
+
+/// Writes a raw LFBSIQ1 file: header as given, then `samples` float pairs.
+void write_capture(const std::string& path, const char magic[8], double fs,
+                   std::uint64_t declared, std::size_t samples) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(magic, 8);
+  out.write(reinterpret_cast<const char*>(&fs), sizeof fs);
+  out.write(reinterpret_cast<const char*>(&declared), sizeof declared);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const float iq[2] = {static_cast<float>(i), -static_cast<float>(i)};
+    out.write(reinterpret_cast<const char*>(iq), sizeof iq);
+  }
+}
+
+}  // namespace
+
+TEST(IqIo, BadMagicReportsTypedError) {
+  const std::string path = ::testing::TempDir() + "badmagic.lfbsiq";
+  const char magic[8] = {'N', 'O', 'T', 'L', 'F', 'B', 'S', '\0'};
+  write_capture(path, magic, 1e6, 4, 4);
+  try {
+    load_iq(path);
+    FAIL() << "expected IqFormatError";
+  } catch (const IqFormatError& e) {
+    EXPECT_EQ(e.code(), IqError::kBadMagic);
+  }
+  EXPECT_THROW(IqReader reader(path), IqFormatError);
+}
+
+TEST(IqIo, TruncatedHeaderReportsTypedError) {
+  const std::string path = ::testing::TempDir() + "shortheader.lfbsiq";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(kIqMagic, 8);
+    const float half_a_rate = 1.0f;  // 4 of the 16 header bytes
+    out.write(reinterpret_cast<const char*>(&half_a_rate),
+              sizeof half_a_rate);
+  }
+  try {
+    load_iq(path);
+    FAIL() << "expected IqFormatError";
+  } catch (const IqFormatError& e) {
+    EXPECT_EQ(e.code(), IqError::kBadHeader);
+  }
+}
+
+TEST(IqIo, NonFiniteOrZeroSampleRateIsRejected) {
+  const std::string path = ::testing::TempDir() + "badrate.lfbsiq";
+  for (const double fs : {0.0, -5e6, std::nan(""),
+                          std::numeric_limits<double>::infinity()}) {
+    write_capture(path, kIqMagic, fs, 2, 2);
+    try {
+      load_iq(path);
+      FAIL() << "expected IqFormatError for fs=" << fs;
+    } catch (const IqFormatError& e) {
+      EXPECT_EQ(e.code(), IqError::kBadHeader);
+    }
+  }
+}
+
+TEST(IqIo, MissingFileReportsOpenFailed) {
+  try {
+    load_iq("/nonexistent/nope.lfbsiq");
+    FAIL() << "expected IqFormatError";
+  } catch (const IqFormatError& e) {
+    EXPECT_EQ(e.code(), IqError::kOpenFailed);
+  }
+}
+
+TEST(IqIo, TruncatedPayloadStrictLoadThrowsReaderClamps) {
+  // Header declares 100 samples; only 60 exist (an interrupted recording).
+  const std::string path = ::testing::TempDir() + "truncated.lfbsiq";
+  write_capture(path, kIqMagic, 2e6, 100, 60);
+
+  // Whole-file load is strict: the capture is damaged, say so.
+  try {
+    load_iq(path);
+    FAIL() << "expected IqFormatError";
+  } catch (const IqFormatError& e) {
+    EXPECT_EQ(e.code(), IqError::kTruncated);
+  }
+
+  // The streaming reader fails soft: decode what exists, report the rest.
+  IqReader reader(path);
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_EQ(reader.declared(), 100u);
+  EXPECT_EQ(reader.total(), 60u);
+  std::vector<Complex> streamed;
+  while (reader.read(17, streamed) > 0) {
+  }
+  ASSERT_EQ(streamed.size(), 60u);
+  EXPECT_FLOAT_EQ(static_cast<float>(streamed[59].real()), 59.0f);
+}
+
+TEST(IqIo, GarbledHugeCountCannotTriggerHugeAllocation) {
+  // A corrupted header declaring ~10^18 samples must be rejected from the
+  // actual file size alone — before any payload allocation happens.
+  const std::string path = ::testing::TempDir() + "hugecount.lfbsiq";
+  write_capture(path, kIqMagic, 1e6, std::uint64_t{1} << 60, 8);
+  try {
+    load_iq(path);
+    FAIL() << "expected IqFormatError";
+  } catch (const IqFormatError& e) {
+    EXPECT_EQ(e.code(), IqError::kTruncated);
+  }
+  IqReader reader(path);
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_EQ(reader.total(), 8u);  // clamped to what the file holds
 }
 
 }  // namespace

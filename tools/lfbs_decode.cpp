@@ -3,7 +3,7 @@
 // Usage:
 //   lfbs_decode <capture.lfbsiq> [--crc5] [--payload N] [--max-rate KBPS]
 //               [--windowed MS] [--workers N] [--edge-only]
-//               [--resample MSPS] [--trace]
+//               [--resample MSPS] [--inject-faults SPEC] [--trace]
 //
 // --workers N streams the file through the concurrent decode runtime
 // (src/runtime) with N window workers instead of the serial decoder; the
@@ -11,16 +11,25 @@
 // (--workers with --resample falls back to an in-memory source, since
 // resampling needs the whole capture first.)
 //
-// Exit status: 0 when at least one CRC-valid frame was decoded.
+// --inject-faults SPEC runs a fault drill on the streaming path: the
+// capture replays through a deterministic FaultInjectingSource (e.g.
+// "seed=7,drop=0.05,corrupt=0.01,error=0.01") and the health / fault
+// stats report how the pipeline degraded. Implies --workers 1 when no
+// worker count was given; incompatible with --resample.
+//
+// Exit status: 0 when at least one CRC-valid frame was decoded; 2 on a
+// usage error or a malformed/unreadable capture (one-line diagnostic).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "core/windowed_decoder.h"
 #include "dsp/resample.h"
+#include "runtime/fault_injector.h"
 #include "runtime/runtime.h"
 #include "signal/iq_io.h"
 #include "sim/table.h"
@@ -33,7 +42,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: lfbs_decode <capture.lfbsiq> [--crc5] [--payload N] "
                "[--max-rate KBPS] [--windowed MS] [--workers N] "
-               "[--edge-only] [--resample MSPS] [--trace]\n");
+               "[--edge-only] [--resample MSPS] [--inject-faults SPEC] "
+               "[--trace]\n");
 }
 
 std::string bits_hex(const std::vector<bool>& bits) {
@@ -60,6 +70,8 @@ int main(int argc, char** argv) {
   double window_ms = 0.0;
   double resample_msps = 0.0;
   std::size_t workers = 0;
+  runtime::FaultPlan fault_plan;
+  bool inject_faults = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--crc5") {
@@ -77,6 +89,14 @@ int main(int argc, char** argv) {
       workers = static_cast<std::size_t>(atoi(argv[++i]));
     } else if (arg == "--resample" && i + 1 < argc) {
       resample_msps = atof(argv[++i]);
+    } else if (arg == "--inject-faults" && i + 1 < argc) {
+      try {
+        fault_plan = runtime::parse_fault_plan(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+      inject_faults = true;
     } else if (arg == "--edge-only") {
       dc.collision_recovery = false;
       dc.error_correction = false;
@@ -92,6 +112,14 @@ int main(int argc, char** argv) {
   wc.decoder = dc;
   if (window_ms > 0.0) wc.window = window_ms * 1e-3;
 
+  if (inject_faults && resample_msps > 0.0) {
+    std::fprintf(stderr,
+                 "error: --inject-faults needs the streaming path; drop "
+                 "--resample\n");
+    return 2;
+  }
+  if (inject_faults && workers == 0) workers = 1;
+
   core::DecodeResult result;
   double sample_rate = 0.0;
   std::size_t sample_count = 0;
@@ -102,12 +130,25 @@ int main(int argc, char** argv) {
       runtime::RuntimeConfig rc;
       rc.windowed = wc;
       rc.workers = workers;
-      runtime::IqFileSource source(path, 1 << 16);
-      sample_rate = source.sample_rate();
-      sample_count = source.total_samples();
+      runtime::IqFileSource file_source(path, 1 << 16);
+      sample_rate = file_source.sample_rate();
+      sample_count = file_source.total_samples();
       std::printf("%s: %zu samples at %.6g Msps (%.3f ms)\n", path.c_str(),
                   sample_count, sample_rate / 1e6,
                   static_cast<double>(sample_count) / sample_rate * 1e3);
+      if (file_source.truncated()) {
+        std::fprintf(stderr,
+                     "warning: truncated capture — header declares %llu "
+                     "samples, file holds %llu; decoding what exists\n",
+                     static_cast<unsigned long long>(
+                         file_source.declared_samples()),
+                     static_cast<unsigned long long>(
+                         file_source.total_samples()));
+      }
+      runtime::FaultInjectingSource faulty(file_source, fault_plan);
+      runtime::SampleSource& source =
+          inject_faults ? static_cast<runtime::SampleSource&>(faulty)
+                        : file_source;
       runtime::DecodeRuntime rt(rc);
       auto run = rt.run(source);
       result = std::move(run.decode);
@@ -117,6 +158,23 @@ int main(int argc, char** argv) {
           workers, run.stats.windows_decoded, run.stats.effective_msps(),
           run.stats.window_latency_p50_ms, run.stats.window_latency_p99_ms,
           run.stats.ring_high_watermark, run.stats.chunks_dropped);
+      if (inject_faults) {
+        const auto& in = faulty.injected();
+        const auto& f = run.stats.faults;
+        std::printf(
+            "injected: drops=%zu truncated=%zu corrupted=%llu stalls=%zu "
+            "errors=%zu early-eof=%zu\n",
+            in.chunks_dropped, in.chunks_truncated,
+            static_cast<unsigned long long>(in.samples_corrupted),
+            in.stalls, in.errors_thrown, in.premature_eofs);
+        std::printf(
+            "health: %s (retries=%zu source-failures=%zu "
+            "worker-exceptions=%zu scrubbed=%llu gap-samples=%llu)\n",
+            runtime::to_string(run.stats.health), f.source_retries,
+            f.source_failures, f.worker_exceptions,
+            static_cast<unsigned long long>(f.samples_scrubbed),
+            static_cast<unsigned long long>(run.stats.samples_gap));
+      }
     } else {
       signal::SampleBuffer buffer = signal::load_iq(path);
       if (resample_msps > 0.0 &&
@@ -149,7 +207,13 @@ int main(int argc, char** argv) {
         result = core::LfDecoder(dc).decode(buffer);
       }
     }
-  } catch (const lfbs::CheckError& e) {
+  } catch (const signal::IqFormatError& e) {
+    // Malformed / truncated capture: one line naming the defect, not a
+    // backtrace.
+    std::fprintf(stderr, "error: %s [%s]\n", e.what(),
+                 signal::to_string(e.code()));
+    return 2;
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }

@@ -8,6 +8,7 @@ ctest --test-dir build --output-on-failure
 for b in build/bench/bench_*; do
   case "$(basename "$b")" in
     bench_runtime_throughput) "$b" --json BENCH_runtime.json ;;
+    bench_robustness_sweep) "$b" --json BENCH_robustness.json ;;
     *) "$b" ;;
   esac
 done

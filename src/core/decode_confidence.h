@@ -1,0 +1,67 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace lfbs::core {
+
+/// Fallback chain position a stream's published result came from. Ordering
+/// matters: later stages mean more degradation was needed.
+enum class FallbackStage : int {
+  kPrimary = 0,        ///< full Edge+IQ+Error chain, first pass
+  kReseeded = 1,       ///< perturbed k-means seeds
+  kNoErrorCorrection = 2,  ///< Edge+IQ (Fig 9 middle rung)
+  kEdgeOnly = 3,       ///< Edge (Fig 9 bottom rung)
+  kRelaxedDetection = 4,   ///< lowered / adaptive edge threshold re-detect
+};
+
+inline const char* to_string(FallbackStage stage) {
+  switch (stage) {
+    case FallbackStage::kPrimary: return "primary";
+    case FallbackStage::kReseeded: return "reseeded";
+    case FallbackStage::kNoErrorCorrection: return "no-error-correction";
+    case FallbackStage::kEdgeOnly: return "edge-only";
+    case FallbackStage::kRelaxedDetection: return "relaxed-detection";
+  }
+  return "unknown";
+}
+
+/// Per-stream soft-decision summary, aggregated from the stages that
+/// produced the stream: edge detection SNR, Viterbi path margins, and
+/// k-means cluster separation.
+struct DecodeConfidence {
+  /// Mean edge SNR over the stream's boundaries, dB over the noise spread.
+  double edge_snr_db = 0.0;
+  /// Mean per-boundary edge confidence in [0, 1] (logistic of edge SNR).
+  double edge_confidence = 1.0;
+  /// Mean per-boundary Viterbi margin (log-likelihood-ratio proxy);
+  /// 0 when the error-correction stage did not run.
+  double path_margin = 0.0;
+  /// Cluster separation from the k-means stage: min inter-centroid
+  /// distance over mean intra-cluster spread. 0 when clustering didn't run.
+  double cluster_separation = 0.0;
+  /// Boundaries demoted to erasures by the soft Viterbi pass.
+  std::size_t erasures = 0;
+  /// Which fallback rung produced the published result.
+  FallbackStage stage = FallbackStage::kPrimary;
+
+  /// Scalar confidence in [0, 1]. Dominated by the edge-confidence term so
+  /// the score degrades monotonically as injected noise rises; the margin
+  /// and separation terms refine it, and every fallback rung taken charges
+  /// a fixed penalty (a result that needed degraded modes is less
+  /// trustworthy even if it came out CRC-clean).
+  double score() const {
+    const double margin_term =
+        path_margin > 0.0 ? 1.0 - std::exp(-path_margin / 4.0) : 0.5;
+    const double sep_term =
+        cluster_separation > 0.0
+            ? 1.0 - std::exp(-cluster_separation / 3.0)
+            : 0.5;
+    double s = 0.7 * edge_confidence + 0.2 * margin_term + 0.1 * sep_term;
+    s -= 0.08 * static_cast<double>(stage);
+    return std::clamp(s, 0.0, 1.0);
+  }
+};
+
+}  // namespace lfbs::core

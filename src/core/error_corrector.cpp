@@ -43,7 +43,14 @@ ErrorCorrector::ErrorCorrector(Config config) : config_(config) {
 
 std::vector<bool> ErrorCorrector::correct(
     std::span<const Complex> points, const ThreeClusterLabels& labels) const {
+  return correct_soft(points, labels, {}).bits;
+}
+
+ErrorCorrector::SoftResult ErrorCorrector::correct_soft(
+    std::span<const Complex> points, const ThreeClusterLabels& labels,
+    std::span<const double> confidences, const SoftConfig& soft) const {
   LFBS_CHECK(points.size() == labels.states.size());
+  LFBS_CHECK(confidences.empty() || confidences.size() == points.size());
   std::vector<Complex> rising_pts, falling_pts, constant_pts;
   for (std::size_t i = 0; i < points.size(); ++i) {
     switch (labels.states[i]) {
@@ -59,12 +66,14 @@ std::vector<bool> ErrorCorrector::correct(
     }
   }
   return run(points, labels.rising, labels.falling, labels.constant,
-             rising_pts, falling_pts, constant_pts);
+             rising_pts, falling_pts, constant_pts, confidences, soft);
 }
 
 std::vector<bool> ErrorCorrector::correct_component(
     std::span<const Complex> points, Complex edge_vector) const {
-  return run(points, edge_vector, -edge_vector, Complex{}, {}, {}, {});
+  return run(points, edge_vector, -edge_vector, Complex{}, {}, {}, {}, {},
+             SoftConfig())
+      .bits;
 }
 
 ErrorCorrector::JointResult ErrorCorrector::correct_joint(
@@ -118,13 +127,18 @@ ErrorCorrector::JointResult ErrorCorrector::correct_joint(
 
   std::size_t state = 0;
   double best = score[0];
+  double second = -1e300;
   for (std::size_t s = 1; s < kStates; ++s) {
     if (score[s] > best) {
+      second = best;
       best = score[s];
       state = s;
+    } else if (score[s] > second) {
+      second = score[s];
     }
   }
   JointResult out;
+  out.margin = (second > -1e299) ? best - second : 0.0;
   out.levels1.resize(n);
   out.levels2.resize(n);
   for (std::size_t k = n; k-- > 0;) {
@@ -192,13 +206,18 @@ ErrorCorrector::Joint3Result ErrorCorrector::correct_joint3(
 
   std::size_t state = 0;
   double best = score[0];
+  double second = -1e300;
   for (std::size_t s2 = 1; s2 < kStates; ++s2) {
     if (score[s2] > best) {
+      second = best;
       best = score[s2];
       state = s2;
+    } else if (score[s2] > second) {
+      second = score[s2];
     }
   }
   Joint3Result out;
+  out.margin = (second > -1e299) ? best - second : 0.0;
   out.levels1.resize(n);
   out.levels2.resize(n);
   out.levels3.resize(n);
@@ -211,11 +230,12 @@ ErrorCorrector::Joint3Result ErrorCorrector::correct_joint3(
   return out;
 }
 
-std::vector<bool> ErrorCorrector::run(
+ErrorCorrector::SoftResult ErrorCorrector::run(
     std::span<const Complex> points, Complex rising, Complex falling,
     Complex constant, std::span<const Complex> rising_pts,
     std::span<const Complex> falling_pts,
-    std::span<const Complex> constant_pts) const {
+    std::span<const Complex> constant_pts,
+    std::span<const double> confidences, const SoftConfig& soft) const {
   LFBS_CHECK(!points.empty());
   const double scale = std::max(std::abs(rising), std::abs(falling));
 
@@ -225,6 +245,30 @@ std::vector<bool> ErrorCorrector::run(
       fit_or_default(falling_pts, falling, scale, config_.min_sigma);
   const dsp::Gaussian2D g_hold =
       fit_or_default(constant_pts, constant, scale, config_.min_sigma);
+
+  // Erasure emissions: the same cluster means with inflated sigmas, so a
+  // distrusted observation barely discriminates between states and the
+  // transition structure decides.
+  const auto widen = [&](dsp::Gaussian2D g) {
+    g.sigma_i *= soft.erasure_sigma_scale;
+    g.sigma_q *= soft.erasure_sigma_scale;
+    g.rho = 0.0;
+    return g;
+  };
+  const dsp::Gaussian2D w_rise = widen(g_rise);
+  const dsp::Gaussian2D w_fall = widen(g_fall);
+  const dsp::Gaussian2D w_hold = widen(g_hold);
+
+  SoftResult out;
+  std::vector<bool> erased(points.size(), false);
+  if (!confidences.empty()) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (confidences[i] < soft.erasure_threshold) {
+        erased[i] = true;
+        ++out.erasures;
+      }
+    }
+  }
 
   const double log_edge = std::log(config_.edge_probability);
   const double log_hold = std::log(1.0 - config_.edge_probability);
@@ -245,23 +289,26 @@ std::vector<bool> ErrorCorrector::run(
   const dsp::Viterbi viterbi(std::move(transition), std::move(initial));
   const auto emission = [&](std::size_t step, std::size_t state) {
     const Complex& z = points[step];
+    const bool wide = erased[step];
     switch (state) {
       case kRising:
-        return g_rise.log_pdf(z);
+        return (wide ? w_rise : g_rise).log_pdf(z);
       case kFalling:
-        return g_fall.log_pdf(z);
+        return (wide ? w_fall : g_fall).log_pdf(z);
       default:
-        return g_hold.log_pdf(z);
+        return (wide ? w_hold : g_hold).log_pdf(z);
     }
   };
   const dsp::Viterbi::Path path = viterbi.decode(points.size(), emission);
 
-  std::vector<bool> bits;
-  bits.reserve(points.size());
+  out.bits.reserve(points.size());
   for (std::size_t s : path.states) {
-    bits.push_back(s == kRising || s == kHoldHigh);
+    out.bits.push_back(s == kRising || s == kHoldHigh);
   }
-  return bits;
+  out.bit_margins = path.margins;
+  out.path_margin = path.final_margin;
+  out.log_score = path.log_score;
+  return out;
 }
 
 }  // namespace lfbs::core

@@ -8,6 +8,29 @@
 
 namespace lfbs::core {
 
+/// Soft-decision controls for ErrorCorrector::correct_soft. (Free struct so
+/// it is complete where member default arguments need it.)
+struct SoftDecisionConfig {
+  /// Boundaries whose edge confidence falls below this become erasures.
+  double erasure_threshold = 0.25;
+  /// Erasure emission: the per-state Gaussian with its sigmas inflated by
+  /// this factor — wide enough that transitions and priors dominate, but
+  /// the observation still breaks exact ties deterministically.
+  double erasure_sigma_scale = 8.0;
+};
+
+/// Soft output of an erasure-aware correction pass.
+struct SoftDecisionResult {
+  std::vector<bool> bits;
+  /// Per-boundary Viterbi score margins (log-likelihood-ratio proxies):
+  /// how decisively each step's state beat the runner-up.
+  std::vector<double> bit_margins;
+  /// Terminal margin of the winning path over the best alternative.
+  double path_margin = 0.0;
+  double log_score = 0.0;
+  std::size_t erasures = 0;  ///< boundaries demoted to erasures
+};
+
 /// Viterbi error correction (§3.5, Fig 6).
 ///
 /// Certain edge sequences are physically impossible — a rising edge can
@@ -42,6 +65,20 @@ class ErrorCorrector {
   std::vector<bool> correct(std::span<const Complex> points,
                             const ThreeClusterLabels& labels) const;
 
+  using SoftConfig = SoftDecisionConfig;
+  using SoftResult = SoftDecisionResult;
+
+  /// Erasure-aware variant of correct(): boundaries whose confidence (from
+  /// EdgeDetector, in [0,1]; boundaries with no detected edge pass 1.0 —
+  /// "confidently no edge") is below the erasure threshold are decoded with
+  /// wide Gaussians so the 4-state machine's transition structure fills
+  /// them in. With an empty `confidences` span the bit sequence is
+  /// identical to correct().
+  SoftResult correct_soft(std::span<const Complex> points,
+                          const ThreeClusterLabels& labels,
+                          std::span<const double> confidences,
+                          const SoftConfig& soft = SoftConfig()) const;
+
   /// Corrects a separated collision component. `points` are the component's
   /// boundary differentials with the *other* component's assigned
   /// contribution subtracted; `edge_vector` is the component's ±e.
@@ -60,6 +97,9 @@ class ErrorCorrector {
   struct JointResult {
     std::vector<bool> levels1;  ///< tag 1 level after each boundary
     std::vector<bool> levels2;
+    /// Terminal Viterbi margin: winning path score minus the best
+    /// alternative ending (0 when nothing else survives).
+    double margin = 0.0;
   };
   JointResult correct_joint(std::span<const Complex> points, Complex e1,
                             Complex e2, const std::vector<bool>& toggle1,
@@ -70,6 +110,7 @@ class ErrorCorrector {
   /// level triple (l1, l2, l3).
   struct Joint3Result {
     std::vector<bool> levels1, levels2, levels3;
+    double margin = 0.0;  ///< terminal Viterbi margin, as in JointResult
   };
   Joint3Result correct_joint3(std::span<const Complex> points, Complex e1,
                               Complex e2, Complex e3,
@@ -79,11 +120,13 @@ class ErrorCorrector {
                               double sigma) const;
 
  private:
-  std::vector<bool> run(std::span<const Complex> points, Complex rising,
-                        Complex falling, Complex constant,
-                        std::span<const Complex> rising_pts,
-                        std::span<const Complex> falling_pts,
-                        std::span<const Complex> constant_pts) const;
+  SoftResult run(std::span<const Complex> points, Complex rising,
+                 Complex falling, Complex constant,
+                 std::span<const Complex> rising_pts,
+                 std::span<const Complex> falling_pts,
+                 std::span<const Complex> constant_pts,
+                 std::span<const double> confidences,
+                 const SoftConfig& soft) const;
 
   Config config_;
 };

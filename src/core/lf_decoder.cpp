@@ -14,11 +14,43 @@ namespace lfbs::core {
 
 namespace {
 
+/// Sentinel for "no measured edge at this slot" in BoundarySlots::snrs.
+constexpr double kNoEdgeSnr = -1e9;
+
 /// Boundary slots of one group: mid positions, the span of the group's own
 /// measured edges, and the extracted IQ differential per boundary.
 struct BoundarySlots {
   std::vector<double> positions;
   std::vector<Complex> diffs;
+  /// Per-slot soft decision: the (weakest) detected edge's confidence, or
+  /// 1.0 where no edge was detected ("confidently no edge" — the hold
+  /// states are as trustworthy as the detection threshold is strict).
+  std::vector<double> confidences;
+  /// Per-slot edge SNR in dB; kNoEdgeSnr where no edge was detected.
+  std::vector<double> snrs;
+
+  /// Mean detected-edge SNR over the lattice [start, start+step, ...].
+  double mean_snr(std::size_t start, std::size_t step) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = start; k < snrs.size(); k += step) {
+      if (snrs[k] > kNoEdgeSnr) {
+        sum += snrs[k];
+        ++n;
+      }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+  }
+  /// Mean per-slot confidence over the lattice.
+  double mean_confidence(std::size_t start, std::size_t step) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = start; k < confidences.size(); k += step) {
+      sum += confidences[k];
+      ++n;
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 1.0;
+  }
 };
 
 /// A decoded stream before framing, kept with enough context for the
@@ -33,6 +65,12 @@ struct PendingStream {
   bool collided = false;
   double start_sample = 0.0;
   BitRate rate = 0.0;
+  // Soft-decision aggregates feeding DecodeConfidence.
+  double edge_snr_db = 0.0;       ///< mean detected-edge SNR on the lattice
+  double edge_confidence = 1.0;   ///< mean per-slot confidence
+  double path_margin = 0.0;       ///< mean Viterbi margin (0 if stage off)
+  double cluster_separation = 0.0;
+  std::size_t erasures = 0;
 };
 
 /// Residue-consensus step estimation over component boundary indices.
@@ -104,25 +142,26 @@ LfDecoder::LfDecoder(DecoderConfig config) : config_(std::move(config)) {
   LFBS_CHECK(!config_.rate_plan.rates.empty());
 }
 
-DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
+DecodeResult LfDecoder::decode_pass(const signal::SampleBuffer& buffer,
+                                    const DecoderConfig& cfg) const {
   DecodeResult result;
   if (buffer.empty()) return result;
-  Rng rng(config_.seed);
+  Rng rng(cfg.seed);
 
-  const double spb = samples_per_bit(buffer.sample_rate(), config_.max_rate);
+  const double spb = samples_per_bit(buffer.sample_rate(), cfg.max_rate);
   // Grouping tolerances are physical times (edge ramp ~0.12 us, position
   // noise), not sample counts: the configured values are defined at the
   // paper's 25 Msps and scale with the ADC rate, so decoding works
   // identically at 2.5 and 25 Msps.
   const double fs_scale =
-      config_.auto_scale_edge ? buffer.sample_rate() / (25.0 * kMsps) : 1.0;
+      cfg.auto_scale_edge ? buffer.sample_rate() / (25.0 * kMsps) : 1.0;
   const double group_tolerance =
-      std::max(1.2, config_.group_tolerance * fs_scale);
-  const double merge_radius = std::max(2.0, config_.merge_radius * fs_scale);
+      std::max(1.2, cfg.group_tolerance * fs_scale);
+  const double merge_radius = std::max(2.0, cfg.merge_radius * fs_scale);
 
   // --- Stage 1: edge detection -------------------------------------------
-  signal::EdgeDetectorConfig ec = config_.edge;
-  if (config_.auto_scale_edge) {
+  signal::EdgeDetectorConfig ec = cfg.edge;
+  if (cfg.auto_scale_edge) {
     // Short detection windows: long ones smear neighbouring tags' edges
     // together. Boundary re-measurement below re-averages with windows
     // stretched to just short of the neighbouring edges, recovering SNR.
@@ -145,11 +184,11 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
   StreamDetectorConfig sc;
   sc.lattice_period = spb;
   sc.base_tolerance = group_tolerance;
-  sc.drift_tolerance_ppm = config_.drift_tolerance_ppm;
-  sc.min_edges = config_.min_edges;
+  sc.drift_tolerance_ppm = cfg.drift_tolerance_ppm;
+  sc.min_edges = cfg.min_edges;
   sc.merge_radius = merge_radius;
-  for (BitRate r : config_.rate_plan.rates) {
-    const double m = config_.max_rate / r;
+  for (BitRate r : cfg.rate_plan.rates) {
+    const double m = cfg.max_rate / r;
     if (std::abs(m - std::round(m)) < 1e-6) {
       sc.valid_steps.push_back(static_cast<std::int64_t>(std::llround(m)));
     }
@@ -157,14 +196,14 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
   const StreamDetector stream_detector(sc);
   const std::vector<StreamGroup> groups = stream_detector.detect(edges);
   result.diagnostics.groups = groups.size();
-  if (config_.trace) {
+  if (cfg.trace) {
     std::fprintf(stderr, "[lfbs] edges=%zu groups=%zu spb=%.1f\n",
                  edges.size(), groups.size(), spb);
   }
 
-  const CollisionDetector collision_detector(config_.collision);
-  const CollisionSeparator separator(config_.separator);
-  const ErrorCorrector corrector(config_.corrector);
+  const CollisionDetector collision_detector(cfg.collision);
+  const CollisionSeparator separator(cfg.separator);
+  const ErrorCorrector corrector(cfg.corrector);
   const double bguard = 4.0;
 
   // --- Stage 3: boundary differential extraction -------------------------
@@ -175,15 +214,23 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
     std::vector<bool> member(edges.size(), false);
     for (std::size_t ei : group.edge_indices) member[ei] = true;
 
-    std::map<std::int64_t, std::pair<double, double>> measured;
+    struct MeasuredEdge {
+      double lead, trail;
+      double confidence, snr_db;
+    };
+    std::map<std::int64_t, MeasuredEdge> measured;
     for (std::size_t k = 0; k < group.edge_indices.size(); ++k) {
-      const auto epos =
-          static_cast<double>(edges[group.edge_indices[k]].position);
+      const signal::Edge& e = edges[group.edge_indices[k]];
+      const auto epos = static_cast<double>(e.position);
       const std::int64_t slot = group.lattice_indices[k];
-      auto [it, inserted] = measured.try_emplace(slot, epos, epos);
+      auto [it, inserted] = measured.try_emplace(
+          slot, MeasuredEdge{epos, epos, e.confidence, e.snr_db});
       if (!inserted) {
-        it->second.first = std::min(it->second.first, epos);
-        it->second.second = std::max(it->second.second, epos);
+        it->second.lead = std::min(it->second.lead, epos);
+        it->second.trail = std::max(it->second.trail, epos);
+        // Merged (colliding) detections: keep the weakest link.
+        it->second.confidence = std::min(it->second.confidence, e.confidence);
+        it->second.snr_db = std::min(it->second.snr_db, e.snr_db);
       }
     }
     std::vector<double> foreign_positions;
@@ -203,10 +250,14 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
     for (std::int64_t n = group.start_index;; n += group.step) {
       const double predicted = group.position_of(n);
       double lead = predicted, trail = predicted;
+      double slot_conf = 1.0;
+      double slot_snr = kNoEdgeSnr;
       const auto it = measured.find(n);
       if (it != measured.end()) {
-        lead = it->second.first;
-        trail = it->second.second;
+        lead = it->second.lead;
+        trail = it->second.trail;
+        slot_conf = it->second.confidence;
+        slot_snr = it->second.snr_db;
       }
       if (trail >= static_cast<double>(buffer.size()) - tail_margin) break;
       if (lead < tail_margin) continue;
@@ -235,6 +286,8 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
           wa);
       slots.positions.push_back(0.5 * (lead + trail));
       slots.diffs.push_back(after - before);
+      slots.confidences.push_back(slot_conf);
+      slots.snrs.push_back(slot_snr);
     }
     return slots;
   };
@@ -257,10 +310,12 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
     ps.start = 0;
     ps.step = 1;
     ps.start_sample = slots.positions.front();
-    ps.rate = config_.max_rate / static_cast<double>(lattice_step);
+    ps.rate = cfg.max_rate / static_cast<double>(lattice_step);
+    ps.edge_snr_db = slots.mean_snr(0, 1);
+    ps.edge_confidence = slots.mean_confidence(0, 1);
     if (diffs.size() >= 3) {
       const dsp::KMeansResult fit =
-          dsp::kmeans(diffs, 3, krng, config_.collision.kmeans);
+          dsp::kmeans(diffs, 3, krng, cfg.collision.kmeans);
       const ThreeClusterLabels labels = label_three_clusters(diffs, fit);
       ps.edge_vector = 0.5 * (labels.rising - labels.falling);
       double residual2 = 0.0;
@@ -273,9 +328,34 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
       residual2 /= static_cast<double>(diffs.size());
       ps.snr_db =
           linear_to_db(std::norm(ps.edge_vector) / std::max(residual2, 1e-18));
-      ps.bits = config_.error_correction
-                    ? corrector.correct(diffs, labels)
-                    : integrate_states(labels.states);
+      // Cluster separation: the closest centroid pair over the intra-cluster
+      // scatter — how unambiguous the rising/falling/constant decision was.
+      double min_dist2 = 1e300;
+      for (std::size_t a = 0; a < fit.centroids.size(); ++a) {
+        for (std::size_t b = a + 1; b < fit.centroids.size(); ++b) {
+          min_dist2 =
+              std::min(min_dist2, std::norm(fit.centroids[a] - fit.centroids[b]));
+        }
+      }
+      ps.cluster_separation =
+          std::sqrt(min_dist2 / std::max(residual2, 1e-18));
+      if (cfg.error_correction) {
+        const ErrorCorrector::SoftResult soft = corrector.correct_soft(
+            diffs, labels,
+            cfg.robustness.enabled ? std::span<const double>(slots.confidences)
+                                   : std::span<const double>{},
+            cfg.robustness.soft);
+        ps.bits = soft.bits;
+        ps.erasures = soft.erasures;
+        double margin_sum = 0.0;
+        for (double m : soft.bit_margins) margin_sum += m;
+        ps.path_margin =
+            soft.bit_margins.empty()
+                ? 0.0
+                : margin_sum / static_cast<double>(soft.bit_margins.size());
+      } else {
+        ps.bits = integrate_states(labels.states);
+      }
     } else {
       const std::vector<EdgeState> states = classify_simple(diffs);
       ps.edge_vector = diffs.front();
@@ -361,12 +441,12 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
     if (slots.diffs.empty()) continue;
 
     CollisionAssessment assess;
-    if (config_.collision_recovery) {
+    if (cfg.collision_recovery) {
       assess = collision_detector.assess(slots.diffs, rng);
     } else {
       assess.colliders = 1;
     }
-    if (config_.trace) {
+    if (cfg.trace) {
       std::fprintf(stderr, "[lfbs]   group@%.1f: %zu boundaries colliders=%zu\n",
                    group.intercept, slots.diffs.size(), assess.colliders);
     }
@@ -392,18 +472,21 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
     };
     const auto make_pending = [&](std::vector<bool> bits, std::size_t start,
                                   std::size_t step, Complex evec,
-                                  double sigma) {
+                                  double sigma, double margin = 0.0) {
       PendingStream ps;
       ps.slots_ref = gi;
       ps.collided = true;
       ps.start = start;
       ps.step = step;
       ps.start_sample = slots.positions[start];
-      ps.rate = config_.max_rate / static_cast<double>(group.step * step);
+      ps.rate = cfg.max_rate / static_cast<double>(group.step * step);
       ps.bits = std::move(bits);
       ps.edge_vector = evec;
       ps.snr_db = linear_to_db(std::norm(evec) /
                                std::max(2.0 * sigma * sigma, 1e-18));
+      ps.edge_snr_db = slots.mean_snr(start, step);
+      ps.edge_confidence = slots.mean_confidence(start, step);
+      ps.path_margin = margin;
       pending.push_back(std::move(ps));
     };
 
@@ -415,7 +498,7 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
       // 3-tag separation against the 27-cluster grid, then fall back to a
       // two-tag separation of the strongest components, then to deferral.
       const auto sep3 = separator.separate_three(slots.diffs, fit9);
-      if (sep3.has_value() && config_.error_correction) {
+      if (sep3.has_value() && cfg.error_correction) {
         std::vector<EdgeState> s3[3] = {sep3->states1, sep3->states2,
                                         sep3->states3};
         Complex e3[3] = {sep3->e1, sep3->e2, sep3->e3};
@@ -459,7 +542,8 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
             for (std::size_t k = starts[t]; k < n; k += steps[t]) {
               bits.push_back((*levels[t])[k]);
             }
-            make_pending(std::move(bits), starts[t], steps[t], e3[t], sigma);
+            make_pending(std::move(bits), starts[t], steps[t], e3[t], sigma,
+                         joint.margin / static_cast<double>(n));
           }
           ++result.diagnostics.collision_groups;
           continue;
@@ -467,7 +551,7 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
       }
       ++result.diagnostics.unresolved_groups;
       if (slots.diffs.size() < 9) continue;
-      fit9 = dsp::kmeans(slots.diffs, 9, rng, config_.collision.kmeans);
+      fit9 = dsp::kmeans(slots.diffs, 9, rng, cfg.collision.kmeans);
     }
 
     const auto separation = separator.separate(slots.diffs, fit9);
@@ -552,7 +636,7 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
     const auto [step2, start2] =
         component_step(nz2, s2.size(), allowed, sc.step_consensus);
 
-    if (config_.error_correction) {
+    if (cfg.error_correction) {
       // Joint 4-state Viterbi over both tags' levels.
       const std::size_t n = slots.diffs.size();
       std::vector<bool> toggle1(n, false), toggle2(n, false);
@@ -567,8 +651,10 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
         bits1.push_back(joint.levels1[k]);
       for (std::size_t k = start2; k < n; k += step2)
         bits2.push_back(joint.levels2[k]);
-      make_pending(std::move(bits1), start1, step1, e1, sigma);
-      make_pending(std::move(bits2), start2, step2, e2, sigma);
+      make_pending(std::move(bits1), start1, step1, e1, sigma,
+                   joint.margin / static_cast<double>(n));
+      make_pending(std::move(bits2), start2, step2, e2, sigma,
+                   joint.margin / static_cast<double>(n));
     } else {
       make_pending(integrate_states(subsample_states(s1, start1, step1)),
                    start1, step1, e1, sigma);
@@ -585,9 +671,16 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
     stream.collided = ps.collided;
     stream.edge_vector = ps.edge_vector;
     stream.snr_db = ps.snr_db;
+    if (cfg.robustness.enabled) {
+      stream.confidence.edge_snr_db = ps.edge_snr_db;
+      stream.confidence.edge_confidence = ps.edge_confidence;
+      stream.confidence.path_margin = ps.path_margin;
+      stream.confidence.cluster_separation = ps.cluster_separation;
+      stream.confidence.erasures = ps.erasures;
+    }
     stream.bits = ps.bits;
-    trim_trailing_zeros(stream.bits, config_.frame.frame_bits());
-    stream.frames = protocol::parse_stream(stream.bits, config_.frame);
+    trim_trailing_zeros(stream.bits, cfg.frame.frame_bits());
+    stream.frames = protocol::parse_stream(stream.bits, cfg.frame);
     // A missed or spurious edge can slip the bit stream and poison every
     // later frame of the rigid parse; re-scan with CRC resynchronization
     // and keep whichever recovers more frames.
@@ -596,7 +689,7 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
       if (f.valid()) ++ok;
     }
     if (ok < stream.frames.size()) {
-      auto rescued = protocol::scan_frames(stream.bits, config_.frame);
+      auto rescued = protocol::scan_frames(stream.bits, cfg.frame);
       if (rescued.size() > ok) stream.frames = std::move(rescued);
     }
     return stream;
@@ -620,10 +713,10 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
   // contributions of CRC-valid frames of other streams at nearby boundary
   // positions and re-decode. Two rounds: streams repaired in round one can
   // donate their contributions in round two.
-  if (config_.collision_recovery && config_.error_correction &&
-      config_.interference_cancellation) {
+  if (cfg.collision_recovery && cfg.error_correction &&
+      cfg.interference_cancellation) {
     const double zone = group_tolerance + 1.5;
-    const std::size_t frame_bits = config_.frame.frame_bits();
+    const std::size_t frame_bits = cfg.frame.frame_bits();
     for (int round = 0; round < 2; ++round) {
       struct Contribution {
         double position;
@@ -682,11 +775,11 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
           }
         }
         if (!touched) continue;
-        Rng krng(config_.seed ^ (0x9e37ull + si + 131 * round));
+        Rng krng(cfg.seed ^ (0x9e37ull + si + 131 * round));
         DecodedStream redone = finalize(decode_slots_single(
             ps.slots_ref, all_slots[ps.slots_ref],
             static_cast<std::int64_t>(
-                std::llround(config_.max_rate / ps.rate)),
+                std::llround(cfg.max_rate / ps.rate)),
             corrected, krng));
         if (valid_frames(redone) > valid_frames(streams[si])) {
           streams[si] = std::move(redone);
@@ -697,7 +790,159 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
     }
   }
 
+  for (const DecodedStream& s : streams) {
+    result.diagnostics.erasures += s.confidence.erasures;
+  }
   result.streams = std::move(streams);
+  return result;
+}
+
+namespace {
+
+std::size_t stream_valid_frames(const DecodedStream& s) {
+  std::size_t n = 0;
+  for (const auto& f : s.frames) {
+    if (f.valid()) ++n;
+  }
+  return n;
+}
+
+std::size_t total_valid_frames(const DecodeResult& r) {
+  std::size_t n = 0;
+  for (const DecodedStream& s : r.streams) n += stream_valid_frames(s);
+  return n;
+}
+
+/// Fallback fires only when a pass recovered *nothing* CRC-valid — the
+/// "stream silently vanished" failure the ladder exists for. Partial CRC
+/// failures are left alone: re-decoding a mostly-healthy capture with
+/// degraded settings trades known-good structure (window seams, collision
+/// assignments) for noise, and chronic partial failure is the health
+/// ledger's and rate controller's job, not the demodulator's.
+bool needs_fallback(const DecodeResult& r) {
+  return total_valid_frames(r) == 0;
+}
+
+}  // namespace
+
+DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
+  DecodeResult result = decode_pass(buffer, config_);
+  if (!config_.robustness.enabled || !config_.robustness.fallback) {
+    return result;
+  }
+  if (buffer.empty() || !needs_fallback(result)) return result;
+
+  // The Fig 9 degradation ladder, cheapest first. Later rungs deliberately
+  // shed machinery (error correction, IQ separation) or relax detection —
+  // each result is only trusted where the CRC agrees.
+  struct Rung {
+    FallbackStage stage;
+    DecoderConfig cfg;
+  };
+  std::vector<Rung> ladder;
+  {
+    DecoderConfig c = config_;
+    c.seed = config_.seed ^ 0xa5a5f00d5eedULL;  // perturbed k-means restarts
+    ladder.push_back({FallbackStage::kReseeded, std::move(c)});
+  }
+  {
+    DecoderConfig c = config_;
+    c.error_correction = false;
+    c.interference_cancellation = false;
+    ladder.push_back({FallbackStage::kNoErrorCorrection, std::move(c)});
+  }
+  {
+    DecoderConfig c = config_;
+    c.collision_recovery = false;
+    c.error_correction = false;
+    c.interference_cancellation = false;
+    ladder.push_back({FallbackStage::kEdgeOnly, std::move(c)});
+  }
+  for (const double scale : {0.65, 0.45}) {
+    // Weak-edge re-detection: a fading channel pushes edges under the
+    // nominal threshold, and the whole stream silently vanishes. Re-detect
+    // with a lowered, adaptive (blockwise) threshold; the full chain then
+    // runs on whatever appears, and the CRC arbitrates.
+    DecoderConfig c = config_;
+    c.edge.adaptive_threshold = true;
+    c.edge.threshold_sigma = std::max(config_.robustness.relaxed_floor_sigma,
+                                      config_.edge.threshold_sigma * scale);
+    ladder.push_back({FallbackStage::kRelaxedDetection, std::move(c)});
+  }
+
+  // Match fallback streams to primary ones by sample-extent overlap: a
+  // degraded re-detect of the same tag can shift the anchor by several bit
+  // periods, so anchor proximity alone would mistake it for a new stream
+  // and publish the tag twice.
+  const double fs = buffer.sample_rate();
+  const auto extent = [&](const DecodedStream& s) {
+    const double len =
+        s.rate > 0.0 ? static_cast<double>(s.bits.size()) * fs / s.rate : 0.0;
+    return std::pair<double, double>(s.start_sample, s.start_sample + len);
+  };
+  // Fabrication guard for streams the primary pass never saw: a CRC-valid
+  // frame must appear in the rigid anchor-aligned parse. scan_frames tries
+  // every bit offset, which on a noise-only "stream" is thousands of
+  // CRC-collision lottery tickets; the rigid parse only has L/frame_bits.
+  const auto rigidly_valid = [&](const DecodedStream& s) {
+    for (const auto& f : protocol::parse_stream(s.bits, config_.frame)) {
+      if (f.valid()) return true;
+    }
+    return false;
+  };
+  for (const Rung& rung : ladder) {
+    if (!needs_fallback(result)) break;
+    DecodeResult alt = decode_pass(buffer, rung.cfg);
+    ++result.diagnostics.fallback_passes;
+    for (DecodedStream& cand : alt.streams) {
+      if (stream_valid_frames(cand) == 0) continue;  // CRC gate
+      cand.confidence.stage = rung.stage;
+      const auto [clo, chi] = extent(cand);
+      DecodedStream* match = nullptr;
+      bool overlapped = false;
+      double best_overlap = 0.0;
+      for (DecodedStream& have : result.streams) {
+        const auto [hlo, hhi] = extent(have);
+        const double shorter = std::min(chi - clo, hhi - hlo);
+        if (shorter <= 0.0) continue;
+        const double overlap =
+            (std::min(chi, hhi) - std::max(clo, hlo)) / shorter;
+        if (overlap <= 0.5) continue;
+        overlapped = true;
+        // Co-transmitting tags overlap in time too; the edge vector (the
+        // tag's channel coefficient, polarity-tolerant) is the identity
+        // key, exactly as in the window stitcher.
+        const double direct = std::abs(cand.edge_vector - have.edge_vector);
+        const double flipped = std::abs(cand.edge_vector + have.edge_vector);
+        const double vscale = std::max(std::abs(have.edge_vector), 1e-12);
+        if (std::min(direct, flipped) > 0.5 * vscale) continue;
+        if (overlap > best_overlap) {
+          best_overlap = overlap;
+          match = &have;
+        }
+      }
+      if (match == nullptr && overlapped) {
+        // Overlaps live streams but matches none of their channel vectors:
+        // most likely a re-decode of their unseparated mixture. Publishing
+        // it would duplicate or fabricate — drop it.
+        continue;
+      }
+      if (match == nullptr) {
+        // A stream the primary pass never saw (e.g. edges below the nominal
+        // threshold) — recovered outright, if the rigid parse agrees.
+        if (!rigidly_valid(cand)) continue;
+        result.streams.push_back(std::move(cand));
+        ++result.diagnostics.fallback_recoveries;
+      } else if (stream_valid_frames(cand) > stream_valid_frames(*match)) {
+        *match = std::move(cand);
+        ++result.diagnostics.fallback_recoveries;
+      }
+    }
+  }
+  std::sort(result.streams.begin(), result.streams.end(),
+            [](const DecodedStream& a, const DecodedStream& b) {
+              return a.start_sample < b.start_sample;
+            });
   return result;
 }
 

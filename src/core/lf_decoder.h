@@ -6,6 +6,7 @@
 #include "common/units.h"
 #include "core/collision_detector.h"
 #include "core/collision_separator.h"
+#include "core/decode_confidence.h"
 #include "core/error_corrector.h"
 #include "core/stream_detector.h"
 #include "protocol/epoch.h"
@@ -14,6 +15,25 @@
 #include "signal/sample_buffer.h"
 
 namespace lfbs::core {
+
+/// Soft-decision / degraded-mode controls (PR 3 tentpole).
+struct RobustnessConfig {
+  /// Compute per-stream DecodeConfidence and run the error-correction stage
+  /// erasure-aware. Does not change the decoded bits of a primary pass:
+  /// edges that cleared the detection threshold always sit above the
+  /// erasure cutoff, so erasures only fire in degraded re-decodes.
+  bool enabled = true;
+  /// On CRC failure (or an empty decode), re-decode down the Fig 9 chain —
+  /// perturbed k-means seeds → Edge+IQ → Edge → relaxed/adaptive detection —
+  /// keeping, per stream, the best CRC-clean result. Never discards a
+  /// primary stream; CRC gating prevents fabrication.
+  bool fallback = true;
+  /// Erasure demotion threshold and wide-Gaussian scale for the soft
+  /// Viterbi pass.
+  ErrorCorrector::SoftConfig soft{};
+  /// The relaxed-detection rungs never drop threshold_sigma below this.
+  double relaxed_floor_sigma = 2.5;
+};
 
 /// Configuration of the full LF-Backscatter reader-side decoder.
 struct DecoderConfig {
@@ -52,8 +72,12 @@ struct DecoderConfig {
   ErrorCorrector::Config corrector{};
 
   /// Seed for k-means restarts; decoding is fully deterministic given the
-  /// input buffer and this seed.
+  /// input buffer and this seed — including the fallback chain, whose
+  /// perturbed seeds derive from this one.
   std::uint64_t seed = 0x1f5eedULL;
+
+  /// Soft-decision confidence + degraded-mode fallback (see above).
+  RobustnessConfig robustness{};
 
   /// Dump per-stage diagnostics to stderr (development aid).
   bool trace = false;
@@ -74,6 +98,10 @@ struct DecodedStream {
   /// boundary differentials around their assigned states. Deployments use
   /// this for §3.6 rate decisions (weak streams → lower the max rate).
   double snr_db = 0.0;
+  /// Soft-decision summary: edge SNR/confidence, Viterbi margins, cluster
+  /// separation, erasures, and which fallback rung produced this stream.
+  /// Only meaningful when DecoderConfig::robustness.enabled.
+  DecodeConfidence confidence{};
 };
 
 struct DecodeDiagnostics {
@@ -81,6 +109,9 @@ struct DecodeDiagnostics {
   std::size_t groups = 0;             ///< stream groups formed
   std::size_t collision_groups = 0;   ///< groups decoded via IQ separation
   std::size_t unresolved_groups = 0;  ///< ≥3-way or failed separations
+  std::size_t erasures = 0;           ///< boundaries demoted to erasures
+  std::size_t fallback_passes = 0;    ///< degraded-mode re-decodes attempted
+  std::size_t fallback_recoveries = 0;  ///< streams improved by a re-decode
 };
 
 struct DecodeResult {
@@ -104,6 +135,10 @@ class LfDecoder {
   DecodeResult decode(const signal::SampleBuffer& buffer) const;
 
  private:
+  /// One pass of the stage pipeline under a (possibly degraded) config.
+  DecodeResult decode_pass(const signal::SampleBuffer& buffer,
+                           const DecoderConfig& cfg) const;
+
   DecoderConfig config_;
 };
 

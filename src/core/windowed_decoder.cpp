@@ -40,6 +40,10 @@ void WindowStitcher::add_window(DecodeResult window,
       window.diagnostics.collision_groups;
   result_.diagnostics.unresolved_groups +=
       window.diagnostics.unresolved_groups;
+  result_.diagnostics.erasures += window.diagnostics.erasures;
+  result_.diagnostics.fallback_passes += window.diagnostics.fallback_passes;
+  result_.diagnostics.fallback_recoveries +=
+      window.diagnostics.fallback_recoveries;
 
   // Earlier streams first so head-of-thread matching is stable.
   std::sort(window.streams.begin(), window.streams.end(),
@@ -53,6 +57,20 @@ void WindowStitcher::add_window(DecodeResult window,
     const double abs_start =
         s.start_sample + static_cast<double>(offset_samples);
     const double period = fs / s.rate;
+    // Fragment weight for the thread's confidence aggregation: longer
+    // fragments say more about the thread's health.
+    const double weight = static_cast<double>(s.bits.size());
+    const auto fold_confidence = [&](Thread& thread) {
+      thread.conf_weight += weight;
+      thread.snr_sum += s.snr_db * weight;
+      thread.edge_snr_sum += s.confidence.edge_snr_db * weight;
+      thread.edge_conf_sum += s.confidence.edge_confidence * weight;
+      thread.margin_sum += s.confidence.path_margin * weight;
+      thread.separation_sum += s.confidence.cluster_separation * weight;
+      thread.erasures += s.confidence.erasures;
+      // The thread is only as trustworthy as its most-degraded fragment.
+      thread.stage = std::max(thread.stage, s.confidence.stage);
+    };
 
     // Find the best continuing thread.
     double best_score = std::numeric_limits<double>::infinity();
@@ -161,6 +179,7 @@ void WindowStitcher::add_window(DecodeResult window,
       thread.collided = thread.collided || s.collided;
       // Keep the freshest vector estimate (channel can creep slowly).
       thread.edge_vector = best_flip ? -s.edge_vector : s.edge_vector;
+      fold_confidence(thread);
     } else {
       Thread thread;
       thread.rate = s.rate;
@@ -174,6 +193,7 @@ void WindowStitcher::add_window(DecodeResult window,
           abs_start + static_cast<double>(thread.bits.size()) * period;
       thread.last_level = thread.bits.back();
       thread.collided = s.collided;
+      fold_confidence(thread);
       threads_.push_back(std::move(thread));
       // A thread born in this window is not a stitch target for the
       // window's remaining streams (and keeps thread_taken in step with
@@ -190,6 +210,19 @@ DecodeResult WindowStitcher::finish() {
     stream.rate = thread.rate;
     stream.collided = thread.collided;
     stream.edge_vector = thread.edge_vector;
+    if (thread.conf_weight > 0.0) {
+      stream.snr_db = thread.snr_sum / thread.conf_weight;
+      stream.confidence.edge_snr_db =
+          thread.edge_snr_sum / thread.conf_weight;
+      stream.confidence.edge_confidence =
+          thread.edge_conf_sum / thread.conf_weight;
+      stream.confidence.path_margin =
+          thread.margin_sum / thread.conf_weight;
+      stream.confidence.cluster_separation =
+          thread.separation_sum / thread.conf_weight;
+    }
+    stream.confidence.erasures = thread.erasures;
+    stream.confidence.stage = thread.stage;
     stream.bits = std::move(thread.bits);
     trim_trailing_zeros(stream.bits, config_.decoder.frame.frame_bits());
     // Seams can slip a bit; resynchronize on CRC-valid frames.
@@ -234,6 +267,13 @@ DecodeResult WindowedDecoder::decode_window(const signal::SampleBuffer& slice,
                                             std::size_t window_index) const {
   DecoderConfig dc = config_.decoder;
   dc.seed = window_seed(config_.decoder.seed, window_index);
+  // The degraded-mode ladder must not run per window: a fragment with zero
+  // CRC-valid frames is *normal* here (seam-truncated frames, sub-multiple
+  // rate repetitions) and the stitcher repairs it from timing. Re-decoding
+  // such a window under relaxed thresholds replaces good bits with degraded
+  // ones mid-thread. The ladder instead runs over the whole capture when
+  // the stitched result comes back empty (see decode()).
+  dc.robustness.fallback = false;
   return LfDecoder(dc).decode(slice);
 }
 
@@ -257,7 +297,27 @@ DecodeResult WindowedDecoder::decode(const signal::SampleBuffer& buffer) const {
         fs, std::vector<Complex>(slice_span.begin(), slice_span.end()));
     stitcher.add_window(decode_window(slice, window_index), offset);
   }
-  return stitcher.finish();
+  DecodeResult result = stitcher.finish();
+  // Whole-capture degraded fallback: only when windowing + stitching
+  // produced nothing at all does a single-pass decode with the ladder get
+  // a shot at the full buffer (the per-window ladder is disabled, see
+  // decode_window).
+  if (config_.decoder.robustness.enabled &&
+      config_.decoder.robustness.fallback) {
+    std::size_t valid = 0;
+    for (const auto& s : result.streams) {
+      for (const auto& f : s.frames) valid += f.valid();
+    }
+    if (valid == 0) {
+      DecodeResult whole = LfDecoder(config_.decoder).decode(buffer);
+      std::size_t whole_valid = 0;
+      for (const auto& s : whole.streams) {
+        for (const auto& f : s.frames) whole_valid += f.valid();
+      }
+      if (whole_valid > 0) return whole;
+    }
+  }
+  return result;
 }
 
 }  // namespace lfbs::core

@@ -80,6 +80,17 @@ class WindowStitcher {
     bool last_level = false;
     bool collided = false;
     std::vector<bool> bits;
+    // Soft-decision aggregation: per-fragment confidence components,
+    // weighted by fragment bit count, folded into one per-thread
+    // DecodeConfidence at finish().
+    double conf_weight = 0.0;
+    double snr_sum = 0.0;
+    double edge_snr_sum = 0.0;
+    double edge_conf_sum = 0.0;
+    double margin_sum = 0.0;
+    double separation_sum = 0.0;
+    std::size_t erasures = 0;
+    FallbackStage stage = FallbackStage::kPrimary;
   };
 
   WindowedDecoderConfig config_;

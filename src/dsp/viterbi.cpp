@@ -1,6 +1,7 @@
 #include "dsp/viterbi.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.h"
@@ -25,9 +26,27 @@ Viterbi::Path Viterbi::decode(std::size_t steps,
   std::vector<std::vector<std::size_t>> backptr(
       steps, std::vector<std::size_t>(n, 0));
 
+  Path path;
+  path.margins.resize(steps, 0.0);
+  const auto step_margin = [](const std::vector<double>& scores) {
+    double best = -std::numeric_limits<double>::infinity();
+    double second = best;
+    for (double s : scores) {
+      if (s > best) {
+        second = best;
+        best = s;
+      } else if (s > second) {
+        second = s;
+      }
+    }
+    if (!std::isfinite(best) || !std::isfinite(second)) return 0.0;
+    return best - second;
+  };
+
   for (std::size_t s = 0; s < n; ++s) {
     score[s] = initial_[s] + emission(0, s);
   }
+  path.margins[0] = step_margin(score);
   std::vector<double> next(n);
   for (std::size_t t = 1; t < steps; ++t) {
     for (std::size_t j = 0; j < n; ++j) {
@@ -45,12 +64,13 @@ Viterbi::Path Viterbi::decode(std::size_t steps,
       backptr[t][j] = arg;
     }
     score.swap(next);
+    path.margins[t] = step_margin(score);
   }
 
-  Path path;
   path.states.resize(steps);
   const auto best_it = std::max_element(score.begin(), score.end());
   path.log_score = *best_it;
+  path.final_margin = step_margin(score);
   std::size_t state = static_cast<std::size_t>(best_it - score.begin());
   for (std::size_t t = steps; t-- > 0;) {
     path.states[t] = state;

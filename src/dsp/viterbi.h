@@ -28,6 +28,15 @@ class Viterbi {
   struct Path {
     std::vector<std::size_t> states;  ///< best state per step
     double log_score = 0.0;           ///< total log score of the path
+    /// Per-step soft output: gap between the best and runner-up cumulative
+    /// scores after the step's emission — a log-likelihood-ratio proxy for
+    /// how decided the step is (0 = tie, large = unambiguous). Single-state
+    /// machines report +inf-free 0 gaps as 0.
+    std::vector<double> margins;
+    /// Gap between the best and second-best terminal scores: how decisively
+    /// the winning path beats every alternative ending. 0 when only one
+    /// state survives.
+    double final_margin = 0.0;
   };
 
   /// Runs the decoder over `steps` observations. Returns the most likely

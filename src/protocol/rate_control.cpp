@@ -44,4 +44,15 @@ std::optional<BitRate> RateController::on_epoch(std::size_t frames_attempted,
   return std::nullopt;
 }
 
+std::optional<BitRate> RateController::step_down() {
+  clean_epochs_ = 0;
+  const auto it =
+      std::find_if(plan_.rates.begin(), plan_.rates.end(),
+                   [&](BitRate r) { return r >= current_max_ * (1 - 1e-9); });
+  LFBS_CHECK(it != plan_.rates.end());
+  if (it == plan_.rates.begin()) return std::nullopt;
+  current_max_ = *(it - 1);
+  return current_max_;
+}
+
 }  // namespace lfbs::protocol

@@ -35,6 +35,13 @@ class RateController {
   std::optional<BitRate> on_epoch(std::size_t frames_attempted,
                                   std::size_t frames_failed);
 
+  /// Unconditionally lowers the max rate by one plan notch — the escape
+  /// hatch for out-of-band bad news (e.g. the session health ledger
+  /// quarantining a chronically failing tag), which must not wait for the
+  /// loss-ratio trigger. Returns the new max to broadcast, or nullopt when
+  /// already at the slowest rate. Resets the raise patience either way.
+  std::optional<BitRate> step_down();
+
  private:
   RatePlan plan_;
   BitRate current_max_;

@@ -22,10 +22,19 @@ std::vector<std::vector<std::vector<bool>>> ReliableTransfer::epoch_payloads(
   LFBS_CHECK(max_frames_per_tag >= 1);
   std::vector<std::vector<std::vector<bool>>> out(queues_.size());
   for (std::size_t t = 0; t < queues_.size(); ++t) {
+    // Fewest attempts first, stable on queue position: a frame that keeps
+    // failing yields its slot to fresher frames instead of starving them
+    // forever (see header).
+    std::vector<std::size_t> order(queues_[t].size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return queues_[t][a].attempts < queues_[t][b].attempts;
+                     });
     for (std::size_t i = 0;
-         i < std::min(max_frames_per_tag, queues_[t].size()); ++i) {
-      queues_[t][i].in_flight = true;
-      out[t].push_back(queues_[t][i].payload);
+         i < std::min(max_frames_per_tag, order.size()); ++i) {
+      queues_[t][order[i]].in_flight = true;
+      out[t].push_back(queues_[t][order[i]].payload);
     }
   }
   return out;
@@ -72,6 +81,24 @@ std::size_t ReliableTransfer::on_epoch_decoded(
 std::size_t ReliableTransfer::pending() const {
   std::size_t n = 0;
   for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+std::size_t ReliableTransfer::stuck() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) {
+    for (const auto& f : q) {
+      if (f.attempts >= config_.stuck_threshold) ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t ReliableTransfer::max_attempts_pending() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) {
+    for (const auto& f : q) n = std::max(n, f.attempts);
+  }
   return n;
 }
 

@@ -28,6 +28,9 @@ class ReliableTransfer {
     /// Frames are dropped (counted as failed) after this many epochs of
     /// retransmission. 0 means retry forever.
     std::size_t max_attempts = 8;
+    /// A pending frame with at least this many failed attempts counts as
+    /// "stuck" in stuck(). Diagnostic only; does not affect scheduling.
+    std::size_t stuck_threshold = 8;
   };
 
   ReliableTransfer(std::size_t num_tags, Config config);
@@ -40,8 +43,16 @@ class ReliableTransfer {
   void enqueue(std::size_t tag, std::vector<bool> payload);
 
   /// The payloads each tag should put on the air this epoch: up to
-  /// `max_frames_per_tag` head-of-line undelivered frames per tag. Marks
-  /// those frames in-flight; only in-flight frames age on feedback.
+  /// `max_frames_per_tag` undelivered frames per tag, fewest failed
+  /// attempts first (queue order breaks ties). Marks those frames
+  /// in-flight; only in-flight frames age on feedback.
+  ///
+  /// Fewest-attempts-first matters under max_attempts = 0 (retry forever):
+  /// pure head-of-line selection would let one undecodable frame occupy a
+  /// transmit slot every epoch and starve the frames behind it — a
+  /// livelock in which pending() never shrinks. Cycling the slot to the
+  /// least-retried frame guarantees every queued frame keeps getting air
+  /// time.
   std::vector<std::vector<std::vector<bool>>> epoch_payloads(
       std::size_t max_frames_per_tag);
 
@@ -55,6 +66,11 @@ class ReliableTransfer {
   std::size_t delivered() const { return delivered_; }
   std::size_t abandoned() const { return abandoned_; }
   std::size_t epochs() const { return epochs_; }
+  /// Pending frames with >= stuck_threshold failed attempts (only
+  /// reachable under retry-forever, or a threshold below max_attempts).
+  std::size_t stuck() const;
+  /// Largest attempt count among pending frames (0 when queues are empty).
+  std::size_t max_attempts_pending() const;
 
   /// Delivery latency histogram: index = epochs needed (1 = first try),
   /// value = frames delivered with that latency.

@@ -6,6 +6,7 @@
 #include "protocol/epoch.h"
 #include "protocol/rate_control.h"
 #include "reader/carrier.h"
+#include "reader/health_ledger.h"
 
 namespace lfbs::reader {
 
@@ -23,6 +24,11 @@ struct SessionConfig {
   /// Enable §3.6 broadcast rate control between epochs.
   bool rate_control = true;
   protocol::RateController::Config rate_controller{};
+  /// Track per-stream decode health across epochs; a newly quarantined
+  /// stream immediately steps the broadcast rate down one notch (when
+  /// rate_control is on) instead of waiting for the loss-ratio trigger.
+  bool health_tracking = true;
+  HealthLedgerConfig health{};
 };
 
 struct SessionStats {
@@ -32,6 +38,18 @@ struct SessionStats {
   std::size_t streams = 0;
   Seconds air_time = 0.0;
   std::size_t rate_commands = 0;
+  std::size_t quarantines = 0;       ///< newly quarantined streams, total
+  std::size_t health_step_downs = 0; ///< rate step-downs the ledger forced
+  std::size_t fallback_recoveries = 0;
+  double confidence_sum = 0.0;  ///< sum of per-epoch mean confidences
+  std::size_t confidence_epochs = 0;
+
+  /// Mean decode confidence over epochs that produced streams.
+  double mean_confidence() const {
+    return confidence_epochs > 0
+               ? confidence_sum / static_cast<double>(confidence_epochs)
+               : 0.0;
+  }
 
   BitRate goodput(std::size_t payload_bits) const {
     return air_time > 0.0 ? static_cast<double>(frames_valid * payload_bits) /
@@ -58,6 +76,7 @@ class ReaderSession {
 
   const SessionConfig& config() const { return config_; }
   const SessionStats& stats() const { return stats_; }
+  const HealthLedger& health() const { return ledger_; }
   BitRate current_max_rate() const;
 
   /// Runs one full epoch cycle: capture, decode, account, and (optionally)
@@ -70,6 +89,7 @@ class ReaderSession {
   Decode decode_;
   Carrier carrier_;
   protocol::RateController controller_;
+  HealthLedger ledger_;
   SessionStats stats_;
 };
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "core/decode_confidence.h"
 #include "protocol/frame.h"
 
 namespace lfbs::runtime {
@@ -16,6 +17,13 @@ struct FrameEvent {
   double stream_start = 0.0;      ///< stream anchor, capture samples
   BitRate rate = 0.0;             ///< the stream's estimated bitrate
   bool collided = false;          ///< stream recovered from a collision
+  /// Composite decode confidence of the carrying stream in [0, 1]
+  /// (DecodeConfidence::score()); consumers can gate on it per frame.
+  double confidence = 1.0;
+  /// Deepest fallback stage the carrying stream needed (kPrimary on a
+  /// clean decode) — CRC-valid frames from a degraded stage are real but
+  /// were only reachable under relaxed detection.
+  core::FallbackStage fallback_stage = core::FallbackStage::kPrimary;
   protocol::ParsedFrame frame;    ///< payload + integrity flags
 };
 

@@ -275,6 +275,8 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
         event.stream_start = stream.start_sample;
         event.rate = stream.rate;
         event.collided = stream.collided;
+        event.confidence = stream.confidence.score();
+        event.fallback_stage = stream.confidence.stage;
         event.frame = frame;
         bus_.publish(event);
         ++frames_published;
@@ -319,6 +321,32 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
   out.stats.windows_decoded = windows_decoded.load();
   out.stats.streams = out.decode.streams.size();
   out.stats.frames_published = frames_published;
+
+  // Decode-confidence digest: the supervisor treats low-confidence output
+  // as a contained fault so the health state reflects decode quality, not
+  // just software faults.
+  out.stats.erasures = out.decode.diagnostics.erasures;
+  out.stats.fallback_passes = out.decode.diagnostics.fallback_passes;
+  out.stats.fallback_recoveries = out.decode.diagnostics.fallback_recoveries;
+  if (!out.decode.streams.empty()) {
+    double sum = 0.0;
+    double min_score = 1.0;
+    std::size_t low = 0;
+    for (const auto& stream : out.decode.streams) {
+      const double score = stream.confidence.score();
+      sum += score;
+      min_score = std::min(min_score, score);
+      const bool degraded =
+          stream.confidence.stage != core::FallbackStage::kPrimary;
+      if (degraded) ++out.stats.degraded_streams;
+      if (score < config_.confidence_floor || degraded) ++low;
+    }
+    out.stats.mean_confidence =
+        sum / static_cast<double>(out.decode.streams.size());
+    out.stats.min_confidence = min_score;
+    supervisor.record_low_confidence(low);
+  }
+
   out.stats.health = supervisor.health();
   out.stats.faults = supervisor.counters();
   latency.summarize(out.stats);

@@ -37,11 +37,17 @@ struct FaultCounters {
   std::size_t worker_exceptions = 0;     ///< windows zero-filled after throw
   std::size_t subscriber_exceptions = 0; ///< FrameBus handlers that threw
   std::uint64_t samples_scrubbed = 0;    ///< non-finite samples zeroed
+  /// Streams whose decode confidence fell below the runtime's floor, or
+  /// that only decoded through a degraded fallback stage. Not a software
+  /// fault — the channel went bad — but the run is no longer delivering
+  /// full-trust output, so it degrades health like any contained fault.
+  std::size_t low_confidence_streams = 0;
 
   /// Total contained faults (stall detections excluded from double counts).
   std::size_t total() const {
     return source_transient_errors + source_failures + source_stalls +
            worker_stalls + worker_exceptions + subscriber_exceptions +
+           low_confidence_streams +
            static_cast<std::size_t>(samples_scrubbed > 0 ? 1 : 0);
   }
 };
@@ -67,6 +73,15 @@ struct RuntimeStats {
   // Output.
   std::size_t streams = 0;
   std::size_t frames_published = 0;
+
+  // Decode confidence (soft-decision pipeline). Means are over the run's
+  // stitched streams; zero when the run decoded none.
+  double mean_confidence = 0.0;
+  double min_confidence = 0.0;
+  std::size_t erasures = 0;           ///< low-confidence boundary slots
+  std::size_t fallback_passes = 0;    ///< degraded-mode decode attempts
+  std::size_t fallback_recoveries = 0;  ///< streams only fallback found
+  std::size_t degraded_streams = 0;   ///< streams decoded past kPrimary
 
   // Supervision.
   HealthState health = HealthState::kHealthy;

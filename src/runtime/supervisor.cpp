@@ -138,6 +138,12 @@ void Supervisor::record_subscriber_exceptions(std::size_t count) {
 
 void Supervisor::record_data_loss() { degrade(); }
 
+void Supervisor::record_low_confidence(std::size_t count) {
+  if (count == 0) return;
+  low_confidence_streams_.fetch_add(count, std::memory_order_relaxed);
+  degrade();
+}
+
 void Supervisor::degrade() {
   int expected = static_cast<int>(HealthState::kHealthy);
   health_.compare_exchange_strong(expected,
@@ -158,6 +164,7 @@ FaultCounters Supervisor::counters() const {
   out.worker_exceptions = worker_exceptions_.load();
   out.subscriber_exceptions = subscriber_exceptions_.load();
   out.samples_scrubbed = samples_scrubbed_.load();
+  out.low_confidence_streams = low_confidence_streams_.load();
   return out;
 }
 

@@ -90,6 +90,10 @@ class Supervisor {
   void record_worker_exception();
   void record_subscriber_exceptions(std::size_t count);
   void record_data_loss();  ///< dropped chunks / zero-filled gaps
+  /// Streams below the runtime's confidence floor (or decoded only via a
+  /// degraded fallback stage). Degrades health when count > 0: the output
+  /// is complete but no longer full-trust.
+  void record_low_confidence(std::size_t count);
 
   HealthState health() const {
     return static_cast<HealthState>(health_.load());
@@ -122,6 +126,7 @@ class Supervisor {
   std::atomic<std::size_t> worker_exceptions_{0};
   std::atomic<std::size_t> subscriber_exceptions_{0};
   std::atomic<std::uint64_t> samples_scrubbed_{0};
+  std::atomic<std::size_t> low_confidence_streams_{0};
 
   std::mutex watchdog_mutex_;
   std::condition_variable watchdog_cv_;

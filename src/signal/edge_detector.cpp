@@ -9,6 +9,13 @@
 
 namespace lfbs::signal {
 
+double edge_confidence(double snr_db) {
+  // Logistic centred at 11 dB with a 3 dB scale: 6-sigma detections
+  // (~15.6 dB) map to ~0.82, the 2.5-sigma degraded-mode floor (~8 dB)
+  // to ~0.27.
+  return 1.0 / (1.0 + std::exp(-(snr_db - 11.0) / 3.0));
+}
+
 EdgeDetector::EdgeDetector(EdgeDetectorConfig config)
     : config_(std::move(config)) {
   LFBS_CHECK(config_.window >= 1);
@@ -59,22 +66,52 @@ std::vector<Edge> EdgeDetector::detect(const SampleBuffer& buffer) const {
   if (d.empty()) return {};
 
   // Robust threshold: edges are temporally sparse, so the median of |dS|
-  // tracks the noise floor even with many tags transmitting.
+  // tracks the noise floor even with many tags transmitting. The global
+  // estimate is always computed — it is the detection threshold in the
+  // default (seed) mode and the fallback SNR reference in adaptive mode.
   const double med = dsp::median(d);
   std::vector<double> dev(d.size());
   for (std::size_t i = 0; i < d.size(); ++i) dev[i] = std::abs(d[i] - med);
   const double mad = dsp::median(dev);
-  const double threshold = std::max(
-      config_.min_strength, med + config_.threshold_sigma * 1.4826 * mad);
+  NoiseEstimate global;
+  global.floor = med;
+  global.spread = 1.4826 * mad;
+  const double threshold =
+      global.threshold(config_.threshold_sigma, config_.min_strength);
+
+  // Adaptive mode: blockwise rolling estimates. Peak-pick at the laxest
+  // blockwise threshold, then re-gate each peak against its own block so a
+  // quiet stretch keeps a low threshold while a noisy one stays strict.
+  std::vector<NoiseEstimate> blocks;
+  double pick_threshold = threshold;
+  if (config_.adaptive_threshold) {
+    blocks = NoiseTracker::track_series(d, config_.noise);
+    for (const NoiseEstimate& est : blocks) {
+      pick_threshold = std::min(
+          pick_threshold,
+          est.threshold(config_.threshold_sigma, config_.min_strength));
+    }
+  }
+  const auto local_estimate = [&](std::size_t index) -> const NoiseEstimate& {
+    if (blocks.empty()) return global;
+    const std::size_t block = std::max<std::size_t>(config_.noise.block, 8);
+    return blocks[std::min(index / block, blocks.size() - 1)];
+  };
 
   dsp::PeakOptions opts;
-  opts.min_value = threshold;
+  opts.min_value = pick_threshold;
   opts.min_distance = config_.min_separation;
   std::vector<dsp::Peak> peaks = dsp::find_peaks(d, opts);
 
   std::vector<Edge> edges;
   edges.reserve(peaks.size());
   for (const dsp::Peak& p : peaks) {
+    const NoiseEstimate& est = local_estimate(p.index);
+    if (config_.adaptive_threshold &&
+        d[p.index] <
+            est.threshold(config_.threshold_sigma, config_.min_strength)) {
+      continue;
+    }
     Edge e;
     // Parabolic sub-sample refinement of the |dS| peak.
     double refined = static_cast<double>(p.index);
@@ -93,6 +130,8 @@ std::vector<Edge> EdgeDetector::detect(const SampleBuffer& buffer) const {
         differential_at(buffer.span(), static_cast<SampleIndex>(std::llround(refined)),
                         config_.window, config_.guard);
     e.strength = std::abs(e.differential);
+    e.snr_db = est.snr_db(e.strength);
+    e.confidence = edge_confidence(e.snr_db);
     edges.push_back(e);
   }
   std::sort(edges.begin(), edges.end(),

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "signal/noise_tracker.h"
 #include "signal/sample_buffer.h"
 
 namespace lfbs::signal {
@@ -17,7 +18,18 @@ struct Edge {
   double position = 0.0;
   Complex differential;  ///< S(t+) - S(t-), Eq (3) of the paper
   double strength = 0.0; ///< |differential|
+  /// Edge strength over the local noise spread, in dB (soft detection
+  /// statistic; an edge exactly at a 6-sigma threshold sits near 15.6 dB).
+  double snr_db = 0.0;
+  /// Soft decision in (0, 1): logistic squash of snr_db. Downstream stages
+  /// treat low-confidence edges as erasures instead of hard observations.
+  double confidence = 1.0;
 };
+
+/// Maps an edge SNR (dB over the noise spread) to a confidence in (0, 1).
+/// Centered so a 6-sigma detection (~15.6 dB) lands comfortably above 0.5
+/// and a marginal 2.5-sigma one (~8 dB) falls well below it.
+double edge_confidence(double snr_db);
 
 /// Configuration for differential edge detection (§3.1).
 struct EdgeDetectorConfig {
@@ -34,6 +46,14 @@ struct EdgeDetectorConfig {
   /// than this merge into one (that is what a "collision" looks like). Must
   /// exceed the |dS| plateau width (about 2*guard + ramp samples).
   std::size_t min_separation = 6;
+  /// When true, the threshold tracks the noise floor blockwise (rolling
+  /// median+MAD, NoiseTracker) instead of one global estimate, so a fade
+  /// early in the capture does not set the threshold for the whole epoch.
+  /// Off by default: the global estimate is the seed behaviour and the two
+  /// are identical on stationary channels.
+  bool adaptive_threshold = false;
+  /// Block/history geometry for the adaptive tracker.
+  NoiseTrackerConfig noise{};
 };
 
 /// Detects antenna-toggle edges in a received buffer by scanning the
@@ -49,7 +69,8 @@ class EdgeDetector {
 
   const EdgeDetectorConfig& config() const { return config_; }
 
-  /// Returns edges sorted by position.
+  /// Returns edges sorted by position, each carrying snr_db/confidence
+  /// measured against the (global or blockwise) noise estimate.
   std::vector<Edge> detect(const SampleBuffer& buffer) const;
 
   /// Differential magnitude series |S(t+) - S(t-)| for every sample —

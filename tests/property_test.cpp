@@ -3,11 +3,42 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
+#include "channel/channel_model.h"
+#include "channel/noise.h"
+#include "protocol/frame.h"
+#include "reader/receiver.h"
 #include "sim/scenario.h"
+#include "tag/tag.h"
 
 namespace lfbs {
 namespace {
+
+/// Single-tag capture noisy enough that the primary decode pass returns
+/// nothing and the degraded-mode fallback ladder has to run (same recipe
+/// as bench_robustness_sweep).
+signal::SampleBuffer low_snr_capture(double snr_db, std::uint64_t seed) {
+  const Complex h{0.08, 0.06};
+  Rng rng(seed);
+  reader::ReceiverConfig rc;
+  rc.sample_rate = 5.0 * kMsps;
+  rc.noise_power = channel::noise_power_for_snr(std::norm(h), snr_db);
+  channel::ChannelModel ch;
+  ch.add_tag(h);
+  reader::Receiver receiver(rc, ch);
+  protocol::FrameConfig fc;
+  std::vector<std::vector<bool>> frames;
+  for (int f = 0; f < 8; ++f) {
+    frames.push_back(protocol::build_frame(rng.bits(96), fc));
+  }
+  tag::TagConfig tc;
+  tag::Tag tag(tc, rng);
+  const Seconds duration = 8 * 113.0 / tc.rate + 1e-3;
+  const auto tx = tag.transmit_epoch(frames, duration, rng);
+  std::vector<signal::StateTimeline> timelines{tx.timeline};
+  return receiver.receive_epoch(timelines, duration, rng);
+}
 
 /// Property: decoded CRC-valid payloads are a sub-multiset of what was
 /// sent — the decoder never fabricates payloads — across random seeds and
@@ -108,6 +139,39 @@ TEST(Monotonicity, CollisionRecoveryNeverNetHarms) {
     without += off.valid_payloads().size();
   }
   EXPECT_GE(with, without);
+}
+
+/// Property: the confidence + fallback pipeline is deterministic even when
+/// the degraded-mode ladder fires. A low-SNR capture decoded twice with an
+/// identical config must produce identical bits, bit-identical confidence
+/// fields, and identical fallback counters — the ladder's reseeded k-means
+/// uses a config-derived seed, never wall-clock entropy.
+TEST(Determinism, FallbackLadderDecodesIdentical) {
+  const auto buffer = low_snr_capture(8.0, 77);
+  core::DecoderConfig dc;
+  dc.robustness.fallback = true;
+  const core::LfDecoder decoder(dc);
+  const auto a = decoder.decode(buffer);
+  const auto b = decoder.decode(buffer);
+  EXPECT_GT(a.diagnostics.fallback_passes, 0u);  // the ladder actually ran
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (std::size_t i = 0; i < a.streams.size(); ++i) {
+    EXPECT_EQ(a.streams[i].bits, b.streams[i].bits);
+    const auto& ca = a.streams[i].confidence;
+    const auto& cb = b.streams[i].confidence;
+    EXPECT_DOUBLE_EQ(ca.edge_snr_db, cb.edge_snr_db);
+    EXPECT_DOUBLE_EQ(ca.edge_confidence, cb.edge_confidence);
+    EXPECT_DOUBLE_EQ(ca.path_margin, cb.path_margin);
+    EXPECT_DOUBLE_EQ(ca.cluster_separation, cb.cluster_separation);
+    EXPECT_DOUBLE_EQ(ca.score(), cb.score());
+    EXPECT_EQ(ca.erasures, cb.erasures);
+    EXPECT_EQ(ca.stage, cb.stage);
+  }
+  EXPECT_EQ(a.diagnostics.fallback_passes, b.diagnostics.fallback_passes);
+  EXPECT_EQ(a.diagnostics.fallback_recoveries,
+            b.diagnostics.fallback_recoveries);
+  EXPECT_EQ(a.diagnostics.erasures, b.diagnostics.erasures);
+  EXPECT_EQ(a.valid_payloads(), b.valid_payloads());
 }
 
 /// Property: per-stream SNR estimates respond to channel noise.

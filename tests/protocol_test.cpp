@@ -170,6 +170,33 @@ TEST(RateController, NeverLeavesThePlan) {
   EXPECT_DOUBLE_EQ(rc.current_max(), 0.5 * kKbps);
 }
 
+TEST(RateController, StepDownLowersOneNotchAndStopsAtFloor) {
+  RateController rc(RatePlan::paper_rates(), 100.0 * kKbps);
+  const auto cmd = rc.step_down();
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_DOUBLE_EQ(*cmd, 50.0 * kKbps);
+  EXPECT_DOUBLE_EQ(rc.current_max(), 50.0 * kKbps);
+  // Walk all the way down; at the slowest rate step_down is a no-op.
+  while (rc.step_down().has_value()) {
+  }
+  EXPECT_DOUBLE_EQ(rc.current_max(), 0.5 * kKbps);
+  EXPECT_FALSE(rc.step_down().has_value());
+}
+
+TEST(RateController, StepDownResetsRaisePatience) {
+  RateController rc(RatePlan::paper_rates(), 50.0 * kKbps);
+  EXPECT_FALSE(rc.on_epoch(100, 0).has_value());
+  EXPECT_FALSE(rc.on_epoch(100, 0).has_value());
+  // One clean epoch short of raising; a step_down must restart the count
+  // (from the new, lower rate).
+  ASSERT_TRUE(rc.step_down().has_value());
+  EXPECT_FALSE(rc.on_epoch(100, 0).has_value());
+  EXPECT_FALSE(rc.on_epoch(100, 0).has_value());
+  const auto raise = rc.on_epoch(100, 0);
+  ASSERT_TRUE(raise.has_value());
+  EXPECT_DOUBLE_EQ(*raise, 50.0 * kKbps);
+}
+
 TEST(Identification, RandomEpcsAreUniqueAnd96Bits) {
   Rng rng(7);
   const auto ids = random_epcs(32, rng);
@@ -259,6 +286,44 @@ TEST(ReliableTransfer, OnlyInFlightFramesAge) {
   // Head frame abandoned (1 attempt allowed); queued frame untouched.
   EXPECT_EQ(link.abandoned(), 1u);
   EXPECT_EQ(link.pending(), 1u);
+}
+
+TEST(ReliableTransfer, RetryForeverDoesNotStarveFreshFrames) {
+  // Regression: with max_attempts = 0 and head-of-line selection, one
+  // payload the reader can never decode occupied the single transmit slot
+  // every epoch and the frames behind it never aired — pending() stayed
+  // flat forever. Fewest-attempts-first selection must keep the queue
+  // draining around the stuck frame.
+  Rng rng(14);
+  ReliableTransfer::Config cfg;
+  cfg.max_attempts = 0;  // retry forever
+  cfg.stuck_threshold = 4;
+  ReliableTransfer link(1, cfg);
+  const auto poison = rng.bits(96);  // reader never confirms this one
+  link.enqueue(0, poison);
+  const std::vector<std::vector<bool>> fresh = {rng.bits(96), rng.bits(96),
+                                                rng.bits(96)};
+  for (const auto& p : fresh) link.enqueue(0, p);
+
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    const auto on_air = link.epoch_payloads(1);
+    ASSERT_EQ(on_air[0].size(), 1u);
+    // The reader decodes everything except the poison payload.
+    if (on_air[0][0] != poison) {
+      link.on_epoch_decoded({on_air[0][0]});
+    } else {
+      link.on_epoch_decoded({});
+    }
+  }
+  // All fresh frames delivered despite the undecodable one retrying
+  // forever; the poison frame is still pending, never abandoned.
+  EXPECT_EQ(link.delivered(), fresh.size());
+  EXPECT_EQ(link.pending(), 1u);
+  EXPECT_EQ(link.abandoned(), 0u);
+  // With 10 epochs and 3 delivered, the poison frame failed 7 times —
+  // visible in the stuck-frame stats.
+  EXPECT_EQ(link.max_attempts_pending(), 7u);
+  EXPECT_EQ(link.stuck(), 1u);
 }
 
 TEST(ReliableTransfer, DuplicatePayloadsAcrossTags) {

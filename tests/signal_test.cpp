@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "signal/edge_detector.h"
 #include "signal/eye_pattern.h"
+#include "signal/noise_tracker.h"
 #include "signal/iq_io.h"
 #include "signal/sample_buffer.h"
 #include "signal/waveform.h"
@@ -169,6 +170,91 @@ TEST_F(EdgeDetectorTest, MinSeparationMergesClosePair) {
   cfg.min_separation = 8;
   const EdgeDetector det(cfg);
   EXPECT_EQ(det.detect(buf).size(), 1u);
+}
+
+TEST_F(EdgeDetectorTest, AdaptiveThresholdMatchesGlobalOnStationaryNoise) {
+  // On a stationary channel the blockwise tracker and the global estimate
+  // must agree: same edges, same order, same positions (the PR's
+  // bit-identity invariant starts here).
+  Rng rng(11);
+  const std::vector<SampleIndex> positions = {200, 500, 800, 1400};
+  const auto buf = make_buffer(positions, {0.1, 0.05}, 1e-4, rng);
+  EdgeDetectorConfig cfg{.window = 6, .guard = 2};
+  const auto global = EdgeDetector(cfg).detect(buf);
+  cfg.adaptive_threshold = true;
+  cfg.noise.block = 256;
+  const auto adaptive = EdgeDetector(cfg).detect(buf);
+  ASSERT_EQ(adaptive.size(), global.size());
+  for (std::size_t i = 0; i < global.size(); ++i) {
+    EXPECT_NEAR(adaptive[i].position, global[i].position, 0.5);
+    EXPECT_NEAR(adaptive[i].strength, global[i].strength, 1e-9);
+  }
+}
+
+TEST(NoiseTracker, ConstantSeriesFloorsThreshold) {
+  // A constant |dS| series has zero MAD, so the sigma term vanishes and
+  // the threshold must fall back to the absolute floor.
+  std::vector<double> series(4096, 0.25);
+  const auto estimates =
+      NoiseTracker::track_series(series, {.block = 512, .history = 4});
+  ASSERT_EQ(estimates.size(), series.size() / 512);
+  for (const auto& e : estimates) {
+    EXPECT_DOUBLE_EQ(e.floor, 0.25);
+    EXPECT_DOUBLE_EQ(e.spread, 0.0);
+    EXPECT_DOUBLE_EQ(e.threshold(6.0, 0.4), 0.4);
+  }
+}
+
+TEST(NoiseTracker, FollowsStepChangeInNoiseLevel) {
+  // Quiet first half, 10x louder second half: the causal rolling estimate
+  // must rise after the step, and the early estimate must not be dragged
+  // up by the loud tail it has not seen yet.
+  Rng rng(21);
+  std::vector<double> series;
+  for (int i = 0; i < 4096; ++i) {
+    series.push_back(std::abs(rng.gaussian(0.0, 1e-3)));
+  }
+  for (int i = 0; i < 4096; ++i) {
+    series.push_back(std::abs(rng.gaussian(0.0, 1e-2)));
+  }
+  const auto estimates =
+      NoiseTracker::track_series(series, {.block = 512, .history = 4});
+  ASSERT_EQ(estimates.size(), 16u);
+  EXPECT_LT(estimates[3].floor, 3e-3);   // still in the quiet half
+  EXPECT_GT(estimates[15].floor, 3e-3);  // history fully in the loud half
+  EXPECT_GT(estimates[15].floor, 3.0 * estimates[3].floor);
+}
+
+TEST(NoiseTracker, IncrementalPushMatchesTrackSeries) {
+  Rng rng(22);
+  std::vector<double> series;
+  for (int i = 0; i < 2048; ++i) {
+    series.push_back(std::abs(rng.gaussian(0.0, 5e-3)));
+  }
+  const NoiseTrackerConfig cfg{.block = 256, .history = 4};
+  NoiseTracker tracker(cfg);
+  tracker.push(series);
+  const auto rolling = tracker.estimate();
+  const auto blockwise = NoiseTracker::track_series(series, cfg);
+  ASSERT_FALSE(blockwise.empty());
+  EXPECT_DOUBLE_EQ(rolling.floor, blockwise.back().floor);
+  EXPECT_DOUBLE_EQ(rolling.spread, blockwise.back().spread);
+}
+
+TEST(EdgeConfidence, MonotoneAndCalibrated) {
+  // Monotone in SNR, and calibrated so a 6-sigma detection (~15.6 dB) is
+  // confidently above the erasure region while a marginal 2.5-sigma one
+  // (~8 dB) is well inside it.
+  double prev = 0.0;
+  for (double snr = -10.0; snr <= 40.0; snr += 1.0) {
+    const double c = edge_confidence(snr);
+    EXPECT_GT(c, 0.0);
+    EXPECT_LT(c, 1.0);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+  EXPECT_GT(edge_confidence(15.6), 0.8);
+  EXPECT_LT(edge_confidence(8.0), 0.35);
 }
 
 TEST(EyePattern, FoldsPeriodicEdgesToOneOffset) {

@@ -17,8 +17,14 @@
 // stats report how the pipeline degraded. Implies --workers 1 when no
 // worker count was given; incompatible with --resample.
 //
-// Exit status: 0 when at least one CRC-valid frame was decoded; 2 on a
-// usage error or a malformed/unreadable capture (one-line diagnostic).
+// --min-confidence X hides streams whose composite decode confidence
+// (edge SNR + Viterbi margin + cluster separation, in [0,1]) falls below
+// X; their frames do not count toward the exit status.
+//
+// Exit status: 0 when at least one CRC-valid frame was decoded (from a
+// stream above the confidence floor); 1 when the decode ran but produced
+// no such frame; 2 on a usage error or a malformed/unreadable capture
+// (one-line diagnostic).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -42,8 +48,12 @@ void usage() {
   std::fprintf(stderr,
                "usage: lfbs_decode <capture.lfbsiq> [--crc5] [--payload N] "
                "[--max-rate KBPS] [--windowed MS] [--workers N] "
-               "[--edge-only] [--resample MSPS] [--inject-faults SPEC] "
-               "[--trace]\n");
+               "[--edge-only] [--no-fallback] [--min-confidence X] "
+               "[--resample MSPS] [--inject-faults SPEC] [--trace]\n"
+               "exit status: 0 = at least one CRC-valid frame (above the "
+               "--min-confidence floor)\n"
+               "             1 = decode ran, no such frame\n"
+               "             2 = usage error or malformed capture\n");
 }
 
 std::string bits_hex(const std::vector<bool>& bits) {
@@ -65,9 +75,14 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h") {
+    usage();
+    return 0;
+  }
   const std::string path = argv[1];
   core::DecoderConfig dc;
   double window_ms = 0.0;
+  double min_confidence = 0.0;
   double resample_msps = 0.0;
   std::size_t workers = 0;
   runtime::FaultPlan fault_plan;
@@ -100,6 +115,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--edge-only") {
       dc.collision_recovery = false;
       dc.error_correction = false;
+    } else if (arg == "--no-fallback") {
+      dc.robustness.fallback = false;
+    } else if (arg == "--min-confidence" && i + 1 < argc) {
+      min_confidence = atof(argv[++i]);
     } else if (arg == "--trace") {
       dc.trace = true;
     } else {
@@ -222,12 +241,26 @@ int main(int argc, char** argv) {
               result.diagnostics.edges, result.diagnostics.groups,
               result.diagnostics.collision_groups,
               result.diagnostics.unresolved_groups);
+  if (result.diagnostics.fallback_passes > 0) {
+    std::printf("fallback: %zu degraded passes, %zu streams recovered, "
+                "%zu erasures\n",
+                result.diagnostics.fallback_passes,
+                result.diagnostics.fallback_recoveries,
+                result.diagnostics.erasures);
+  }
 
-  sim::Table table({"stream", "start (us)", "rate", "SNR (dB)", "collided",
-                    "bits", "frames ok/total", "first payload (hex)"});
+  sim::Table table({"stream", "start (us)", "rate", "SNR (dB)", "conf",
+                    "stage", "collided", "bits", "frames ok/total",
+                    "first payload (hex)"});
   std::size_t valid_total = 0;
+  std::size_t hidden = 0;
   for (std::size_t i = 0; i < result.streams.size(); ++i) {
     const auto& s = result.streams[i];
+    const double conf = s.confidence.score();
+    if (conf < min_confidence) {
+      ++hidden;
+      continue;
+    }
     std::size_t ok = 0;
     std::string first;
     for (const auto& f : s.frames) {
@@ -240,10 +273,15 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(i),
                    sim::fmt(s.start_sample / sample_rate * 1e6, 1),
                    format_rate(s.rate), sim::fmt(s.snr_db, 1),
+                   sim::fmt(conf, 2), core::to_string(s.confidence.stage),
                    s.collided ? "yes" : "no", std::to_string(s.bits.size()),
                    std::to_string(ok) + "/" + std::to_string(s.frames.size()),
                    first.empty() ? "-" : first});
   }
   table.print();
+  if (hidden > 0) {
+    std::printf("(%zu stream%s below --min-confidence %.2f hidden)\n", hidden,
+                hidden == 1 ? "" : "s", min_confidence);
+  }
   return valid_total > 0 ? 0 : 1;
 }

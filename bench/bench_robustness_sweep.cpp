@@ -10,19 +10,24 @@
 // score decreases monotonically with the injected noise, so an operator
 // can read channel quality off the decode itself.
 //
-// Usage: bench_robustness_sweep [--json PATH] [--smoke]
+// Usage: bench_robustness_sweep [--json PATH] [--smoke] [--trace-out PATH]
 //   --json writes {"points": [{snr_db, baseline_valid, fallback_valid,
 //          mean_confidence, fallback_passes, recoveries}, ...]} for
 //          scripts/run_all.sh to archive as BENCH_robustness.json.
 //   --smoke sweeps only three SNR points with one epoch each (CI
 //          sanitizer job).
+//   --trace-out writes the sweep's JSONL telemetry (stage spans) — the CI
+//          smoke step feeds it to lfbs_report to prove the round trip.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "channel/channel_model.h"
 #include "channel/noise.h"
 #include "core/lf_decoder.h"
+#include "obs/events.h"
+#include "obs/trace.h"
 #include "protocol/frame.h"
 #include "reader/receiver.h"
 #include "sim/table.h"
@@ -106,6 +111,7 @@ Point run_point(double snr_db, std::size_t epochs, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string trace_out;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -113,11 +119,28 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_robustness_sweep [--json PATH] [--smoke]\n");
+                   "usage: bench_robustness_sweep [--json PATH] [--smoke] "
+                   "[--trace-out PATH]\n");
       return 2;
     }
+  }
+
+  std::unique_ptr<obs::JsonlWriter> telemetry_writer;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    telemetry_writer = std::make_unique<obs::JsonlWriter>(trace_out);
+    if (!telemetry_writer->ok()) {
+      std::fprintf(stderr, "error: cannot open --trace-out %s\n",
+                   trace_out.c_str());
+      return 2;
+    }
+    tracer = std::make_unique<obs::Tracer>();
+    tracer->set_sink(telemetry_writer.get());
+    obs::set_tracer(tracer.get());
   }
 
   sim::print_banner(
@@ -174,6 +197,13 @@ int main(int argc, char** argv) {
     std::fprintf(f, "]}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (tracer) {
+    obs::set_tracer(nullptr);
+    tracer->flush();
+    telemetry_writer->flush();
+    std::printf("wrote %s (%zu spans)\n", trace_out.c_str(),
+                tracer->recorded());
   }
   return 0;
 }

@@ -19,6 +19,8 @@
 
 #include "channel/channel_model.h"
 #include "core/windowed_decoder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocol/frame.h"
 #include "reader/receiver.h"
 #include "runtime/runtime.h"
@@ -148,11 +150,65 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  json += "\n  }\n}\n";
+  json += "\n  }";
   table.print();
   std::printf(
       "\nnote: speedup tracks available cores; a single-core host shows "
       "~1x while the paper's 25 Msps budget needs the multi-core curve.\n");
+
+  // Telemetry overhead: the same decode with the tracer attached (bounded
+  // ring, no sink). Metrics are always on, so the baseline above already
+  // pays for them; the span machinery must cost no more than a couple of
+  // percent, and the traced output must stay bit-identical to serial.
+  {
+    runtime::RuntimeConfig rc;
+    rc.windowed = wc;
+    rc.workers = 2;
+    double plain = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      runtime::DecodeRuntime rt(rc);
+      plain = std::min(plain, rt.decode(capture).stats.wall_seconds);
+    }
+    obs::Tracer tracer;
+    obs::set_tracer(&tracer);
+    double traced = 1e30;
+    runtime::RuntimeResult traced_run;
+    for (int rep = 0; rep < 3; ++rep) {
+      runtime::DecodeRuntime rt(rc);
+      traced_run = rt.decode(capture);
+      traced = std::min(traced, traced_run.stats.wall_seconds);
+    }
+    obs::set_tracer(nullptr);
+    const double overhead_pct = (traced - plain) / plain * 100.0;
+    bool identical =
+        traced_run.decode.streams.size() == serial.streams.size();
+    for (std::size_t i = 0; identical && i < serial.streams.size(); ++i) {
+      identical = traced_run.decode.streams[i].bits == serial.streams[i].bits;
+    }
+    std::printf(
+        "tracer overhead at 2 workers: %.1f%% (%zu spans, %zu dropped), "
+        "traced output %s serial\n",
+        overhead_pct, tracer.recorded(), tracer.dropped(),
+        identical ? "identical to" : "DIVERGED from");
+    // Per-window latency distribution off the shared registry histogram —
+    // the same obs::Histogram the runtime's percentile summary uses.
+    const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+    if (const obs::Histogram* h =
+            snap.histogram("runtime.window_latency_ms")) {
+      std::printf(
+          "window latency (all runs): %llu windows, p50 %.1f ms, p99 %.1f "
+          "ms\n",
+          static_cast<unsigned long long>(h->count()), h->percentile(0.50),
+          h->percentile(0.99));
+    }
+    json += ",\n  \"tracer_overhead_pct\": " + sim::fmt(overhead_pct, 2) +
+            ",\n  \"tracer_spans\": " + std::to_string(tracer.recorded());
+    if (!identical) {
+      std::fprintf(stderr, "FAIL: traced runtime diverged from serial\n");
+      return 1;
+    }
+  }
+  json += "\n}\n";
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");

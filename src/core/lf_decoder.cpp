@@ -9,6 +9,8 @@
 #include "common/rng.h"
 #include "core/bit_decoder.h"
 #include "dsp/linalg.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lfbs::core {
 
@@ -144,6 +146,10 @@ LfDecoder::LfDecoder(DecoderConfig config) : config_(std::move(config)) {
 
 DecodeResult LfDecoder::decode_pass(const signal::SampleBuffer& buffer,
                                     const DecoderConfig& cfg) const {
+  LFBS_OBS_SPAN(span, "decode_pass", "core");
+  span.attr("samples", static_cast<double>(buffer.size()));
+  static obs::Counter& passes = obs::metrics().counter("core.decode_passes");
+  passes.add();
   DecodeResult result;
   if (buffer.empty()) return result;
   Rng rng(cfg.seed);
@@ -890,10 +896,17 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
     }
     return false;
   };
+  static obs::Counter& fb_passes =
+      obs::metrics().counter("core.fallback_passes");
+  static obs::Counter& fb_recoveries =
+      obs::metrics().counter("core.fallback_recoveries");
   for (const Rung& rung : ladder) {
     if (!needs_fallback(result)) break;
+    LFBS_OBS_SPAN(rung_span, "fallback_pass", "core");
+    rung_span.attr("stage", static_cast<double>(rung.stage));
     DecodeResult alt = decode_pass(buffer, rung.cfg);
     ++result.diagnostics.fallback_passes;
+    fb_passes.add();
     for (DecodedStream& cand : alt.streams) {
       if (stream_valid_frames(cand) == 0) continue;  // CRC gate
       cand.confidence.stage = rung.stage;
@@ -933,9 +946,11 @@ DecodeResult LfDecoder::decode(const signal::SampleBuffer& buffer) const {
         if (!rigidly_valid(cand)) continue;
         result.streams.push_back(std::move(cand));
         ++result.diagnostics.fallback_recoveries;
+        fb_recoveries.add();
       } else if (stream_valid_frames(cand) > stream_valid_frames(*match)) {
         *match = std::move(cand);
         ++result.diagnostics.fallback_recoveries;
+        fb_recoveries.add();
       }
     }
   }

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lfbs::core {
 
@@ -32,6 +34,11 @@ WindowStitcher::WindowStitcher(const WindowedDecoderConfig& config,
 
 void WindowStitcher::add_window(DecodeResult window,
                                 std::size_t offset_samples) {
+  LFBS_OBS_SPAN(span, "stitch", "core");
+  span.attr("window_streams", static_cast<double>(window.streams.size()));
+  static obs::Counter& stitched =
+      obs::metrics().counter("core.windows_stitched");
+  stitched.add();
   ++windows_;
   const double fs = fs_;
   result_.diagnostics.edges += window.diagnostics.edges;

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lfbs::dsp {
 
@@ -100,6 +102,12 @@ KMeansResult kmeans(std::span<const Complex> points, std::size_t k, Rng& rng,
                     const KMeansOptions& opts) {
   LFBS_CHECK(k >= 1);
   LFBS_CHECK(!points.empty());
+  LFBS_OBS_SPAN(span, "cluster", "dsp");
+  span.attr("points", static_cast<double>(points.size()));
+  span.attr("k", static_cast<double>(k));
+  static obs::Counter& runs = obs::metrics().counter("dsp.kmeans_runs");
+  static obs::Counter& iters = obs::metrics().counter("dsp.kmeans_iterations");
+  runs.add();
 
   // Fit on a strided subsample when the input is very large.
   std::vector<Complex> subsample;
@@ -120,6 +128,8 @@ KMeansResult kmeans(std::span<const Complex> points, std::size_t k, Rng& rng,
         lloyd(fit_points, seed_centroids(fit_points, k, rng), opts);
     if (candidate.inertia < best.inertia) best = std::move(candidate);
   }
+  iters.add(best.iterations);
+  span.attr("iterations", static_cast<double>(best.iterations));
   if (fit_points.size() == points.size()) return best;
 
   // Final pass: assign every point to the fitted centroids.

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lfbs::dsp {
 
@@ -21,6 +23,13 @@ Viterbi::Viterbi(std::vector<std::vector<double>> transition,
 Viterbi::Path Viterbi::decode(std::size_t steps,
                               const Emission& emission) const {
   LFBS_CHECK(steps >= 1);
+  LFBS_OBS_SPAN(span, "viterbi", "dsp");
+  span.attr("steps", static_cast<double>(steps));
+  static obs::Counter& decodes = obs::metrics().counter("dsp.viterbi_decodes");
+  static obs::Counter& step_count =
+      obs::metrics().counter("dsp.viterbi_steps");
+  decodes.add();
+  step_count.add(steps);
   const std::size_t n = num_states();
   std::vector<double> score(n);
   std::vector<std::vector<std::size_t>> backptr(

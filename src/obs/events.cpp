@@ -1,0 +1,196 @@
+#include "obs/events.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "obs/metrics.h"
+
+namespace lfbs::obs {
+
+std::int64_t now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonlWriter::JsonlWriter(const std::string& path) {
+  if (path == "-") {
+    out_ = &std::cout;
+  } else {
+    owned_.open(path);
+    if (owned_.is_open()) out_ = &owned_;
+  }
+}
+
+JsonlWriter::JsonlWriter(std::ostream& os) : out_(&os) {}
+
+void JsonlWriter::write_line(std::string_view line) {
+  std::lock_guard lock(mutex_);
+  if (out_ == nullptr) return;
+  out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_->put('\n');
+  ++lines_;
+}
+
+std::size_t JsonlWriter::lines() const {
+  std::lock_guard lock(mutex_);
+  return lines_;
+}
+
+void JsonlWriter::flush() {
+  std::lock_guard lock(mutex_);
+  if (out_ != nullptr) out_->flush();
+}
+
+Field Field::num(std::string_view key, double value) {
+  Field f;
+  f.key = key;
+  f.kind = Kind::kNumber;
+  f.number = value;
+  return f;
+}
+
+Field Field::integer(std::string_view key, std::int64_t value) {
+  Field f;
+  f.key = key;
+  f.kind = Kind::kInteger;
+  f.integer_value = value;
+  return f;
+}
+
+Field Field::str(std::string_view key, std::string_view value) {
+  Field f;
+  f.key = key;
+  f.kind = Kind::kString;
+  f.string_value = value;
+  return f;
+}
+
+Field Field::flag(std::string_view key, bool value) {
+  Field f;
+  f.key = key;
+  f.kind = Kind::kBool;
+  f.flag_value = value;
+  return f;
+}
+
+namespace {
+
+void append_number(std::string& line, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  line += buf;
+}
+
+void append_field(std::string& line, const Field& f) {
+  line += "\"";
+  line += json_escape(f.key);
+  line += "\":";
+  switch (f.kind) {
+    case Field::Kind::kNumber: append_number(line, f.number); break;
+    case Field::Kind::kInteger:
+      line += std::to_string(f.integer_value);
+      break;
+    case Field::Kind::kString:
+      line += "\"";
+      line += json_escape(f.string_value);
+      line += "\"";
+      break;
+    case Field::Kind::kBool: line += f.flag_value ? "true" : "false"; break;
+  }
+}
+
+}  // namespace
+
+void EventLog::emit(std::string_view type,
+                    std::initializer_list<Field> fields) {
+  std::string line = "{\"type\":\"";
+  line += json_escape(type);
+  line += "\",\"ts_us\":";
+  line += std::to_string(now_us());
+  for (const Field& f : fields) {
+    line += ",";
+    append_field(line, f);
+  }
+  line += "}";
+  out_.write_line(line);
+}
+
+void EventLog::snapshot(const MetricsSnapshot& snap) {
+  std::string line = "{\"type\":\"snapshot\",\"ts_us\":";
+  line += std::to_string(now_us());
+  line += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) line += ",";
+    first = false;
+    line += "\"";
+    line += json_escape(name);
+    line += "\":";
+    line += std::to_string(value);
+  }
+  line += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) line += ",";
+    first = false;
+    line += "\"" + json_escape(name) + "\":";
+    append_number(line, value);
+  }
+  line += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) line += ",";
+    first = false;
+    line += "\"" + json_escape(name) + "\":{\"count\":" +
+            std::to_string(h.count()) + ",\"p50\":";
+    append_number(line, h.percentile(0.50));
+    line += ",\"p99\":";
+    append_number(line, h.percentile(0.99));
+    line += ",\"max\":";
+    append_number(line, h.max());
+    line += "}";
+  }
+  line += "}}";
+  out_.write_line(line);
+}
+
+namespace {
+std::atomic<EventLog*> g_event_log{nullptr};
+}  // namespace
+
+EventLog* event_log() {
+  return g_event_log.load(std::memory_order_acquire);
+}
+
+void set_event_log(EventLog* log) {
+  g_event_log.store(log, std::memory_order_release);
+}
+
+}  // namespace lfbs::obs

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lfbs::obs {
+
+/// Minimal JSON value for reading the telemetry this library writes
+/// (JSONL span/event lines, Chrome trace files, the --stats-json
+/// document). It is a complete JSON reader — objects, arrays, strings
+/// with escapes, numbers, booleans, null — kept deliberately small; it is
+/// not meant as a general-purpose JSON library.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  double num_or(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  std::string_view str_or(std::string_view fallback) const {
+    return kind == Kind::kString ? std::string_view(string) : fallback;
+  }
+  bool bool_or(bool fallback) const {
+    return kind == Kind::kBool ? boolean : fallback;
+  }
+
+  /// Shorthand: numeric member of an object, or fallback.
+  double member_num(std::string_view key, double fallback) const;
+  std::string member_str(std::string_view key,
+                         std::string_view fallback) const;
+  bool member_bool(std::string_view key, bool fallback) const;
+};
+
+/// Parses one JSON document. Returns std::nullopt on malformed input and,
+/// when `error` is given, a one-line description with the byte offset.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace lfbs::obs

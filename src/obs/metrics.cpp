@@ -1,0 +1,253 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lfbs::obs {
+
+std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+std::vector<double> Histogram::default_latency_bounds_ms() {
+  // 1e-3 ms .. ~16e3 ms in quarter-decade steps: fine enough that the
+  // interpolated percentiles track the exact ones within a few percent.
+  std::vector<double> bounds;
+  for (double b = 1e-3; b < 2e4; b *= std::pow(10.0, 0.25)) {
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size() && i < other.counts_.size();
+       ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const auto in_bucket = static_cast<double>(counts_[b]);
+    if (rank < static_cast<double>(seen) + in_bucket) {
+      const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+      const double hi =
+          b < bounds_.size() ? bounds_[b] : std::max(max_, lo);
+      const double frac = (rank - static_cast<double>(seen)) / in_bucket;
+      return std::clamp(lo + frac * (hi - lo), min(), max());
+    }
+    seen += counts_[b];
+  }
+  return max();
+}
+
+double Histogram::percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+namespace {
+
+/// Relaxed CAS-min/max update for the histogram cells' running extrema.
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  for (Cell& cell : cells_) {
+    cell.counts = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void HistogramMetric::record(double value) {
+  Cell& cell = cells_[this_thread_shard()];
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  cell.counts[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(cell.min, value);
+  atomic_max(cell.max, value);
+}
+
+Histogram Histogram::from_parts(std::vector<double> bounds,
+                                std::vector<std::uint64_t> counts,
+                                std::uint64_t count, double sum, double min,
+                                double max) {
+  Histogram h(std::move(bounds));
+  h.counts_ = std::move(counts);
+  h.counts_.resize(h.bounds_.size() + 1, 0);
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
+Histogram HistogramMetric::snapshot() const {
+  Histogram out(bounds_);
+  for (const Cell& cell : cells_) {
+    const std::uint64_t count = cell.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    std::vector<std::uint64_t> counts(cell.counts.size());
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      counts[b] = cell.counts[b].load(std::memory_order_relaxed);
+    }
+    out.merge(Histogram::from_parts(
+        bounds_, std::move(counts), count,
+        cell.sum.load(std::memory_order_relaxed),
+        cell.min.load(std::memory_order_relaxed),
+        cell.max.load(std::memory_order_relaxed)));
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const std::string key(name);
+  if (const auto it = counter_index_.find(key);
+      it != counter_index_.end()) {
+    return *it->second;
+  }
+  Counter& c = counters_.emplace_back();
+  counter_index_.emplace(key, &c);
+  counter_order_.emplace_back(key, &c);
+  return c;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const std::string key(name);
+  if (const auto it = gauge_index_.find(key); it != gauge_index_.end()) {
+    return *it->second;
+  }
+  Gauge& g = gauges_.emplace_back();
+  gauge_index_.emplace(key, &g);
+  gauge_order_.emplace_back(key, &g);
+  return g;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name,
+                                            std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  const std::string key(name);
+  if (const auto it = histogram_index_.find(key);
+      it != histogram_index_.end()) {
+    return *it->second;
+  }
+  HistogramMetric& h = histograms_.emplace_back(std::move(bounds));
+  histogram_index_.emplace(key, &h);
+  histogram_order_.emplace_back(key, &h);
+  return h;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard lock(mutex_);
+  out.counters.reserve(counter_order_.size());
+  for (const auto& [name, c] : counter_order_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(gauge_order_.size());
+  for (const auto& [name, g] : gauge_order_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(histogram_order_.size());
+  for (const auto& [name, h] : histogram_order_) {
+    out.histograms.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (Counter& c : counters_) {
+    for (auto& cell : c.cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (Gauge& g : gauges_) g.set(0.0);
+  for (HistogramMetric& h : histograms_) {
+    for (auto& cell : h.cells_) {
+      for (auto& n : cell.counts) n.store(0, std::memory_order_relaxed);
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.sum.store(0.0, std::memory_order_relaxed);
+      cell.min.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+      cell.max.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+    }
+  }
+}
+
+const std::uint64_t* MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const Histogram* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace lfbs::obs

@@ -1,0 +1,193 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lfbs::obs {
+
+/// Number of per-thread storage shards a metric is split across. Threads
+/// are assigned shards round-robin at first use; hot-path increments touch
+/// only their own shard's cache line, so the worker pool never contends on
+/// a shared counter. Sixteen shards cover any worker count the runtime
+/// realistically runs (excess threads share shards, still uncontended in
+/// practice).
+inline constexpr std::size_t kMetricShards = 16;
+
+/// The calling thread's shard index, assigned round-robin on first use.
+std::size_t this_thread_shard();
+
+/// Fixed-bucket histogram *value type*: what a snapshot hands back, what
+/// RuntimeStats aggregates latencies into, and the shared home of the
+/// percentile math that used to be hand-rolled in several places.
+///
+/// Buckets are defined by their upper bounds (ascending); values above the
+/// last bound land in an overflow bucket. percentile() interpolates
+/// linearly inside the winning bucket, which is exact enough for latency
+/// reporting; the static percentile() overload computes the exact
+/// sorted-sample percentile for callers that kept the raw samples.
+class Histogram {
+ public:
+  /// Default bounds: log-spaced from 1 µs to ~16 s when recording
+  /// milliseconds — wide enough for per-window decode latencies at any
+  /// capture rate.
+  static std::vector<double> default_latency_bounds_ms();
+
+  explicit Histogram(std::vector<double> upper_bounds =
+                         default_latency_bounds_ms());
+
+  void record(double value);
+  void merge(const Histogram& other);  ///< bounds must match
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Bucket-interpolated percentile of the recorded distribution, p in
+  /// [0, 1]. Empty histogram → 0. The result is clamped to [min, max] so a
+  /// single-sample histogram reports that sample at every percentile.
+  double percentile(double p) const;
+
+  /// Exact percentile of raw samples with linear interpolation between
+  /// order statistics (rank p·(n−1)): empty → 0, single sample → that
+  /// sample. This is the one shared implementation of the p50/p90/p99 math
+  /// used by RuntimeStats, the benches, and lfbs_report.
+  static double percentile(std::vector<double> samples, double p);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size bounds().size() + 1 (last is overflow).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Reassembles a histogram from raw pieces (the registry's shard merge).
+  static Histogram from_parts(std::vector<double> bounds,
+                              std::vector<std::uint64_t> counts,
+                              std::uint64_t count, double sum, double min,
+                              double max);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Monotonic counter handle. add() is a relaxed atomic add on the calling
+/// thread's shard — no locks, no shared cache line with other threads.
+/// Handles are owned by a MetricsRegistry and stay valid for its lifetime;
+/// instrumented code resolves them once and keeps the reference.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[this_thread_shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, kMetricShards> cells_{};
+};
+
+/// Last-write-wins gauge. Gauges record low-rate state (ring occupancy,
+/// current rate), so a single relaxed atomic is enough.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Sharded histogram metric: per-shard bucket counts and sums, merged into
+/// a plain Histogram on snapshot. record() is two relaxed atomic adds plus
+/// a min/max CAS that almost always succeeds first try.
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> bounds);
+
+  void record(double value);
+  /// Merged view across shards (snapshot-on-read).
+  Histogram snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Cell {
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+  std::vector<double> bounds_;
+  std::array<Cell, kMetricShards> cells_;
+};
+
+/// One coherent read of every metric in a registry.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram>> histograms;
+
+  const std::uint64_t* counter(std::string_view name) const;
+  const Histogram* histogram(std::string_view name) const;
+};
+
+/// Named metrics, created on first use and stable for the registry's
+/// lifetime. Registration takes a mutex (cold path, once per metric name);
+/// the returned handles increment lock-free afterwards. Reads merge the
+/// per-thread shards into a MetricsSnapshot without pausing writers — a
+/// snapshot taken mid-run is a consistent-enough monotonic view, never a
+/// torn structure.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  HistogramMetric& histogram(std::string_view name,
+                             std::vector<double> bounds =
+                                 Histogram::default_latency_bounds_ms());
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (handles stay valid). Test/bench aid;
+  /// concurrent writers may leave a few post-reset increments behind, which
+  /// is fine for its purpose.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<HistogramMetric> histograms_;
+  std::unordered_map<std::string, Counter*> counter_index_;
+  std::unordered_map<std::string, Gauge*> gauge_index_;
+  std::unordered_map<std::string, HistogramMetric*> histogram_index_;
+  std::vector<std::pair<std::string, const Counter*>> counter_order_;
+  std::vector<std::pair<std::string, const Gauge*>> gauge_order_;
+  std::vector<std::pair<std::string, const HistogramMetric*>>
+      histogram_order_;
+};
+
+/// The process-global registry every instrumented layer records into.
+/// Always on: recording is cheap enough (one relaxed add on a private
+/// cache line) that there is no disable switch.
+MetricsRegistry& metrics();
+
+}  // namespace lfbs::obs

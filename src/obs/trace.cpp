@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "obs/events.h"
+
+namespace lfbs::obs {
+
+Tracer::Tracer(TracerConfig config) : config_(config) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+}
+
+void Tracer::set_sink(JsonlWriter* sink) {
+  std::lock_guard lock(mutex_);
+  sink_ = sink;
+}
+
+void Tracer::record(SpanRecord record) {
+  std::lock_guard lock(mutex_);
+  ++recorded_;
+  if (ring_.size() >= config_.ring_capacity) {
+    if (sink_ != nullptr) {
+      flush_locked();
+    } else {
+      ring_.pop_front();
+      ++dropped_;
+    }
+  }
+  ring_.push_back(std::move(record));
+}
+
+std::size_t Tracer::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+std::vector<SpanRecord> Tracer::drain() {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out(ring_.begin(), ring_.end());
+  ring_.clear();
+  return out;
+}
+
+void Tracer::flush() {
+  std::lock_guard lock(mutex_);
+  flush_locked();
+}
+
+void Tracer::flush_locked() {
+  if (sink_ == nullptr) return;
+  for (const SpanRecord& record : ring_) {
+    sink_->write_line(to_jsonl(record));
+  }
+  ring_.clear();
+}
+
+std::string Tracer::to_jsonl(const SpanRecord& record) {
+  std::string line = "{\"type\":\"span\",\"name\":\"";
+  line += json_escape(record.name);
+  line += "\",\"cat\":\"";
+  line += json_escape(record.category);
+  line += "\",\"ts_us\":" + std::to_string(record.start_us);
+  line += ",\"dur_us\":" + std::to_string(record.dur_us);
+  line += ",\"tid\":" + std::to_string(record.tid);
+  line += ",\"depth\":" + std::to_string(record.depth);
+  if (!record.attrs.empty()) {
+    line += ",\"attrs\":{";
+    bool first = true;
+    for (const auto& [key, value] : record.attrs) {
+      if (!first) line += ",";
+      first = false;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.9g", value);
+      line += "\"";
+      line += json_escape(key);
+      line += "\":";
+      line += buf;
+    }
+    line += "}";
+  }
+  line += "}";
+  return line;
+}
+
+void Tracer::export_chrome(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& record : ring_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(record.name) << "\",\"cat\":\""
+       << json_escape(record.category) << "\",\"ph\":\"X\",\"ts\":"
+       << record.start_us << ",\"dur\":" << record.dur_us
+       << ",\"pid\":1,\"tid\":" << record.tid;
+    if (!record.attrs.empty()) {
+      os << ",\"args\":{";
+      bool afirst = true;
+      for (const auto& [key, value] : record.attrs) {
+        if (!afirst) os << ",";
+        afirst = false;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        os << "\"" << json_escape(key) << "\":" << buf;
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+namespace {
+std::atomic<Tracer*> g_tracer{nullptr};
+thread_local std::int32_t t_span_depth = 0;
+}  // namespace
+
+Tracer* tracer() { return g_tracer.load(std::memory_order_acquire); }
+
+void set_tracer(Tracer* t) { g_tracer.store(t, std::memory_order_release); }
+
+std::uint32_t this_thread_trace_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Span::Span(Tracer* tracer, const char* name, const char* category)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  record_.name = name;
+  record_.category = category;
+  record_.tid = this_thread_trace_id();
+  record_.depth = t_span_depth++;
+  record_.start_us = now_us();
+}
+
+Span::~Span() {
+  if (tracer_ == nullptr) return;
+  --t_span_depth;
+  record_.dur_us = now_us() - record_.start_us;
+  tracer_->record(std::move(record_));
+}
+
+void Span::attr(const char* key, double value) {
+  if (tracer_ == nullptr) return;
+  record_.attrs.emplace_back(key, value);
+}
+
+}  // namespace lfbs::obs

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lfbs::obs {
+
+class JsonlWriter;
+
+/// One completed span: a named stage with start time, duration, the thread
+/// that ran it, and its nesting depth on that thread. Attributes carry
+/// small numeric facts (window index, edge count) for the report tool.
+struct SpanRecord {
+  std::string name;      ///< stage, e.g. "window", "detect", "viterbi"
+  std::string category;  ///< owning layer, e.g. "runtime", "dsp"
+  std::uint32_t tid = 0;
+  std::int64_t start_us = 0;  ///< obs::now_us() at span open
+  std::int64_t dur_us = 0;
+  std::int32_t depth = 0;  ///< nesting depth on its thread (0 = top level)
+  std::vector<std::pair<std::string, double>> attrs;
+};
+
+struct TracerConfig {
+  /// Ring capacity in spans. With a sink attached the ring flushes itself
+  /// when full (complete record, bounded memory); without one the oldest
+  /// spans are dropped and counted.
+  std::size_t ring_capacity = 1 << 15;
+};
+
+/// Bounded recorder of nested spans. Spans are created with the Span RAII
+/// type below; record() is called once per span at close (one mutex
+/// acquisition per span — spans are per-window/per-stage, never
+/// per-sample, so this is far off the hot path).
+class Tracer {
+ public:
+  explicit Tracer(TracerConfig config = {});
+
+  const TracerConfig& config() const { return config_; }
+
+  /// Attaches a JSONL sink: the ring auto-flushes into it when full, and
+  /// flush() drains the remainder. Pass nullptr to detach.
+  void set_sink(JsonlWriter* sink);
+
+  void record(SpanRecord record);
+
+  std::size_t recorded() const;  ///< spans accepted (flushed + ringed)
+  std::size_t dropped() const;   ///< spans lost to a full, sinkless ring
+
+  /// Removes and returns everything currently in the ring.
+  std::vector<SpanRecord> drain();
+
+  /// Writes any ringed spans to the sink as JSONL span lines.
+  void flush();
+
+  /// Chrome trace-event export (load in chrome://tracing or Perfetto):
+  /// complete events with ts/dur in µs. Exports the ring's current
+  /// contents — attach a sink instead when the full run must survive.
+  void export_chrome(std::ostream& os) const;
+
+  /// One span as a JSONL line ({"type":"span",...}); shared by flush()
+  /// and the report-tool tests.
+  static std::string to_jsonl(const SpanRecord& record);
+
+ private:
+  void flush_locked();
+
+  TracerConfig config_;
+  mutable std::mutex mutex_;
+  std::deque<SpanRecord> ring_;
+  JsonlWriter* sink_ = nullptr;
+  std::size_t recorded_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// The process-global span sink. Null (the default) means tracing is off:
+/// a Span construction is then a single pointer load and branch, and the
+/// instrumented hot paths do no other work — the tentpole's zero-overhead
+/// contract.
+Tracer* tracer();
+void set_tracer(Tracer* t);
+
+/// A small integer id for the calling thread (stable per thread, assigned
+/// on first use) — what SpanRecord::tid carries.
+std::uint32_t this_thread_trace_id();
+
+/// RAII span: opens on construction, records on destruction. Inert when
+/// constructed against a null tracer. Non-copyable, stack-only.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name, const char* category);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric attribute (no-op when inert).
+  void attr(const char* key, double value);
+
+  bool active() const { return tracer_ != nullptr; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanRecord record_;
+};
+
+/// Convenience: a span against the global tracer.
+#define LFBS_OBS_CONCAT_INNER(a, b) a##b
+#define LFBS_OBS_CONCAT(a, b) LFBS_OBS_CONCAT_INNER(a, b)
+#define LFBS_OBS_SPAN(var, name, category) \
+  ::lfbs::obs::Span var(::lfbs::obs::tracer(), name, category)
+
+}  // namespace lfbs::obs

@@ -1,6 +1,8 @@
 #include "protocol/frame.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "protocol/crc.h"
 
 namespace lfbs::protocol {
@@ -22,11 +24,16 @@ std::vector<bool> build_frame(const std::vector<bool>& payload,
 
 ParsedFrame parse_frame(const std::vector<bool>& bits,
                         const FrameConfig& config) {
+  static obs::Counter& parsed = obs::metrics().counter("protocol.frames_parsed");
+  static obs::Counter& crc_failed =
+      obs::metrics().counter("protocol.frames_crc_failed");
   ParsedFrame out;
   if (bits.size() != config.frame_bits()) return out;
+  parsed.add();
   out.anchor_ok = bits.front();
   out.crc_ok = config.crc == CrcKind::kCrc5 ? check_crc5(bits)
                                             : check_crc16(bits);
+  if (!out.crc_ok) crc_failed.add();
   out.payload.assign(bits.begin() + 1,
                      bits.begin() + 1 + static_cast<std::ptrdiff_t>(
                                             config.payload_bits));
@@ -35,6 +42,8 @@ ParsedFrame parse_frame(const std::vector<bool>& bits,
 
 std::vector<ParsedFrame> parse_stream(const std::vector<bool>& bits,
                                       const FrameConfig& config) {
+  LFBS_OBS_SPAN(span, "crc", "protocol");
+  span.attr("bits", static_cast<double>(bits.size()));
   std::vector<ParsedFrame> frames;
   const std::size_t len = config.frame_bits();
   for (std::size_t begin = 0; begin + len <= bits.size(); begin += len) {
@@ -47,6 +56,8 @@ std::vector<ParsedFrame> parse_stream(const std::vector<bool>& bits,
 
 std::vector<ParsedFrame> scan_frames(const std::vector<bool>& bits,
                                      const FrameConfig& config) {
+  LFBS_OBS_SPAN(span, "crc", "protocol");
+  span.attr("bits", static_cast<double>(bits.size()));
   std::vector<ParsedFrame> frames;
   const std::size_t len = config.frame_bits();
   std::size_t begin = 0;

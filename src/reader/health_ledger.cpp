@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
+
 namespace lfbs::reader {
+
+namespace {
+
+/// Ledger transitions are rare and diagnostic gold: mirror each one into
+/// the JSONL event log (when attached) and the global counters.
+void note_transition(const HealthEntry& e, const char* transition) {
+  if (obs::EventLog* log = obs::event_log()) {
+    log->emit("ledger",
+              {obs::Field::str("transition", transition),
+               obs::Field::str("state", to_string(e.state)),
+               obs::Field::num("edge_re", e.edge_vector.real()),
+               obs::Field::num("edge_im", e.edge_vector.imag()),
+               obs::Field::integer(
+                   "consecutive_failures",
+                   static_cast<std::int64_t>(e.consecutive_failures)),
+               obs::Field::num("last_confidence", e.last_confidence)});
+  }
+}
+
+}  // namespace
 
 const char* to_string(HealthState state) {
   switch (state) {
@@ -38,6 +61,13 @@ HealthEntry* HealthLedger::match(Complex edge_vector) {
 }
 
 EpochHealth HealthLedger::observe(const core::DecodeResult& result) {
+  static obs::Counter& epochs =
+      obs::metrics().counter("reader.ledger_epochs");
+  static obs::Counter& quarantines =
+      obs::metrics().counter("reader.ledger_quarantines");
+  static obs::Counter& recoveries =
+      obs::metrics().counter("reader.ledger_recoveries");
+  epochs.add();
   EpochHealth out;
   std::vector<bool> seen(entries_.size(), false);
   double conf_sum = 0.0;
@@ -73,12 +103,16 @@ EpochHealth HealthLedger::observe(const core::DecodeResult& result) {
         ++e->quarantines;
         ++total_quarantines_;
         ++out.newly_quarantined;
+        quarantines.add();
+        note_transition(*e, "quarantined");
       } else if (e->state == HealthState::kProbation) {
         // One bad epoch on probation and it is back in quarantine.
         e->state = HealthState::kQuarantined;
         ++e->quarantines;
         ++total_quarantines_;
         ++out.newly_quarantined;
+        quarantines.add();
+        note_transition(*e, "requarantined");
       }
     } else {
       e->consecutive_failures = 0;
@@ -93,6 +127,8 @@ EpochHealth HealthLedger::observe(const core::DecodeResult& result) {
         e->state = HealthState::kHealthy;
         e->probation_progress = 0;
         ++out.recovered;
+        recoveries.add();
+        note_transition(*e, "recovered");
       }
     }
   }

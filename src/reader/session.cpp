@@ -1,6 +1,9 @@
 #include "reader/session.h"
 
 #include "common/check.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lfbs::reader {
 
@@ -23,6 +26,15 @@ BitRate ReaderSession::current_max_rate() const {
 }
 
 core::DecodeResult ReaderSession::run_epoch() {
+  LFBS_OBS_SPAN(span, "epoch", "reader");
+  static obs::Counter& epochs = obs::metrics().counter("reader.epochs");
+  static obs::Counter& rate_commands =
+      obs::metrics().counter("reader.rate_commands");
+  static obs::Counter& step_downs =
+      obs::metrics().counter("reader.health_step_downs");
+  epochs.add();
+  const BitRate epoch_rate = controller_.current_max();
+  span.attr("max_rate", epoch_rate);
   const signal::SampleBuffer buffer =
       air_(controller_.current_max(), config_.epoch.duration);
   core::DecodeResult result =
@@ -51,12 +63,27 @@ core::DecodeResult ReaderSession::run_epoch() {
         controller_.step_down().has_value()) {
       ++stats_.rate_commands;
       ++stats_.health_step_downs;
+      rate_commands.add();
+      step_downs.add();
+      if (obs::EventLog* log = obs::event_log()) {
+        log->emit("rate",
+                  {obs::Field::str("cause", "health_step_down"),
+                   obs::Field::num("from_rate", epoch_rate),
+                   obs::Field::num("to_rate", controller_.current_max())});
+      }
     }
   }
 
   if (config_.rate_control) {
     if (controller_.on_epoch(attempted, failed).has_value()) {
       ++stats_.rate_commands;
+      rate_commands.add();
+      if (obs::EventLog* log = obs::event_log()) {
+        log->emit("rate",
+                  {obs::Field::str("cause", "loss_ratio"),
+                   obs::Field::num("from_rate", epoch_rate),
+                   obs::Field::num("to_rate", controller_.current_max())});
+      }
     }
   }
   return result;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
+
 namespace lfbs::runtime {
 
 FrameBus::SubscriberId FrameBus::subscribe(Handler handler) {
@@ -20,6 +23,25 @@ void FrameBus::unsubscribe(SubscriberId id) {
 }
 
 void FrameBus::publish(const FrameEvent& event) {
+  static obs::Counter& published = obs::metrics().counter("bus.published");
+  static obs::Counter& exception_count =
+      obs::metrics().counter("bus.handler_exceptions");
+  published.add();
+  if (obs::EventLog* log = obs::event_log()) {
+    log->emit(
+        "frame",
+        {obs::Field::integer("stream_index",
+                             static_cast<std::int64_t>(event.stream_index)),
+         obs::Field::num("stream_start", event.stream_start),
+         obs::Field::num("rate", event.rate),
+         obs::Field::flag("collided", event.collided),
+         obs::Field::num("confidence", event.confidence),
+         obs::Field::integer(
+             "fallback_stage",
+             static_cast<std::int64_t>(event.fallback_stage)),
+         obs::Field::flag("crc_ok", event.frame.crc_ok),
+         obs::Field::flag("anchor_ok", event.frame.anchor_ok)});
+  }
   // Copy the handler list so a handler can (un)subscribe re-entrantly
   // without deadlocking on the bus mutex.
   std::vector<Handler> handlers;
@@ -40,6 +62,7 @@ void FrameBus::publish(const FrameEvent& event) {
     }
   }
   if (exceptions > 0) {
+    exception_count.add(exceptions);
     std::lock_guard lock(mutex_);
     handler_exceptions_ += exceptions;
   }

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/chunk.h"
 #include "runtime/ring_buffer.h"
 
@@ -86,6 +88,13 @@ DecodeRuntime::DecodeRuntime(RuntimeConfig config)
 }
 
 RuntimeResult DecodeRuntime::run(SampleSource& source) {
+  LFBS_OBS_SPAN(run_span, "run", "runtime");
+  static obs::Counter& runs = obs::metrics().counter("runtime.runs");
+  static obs::Counter& windows_counter =
+      obs::metrics().counter("runtime.windows_decoded");
+  static obs::Counter& frames_counter =
+      obs::metrics().counter("runtime.frames_published");
+  runs.add();
   const SampleRate fs = source.sample_rate();
   LFBS_CHECK_MSG(fs > 0.0, "sample source must declare a sample rate");
   const core::WindowedDecoder decoder(config_.windowed);
@@ -221,6 +230,9 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
     pool.emplace_back([&, w] {
       while (auto job = jobs.pop()) {
         const auto start = std::chrono::steady_clock::now();
+        LFBS_OBS_SPAN(window_span, "window", "runtime");
+        window_span.attr("index", static_cast<double>(job->index));
+        window_span.attr("worker", static_cast<double>(w));
         WindowOutcome outcome;
         outcome.short_capture = job->short_capture;
         // Exception containment: a throwing window decode yields an empty
@@ -245,6 +257,7 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
                            std::chrono::steady_clock::now() - start)
                            .count());
         ++windows_decoded;
+        windows_counter.add();
         inbox.deliver(job->index, std::move(outcome));
       }
     });
@@ -280,6 +293,7 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
         event.frame = frame;
         bus_.publish(event);
         ++frames_published;
+        frames_counter.add();
       }
     }
   });
@@ -350,6 +364,10 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
   out.stats.health = supervisor.health();
   out.stats.faults = supervisor.counters();
   latency.summarize(out.stats);
+  obs::metrics().gauge("runtime.ring_high_watermark")
+      .set(static_cast<double>(out.stats.ring_high_watermark));
+  run_span.attr("windows", static_cast<double>(out.stats.windows_decoded));
+  run_span.attr("frames", static_cast<double>(out.stats.frames_published));
   return out;
 }
 

@@ -1,22 +1,10 @@
 #include "runtime/stats.h"
 
 #include <algorithm>
-#include <cmath>
+
+#include "obs/metrics.h"
 
 namespace lfbs::runtime {
-
-namespace {
-
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-}
-
-}  // namespace
 
 const char* to_string(HealthState state) {
   switch (state) {
@@ -28,21 +16,30 @@ const char* to_string(HealthState state) {
 }
 
 void LatencyRecorder::record(Seconds seconds) {
-  std::lock_guard lock(mutex_);
-  samples_.push_back(seconds);
+  {
+    std::lock_guard lock(mutex_);
+    samples_.push_back(seconds);
+  }
+  static obs::HistogramMetric& latency =
+      obs::metrics().histogram("runtime.window_latency_ms");
+  latency.record(seconds * 1e3);
 }
 
 void LatencyRecorder::summarize(RuntimeStats& stats) const {
-  std::vector<double> sorted;
+  std::vector<double> samples;
   {
     std::lock_guard lock(mutex_);
-    sorted = samples_;
+    samples = samples_;
   }
-  std::sort(sorted.begin(), sorted.end());
-  stats.window_latency_p50_ms = percentile(sorted, 0.50) * 1e3;
-  stats.window_latency_p90_ms = percentile(sorted, 0.90) * 1e3;
-  stats.window_latency_p99_ms = percentile(sorted, 0.99) * 1e3;
-  stats.window_latency_max_ms = sorted.empty() ? 0.0 : sorted.back() * 1e3;
+  stats.window_latency_p50_ms =
+      obs::Histogram::percentile(samples, 0.50) * 1e3;
+  stats.window_latency_p90_ms =
+      obs::Histogram::percentile(samples, 0.90) * 1e3;
+  stats.window_latency_p99_ms =
+      obs::Histogram::percentile(samples, 0.99) * 1e3;
+  stats.window_latency_max_ms =
+      samples.empty() ? 0.0
+                      : *std::max_element(samples.begin(), samples.end()) * 1e3;
 }
 
 }  // namespace lfbs::runtime

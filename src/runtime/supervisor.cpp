@@ -4,6 +4,9 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/events.h"
+#include "obs/metrics.h"
+
 namespace lfbs::runtime {
 
 namespace {
@@ -78,6 +81,7 @@ void Supervisor::check_slot(Slot& slot, Seconds timeout,
   // Count each stall episode once; the flag clears when the slot idles.
   if (!slot.flagged.exchange(true, std::memory_order_acq_rel)) {
     counter.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter("supervisor.stalls").add();
     degrade();
   }
 }
@@ -91,19 +95,27 @@ std::optional<SampleChunk> Supervisor::next_chunk(SampleSource& source) {
       return source.next_chunk();
     } catch (const SourceError& e) {
       source_transient_errors_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& transient_errors =
+          obs::metrics().counter("supervisor.source_transient_errors");
+      transient_errors.add();
       if (!e.transient() || attempts >= config_.max_source_retries) {
         source_failures_.fetch_add(1, std::memory_order_relaxed);
+        obs::metrics().counter("supervisor.source_failures").add();
         fail();
         return std::nullopt;
       }
       ++attempts;
       source_retries_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& retries =
+          obs::metrics().counter("supervisor.source_retries");
+      retries.add();
       degrade();
       std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       backoff = std::min(backoff * 2.0, config_.retry_backoff_max);
     } catch (const std::exception&) {
       // Anything else out of a source is unrecoverable by construction.
       source_failures_.fetch_add(1, std::memory_order_relaxed);
+      obs::metrics().counter("supervisor.source_failures").add();
       fail();
       return std::nullopt;
     }
@@ -121,37 +133,63 @@ void Supervisor::scrub(SampleChunk& chunk) {
   }
   if (scrubbed > 0) {
     samples_scrubbed_.fetch_add(scrubbed, std::memory_order_relaxed);
+    static obs::Counter& scrub_counter =
+        obs::metrics().counter("supervisor.samples_scrubbed");
+    scrub_counter.add(scrubbed);
     degrade();
   }
 }
 
 void Supervisor::record_worker_exception() {
   worker_exceptions_.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics().counter("supervisor.worker_exceptions").add();
   degrade();
 }
 
 void Supervisor::record_subscriber_exceptions(std::size_t count) {
   if (count == 0) return;
   subscriber_exceptions_.fetch_add(count, std::memory_order_relaxed);
+  obs::metrics().counter("supervisor.subscriber_exceptions").add(count);
   degrade();
 }
 
-void Supervisor::record_data_loss() { degrade(); }
+void Supervisor::record_data_loss() {
+  obs::metrics().counter("supervisor.data_loss").add();
+  degrade();
+}
 
 void Supervisor::record_low_confidence(std::size_t count) {
   if (count == 0) return;
   low_confidence_streams_.fetch_add(count, std::memory_order_relaxed);
+  obs::metrics().counter("supervisor.low_confidence_streams").add(count);
   degrade();
 }
 
 void Supervisor::degrade() {
   int expected = static_cast<int>(HealthState::kHealthy);
-  health_.compare_exchange_strong(expected,
-                                  static_cast<int>(HealthState::kDegraded));
+  // Emit the transition event only when this call actually moved the
+  // state — degrade() fires on every fault, transitions are rare.
+  if (health_.compare_exchange_strong(
+          expected, static_cast<int>(HealthState::kDegraded))) {
+    obs::metrics().counter("supervisor.degraded_transitions").add();
+    if (obs::EventLog* log = obs::event_log()) {
+      log->emit("health", {obs::Field::str("from", "healthy"),
+                           obs::Field::str("to", "degraded")});
+    }
+  }
 }
 
 void Supervisor::fail() {
-  health_.store(static_cast<int>(HealthState::kFailed));
+  const int prev = health_.exchange(static_cast<int>(HealthState::kFailed));
+  if (prev != static_cast<int>(HealthState::kFailed)) {
+    obs::metrics().counter("supervisor.failed_transitions").add();
+    if (obs::EventLog* log = obs::event_log()) {
+      log->emit("health",
+                {obs::Field::str("from",
+                                 to_string(static_cast<HealthState>(prev))),
+                 obs::Field::str("to", "failed")});
+    }
+  }
 }
 
 FaultCounters Supervisor::counters() const {

@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "dsp/peaks.h"
 #include "dsp/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lfbs::signal {
 
@@ -62,6 +64,12 @@ std::vector<double> EdgeDetector::differential_magnitude(
 }
 
 std::vector<Edge> EdgeDetector::detect(const SampleBuffer& buffer) const {
+  LFBS_OBS_SPAN(span, "detect", "signal");
+  span.attr("samples", static_cast<double>(buffer.size()));
+  static obs::Counter& runs = obs::metrics().counter("signal.detect_runs");
+  static obs::Counter& detected =
+      obs::metrics().counter("signal.edges_detected");
+  runs.add();
   const std::vector<double> d = differential_magnitude(buffer);
   if (d.empty()) return {};
 
@@ -136,6 +144,8 @@ std::vector<Edge> EdgeDetector::detect(const SampleBuffer& buffer) const {
   }
   std::sort(edges.begin(), edges.end(),
             [](const Edge& a, const Edge& b) { return a.position < b.position; });
+  detected.add(edges.size());
+  span.attr("edges", static_cast<double>(edges.size()));
   return edges;
 }
 

@@ -1,0 +1,384 @@
+// Tests for src/obs: histogram percentile math (the shared implementation
+// RuntimeStats and the benches migrated onto), the sharded metrics
+// registry under concurrent writers, the bounded tracer ring, JSONL /
+// Chrome / Prometheus export round trips, and the minimal JSON reader.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lfbs::obs {
+namespace {
+
+// ---------------------------------------------------------------- percentile
+
+TEST(HistogramPercentile, EmptySamplesIsZero) {
+  EXPECT_EQ(Histogram::percentile({}, 0.5), 0.0);
+  EXPECT_EQ(Histogram::percentile({}, 0.99), 0.0);
+}
+
+TEST(HistogramPercentile, SingleSampleAtEveryPercentile) {
+  for (double p : {0.0, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(Histogram::percentile({7.5}, p), 7.5);
+  }
+}
+
+TEST(HistogramPercentile, InterpolatesBetweenOrderStatistics) {
+  // rank = p * (n - 1): for {1, 2, 3, 4} the p50 sits halfway between the
+  // 2nd and 3rd order statistics.
+  const std::vector<double> samples = {4.0, 1.0, 3.0, 2.0};  // unsorted
+  EXPECT_DOUBLE_EQ(Histogram::percentile(samples, 0.50), 2.5);
+  EXPECT_DOUBLE_EQ(Histogram::percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::percentile(samples, 1.0), 4.0);
+  // p90 of 4 samples: rank 2.7 -> 3 + 0.7 * (4 - 3).
+  EXPECT_NEAR(Histogram::percentile(samples, 0.90), 3.7, 1e-12);
+}
+
+TEST(HistogramPercentile, MatchesFormerRuntimeStatsMath) {
+  // The exact formula LatencyRecorder::summarize used before the
+  // migration: rank = p*(n-1), linear interpolation. Spot-check a larger
+  // sample set against a direct evaluation.
+  std::vector<double> samples;
+  for (int i = 1; i <= 101; ++i) samples.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(Histogram::percentile(samples, 0.50), 51.0);
+  EXPECT_DOUBLE_EQ(Histogram::percentile(samples, 0.99), 100.0);
+  EXPECT_DOUBLE_EQ(Histogram::percentile(samples, 0.90), 91.0);
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(Histogram, RecordAndBucketPercentile) {
+  Histogram h({1.0, 10.0, 100.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  h.record(0.5);
+  h.record(5.0);
+  h.record(50.0);
+  h.record(500.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  // p50 lands in the (1, 10] bucket; clamped to [min, max].
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 10.0);
+  // Every percentile stays within the recorded range.
+  EXPECT_GE(h.percentile(0.01), 0.5);
+  EXPECT_LE(h.percentile(0.999), 500.0);
+}
+
+TEST(Histogram, SingleSampleClampsToThatSample) {
+  Histogram h({1.0, 10.0});
+  h.record(3.0);
+  for (double p : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 3.0);
+  }
+}
+
+TEST(Histogram, MergeAddsCountsAndExtremes) {
+  Histogram a({1.0, 10.0});
+  Histogram b({1.0, 10.0});
+  a.record(0.5);
+  b.record(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 20.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 20.5);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(MetricsRegistry, CounterHandleIsStableAndNamed) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a.b");
+  c.add(3);
+  Counter& again = reg.counter("a.b");
+  EXPECT_EQ(&c, &again);
+  again.add(2);
+  EXPECT_EQ(c.value(), 5u);
+  const MetricsSnapshot snap = reg.snapshot();
+  const std::uint64_t* v = snap.counter("a.b");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 5u);
+  EXPECT_EQ(snap.counter("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, ShardMergeUnderConcurrentWriters) {
+  // N threads × M increments across several counters and one histogram:
+  // the merged snapshot must account for every single add, regardless of
+  // which shard each thread landed on.
+  MetricsRegistry reg;
+  Counter& hits = reg.counter("hits");
+  HistogramMetric& lat = reg.histogram("lat", {1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hits.add();
+        lat.record(static_cast<double>(t % 3) * 10.0 + 0.5);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hits.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const Histogram h = lat.snapshot();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 20.5);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t n : h.bucket_counts()) bucket_total += n;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(MetricsRegistry, SnapshotWhileWritersRun) {
+  // Snapshot-on-read must never tear or crash while writers are hot; the
+  // value it reports is some monotonic intermediate.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) c.add();
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const MetricsSnapshot snap = reg.snapshot();
+    const std::uint64_t* v = snap.counter("c");
+    ASSERT_NE(v, nullptr);
+    EXPECT_GE(*v, last);
+    last = *v;
+  }
+  stop = true;
+  writer.join();
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  c.add(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// ------------------------------------------------------------------- tracer
+
+TEST(Tracer, NullTracerSpanIsInert) {
+  // The zero-overhead contract: a Span on a null tracer records nothing
+  // and costs a branch.
+  Span span(nullptr, "x", "test");
+  span.attr("k", 1.0);
+  EXPECT_FALSE(span.active());
+}
+
+TEST(Tracer, RecordsSpansWithDepthAndAttrs) {
+  Tracer tracer;
+  {
+    Span outer(&tracer, "outer", "test");
+    Span inner(&tracer, "inner", "test");
+    inner.attr("k", 2.5);
+  }
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner ends first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 1);
+  ASSERT_EQ(spans[0].attrs.size(), 1u);
+  EXPECT_EQ(spans[0].attrs[0].first, "k");
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0);
+}
+
+TEST(Tracer, SinklessRingIsBoundedAndDropsOldest) {
+  TracerConfig cfg;
+  cfg.ring_capacity = 4;
+  Tracer tracer(cfg);
+  for (int i = 0; i < 10; ++i) {
+    SpanRecord r;
+    r.name = "s" + std::to_string(i);
+    tracer.record(std::move(r));
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "s6");  // oldest surviving
+  EXPECT_EQ(spans.back().name, "s9");
+}
+
+TEST(Tracer, SinkAttachedRingAutoFlushes) {
+  // With a sink the ring never drops: filling it flushes to the writer,
+  // so a 10x-capacity capture stays bounded in memory and complete on
+  // disk.
+  std::ostringstream out;
+  JsonlWriter writer(out);
+  TracerConfig cfg;
+  cfg.ring_capacity = 4;
+  Tracer tracer(cfg);
+  tracer.set_sink(&writer);
+  for (int i = 0; i < 40; ++i) {
+    SpanRecord r;
+    r.name = "s";
+    tracer.record(std::move(r));
+  }
+  tracer.flush();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(writer.lines(), 40u);
+}
+
+TEST(Tracer, JsonlLineParsesBack) {
+  SpanRecord r;
+  r.name = "window";
+  r.category = "runtime";
+  r.tid = 3;
+  r.start_us = 100;
+  r.dur_us = 250;
+  r.depth = 1;
+  r.attrs.emplace_back("index", 7.0);
+  const std::string line = Tracer::to_jsonl(r);
+  const auto parsed = parse_json(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->member_str("type", ""), "span");
+  EXPECT_EQ(parsed->member_str("name", ""), "window");
+  EXPECT_EQ(parsed->member_num("dur_us", -1.0), 250.0);
+  const JsonValue* attrs = parsed->find("attrs");
+  ASSERT_NE(attrs, nullptr);
+  EXPECT_EQ(attrs->member_num("index", -1.0), 7.0);
+}
+
+TEST(Tracer, ChromeExportIsValidJson) {
+  Tracer tracer;
+  {
+    Span span(&tracer, "detect", "signal");
+    span.attr("edges", 5.0);
+  }
+  std::ostringstream os;
+  tracer.export_chrome(os);
+  const auto parsed = parse_json(os.str());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].member_str("name", ""), "detect");
+  EXPECT_EQ(events->array[0].member_str("ph", ""), "X");
+}
+
+// ----------------------------------------------------------------- eventlog
+
+TEST(EventLog, EmitsTypedJsonlLines) {
+  std::ostringstream out;
+  JsonlWriter writer(out);
+  EventLog log(writer);
+  log.emit("frame", {Field::integer("stream_index", 2),
+                     Field::num("confidence", 0.75),
+                     Field::flag("crc_ok", true),
+                     Field::str("note", "a \"quoted\" note")});
+  const auto parsed = parse_json(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->member_str("type", ""), "frame");
+  EXPECT_GE(parsed->member_num("ts_us", -1.0), 0.0);
+  EXPECT_EQ(parsed->member_num("stream_index", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(parsed->member_num("confidence", -1.0), 0.75);
+  EXPECT_TRUE(parsed->member_bool("crc_ok", false));
+  EXPECT_EQ(parsed->member_str("note", ""), "a \"quoted\" note");
+}
+
+TEST(EventLog, SnapshotLineCarriesMetrics) {
+  MetricsRegistry reg;
+  reg.counter("hits").add(3);
+  reg.histogram("lat", {1.0, 10.0}).record(2.0);
+  std::ostringstream out;
+  JsonlWriter writer(out);
+  EventLog log(writer);
+  log.snapshot(reg.snapshot());
+  const auto parsed = parse_json(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->member_str("type", ""), "snapshot");
+  const JsonValue* counters = parsed->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->member_num("hits", -1.0), 3.0);
+  const JsonValue* hists = parsed->find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* lat = hists->find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->member_num("count", -1.0), 1.0);
+}
+
+// --------------------------------------------------------------- prometheus
+
+TEST(Prometheus, ExpositionFormat) {
+  MetricsRegistry reg;
+  reg.counter("runtime.windows").add(4);
+  reg.gauge("ring.depth").set(2.5);
+  HistogramMetric& h = reg.histogram("lat.ms", {1.0, 10.0});
+  h.record(0.5);
+  h.record(5.0);
+  h.record(50.0);
+  std::ostringstream os;
+  write_prometheus(reg.snapshot(), os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("lfbs_runtime_windows 4"), std::string::npos);
+  EXPECT_NE(text.find("lfbs_ring_depth 2.5"), std::string::npos);
+  // Cumulative buckets plus +Inf, sum and count.
+  EXPECT_NE(text.find("lfbs_lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lfbs_lat_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lfbs_lat_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("lfbs_lat_ms_count 3"), std::string::npos);
+}
+
+// --------------------------------------------------------------------- json
+
+TEST(JsonParser, ParsesScalarsObjectsArrays) {
+  const auto v = parse_json(
+      R"({"a": 1.5, "b": "x\ny", "c": [1, 2, 3], "d": {"e": true}, "f": null})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->member_num("a", 0.0), 1.5);
+  EXPECT_EQ(v->member_str("b", ""), "x\ny");
+  const JsonValue* c = v->find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(c->is_array());
+  EXPECT_EQ(c->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(c->array[1].num_or(0.0), 2.0);
+  const JsonValue* d = v->find("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->member_bool("e", false));
+  const JsonValue* f = v->find("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\": 1} trailing", &error).has_value());
+  EXPECT_FALSE(parse_json("{'a': 1}", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonParser, UnicodeEscapes) {
+  // The u00e9 escape decodes to the two UTF-8 bytes of U+00E9.
+  const auto v = parse_json("{\"s\": \"A\\u00e9A\"}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->member_str("s", ""), "A\xc3\xa9"
+                                    "A");
+}
+
+}  // namespace
+}  // namespace lfbs::obs

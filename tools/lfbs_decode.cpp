@@ -21,6 +21,16 @@
 // (edge SNR + Viterbi margin + cluster separation, in [0,1]) falls below
 // X; their frames do not count toward the exit status.
 //
+// Observability (see README "Observability"):
+//   --trace-out PATH      JSONL telemetry: stage spans, frame events,
+//                         health/ledger/rate transitions ("-" = stdout)
+//   --trace-chrome PATH   Chrome trace-event JSON (chrome://tracing); holds
+//                         the most recent spans up to the tracer's ring
+//   --metrics-out PATH    Prometheus text exposition of the run's metrics
+//   --stats-interval SEC  periodic stats line on stderr + snapshot events
+//   --stats-json PATH     one final JSON document: decode diagnostics,
+//                         runtime stats + fault counters, per-tag ledger
+//
 // Exit status: 0 when at least one CRC-valid frame was decoded (from a
 // stream above the confidence floor); 1 when the decode ran but produced
 // no such frame; 2 on a usage error or a malformed/unreadable capture
@@ -29,12 +39,20 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "core/windowed_decoder.h"
 #include "dsp/resample.h"
+#include "obs/events.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "reader/health_ledger.h"
 #include "runtime/fault_injector.h"
 #include "runtime/runtime.h"
 #include "signal/iq_io.h"
@@ -50,10 +68,102 @@ void usage() {
                "[--max-rate KBPS] [--windowed MS] [--workers N] "
                "[--edge-only] [--no-fallback] [--min-confidence X] "
                "[--resample MSPS] [--inject-faults SPEC] [--trace]\n"
+               "               [--trace-out PATH] [--trace-chrome PATH] "
+               "[--metrics-out PATH] [--stats-interval SEC] "
+               "[--stats-json PATH]\n"
                "exit status: 0 = at least one CRC-valid frame (above the "
                "--min-confidence floor)\n"
                "             1 = decode ran, no such frame\n"
                "             2 = usage error or malformed capture\n");
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Writes the --stats-json document: decode diagnostics, the runtime's
+/// stats and fault counters (streaming path only), and a per-tag health
+/// ledger summary built by folding the final result in as one epoch.
+/// Schema documented in README ("Observability").
+bool write_stats_json(const std::string& path, const std::string& capture,
+                      double sample_rate, std::size_t sample_count,
+                      const core::DecodeResult& result,
+                      const std::optional<runtime::RuntimeStats>& stats) {
+  std::ofstream os(path);
+  if (!os.is_open()) return false;
+
+  const std::size_t attempted = result.frames_attempted();
+  const std::size_t failed = result.frames_failed();
+  os << "{\n  \"capture\": {\"path\": \"" << obs::json_escape(capture)
+     << "\", \"samples\": " << sample_count
+     << ", \"sample_rate\": " << num(sample_rate) << "},\n";
+  os << "  \"decode\": {\"streams\": " << result.streams.size()
+     << ", \"frames_valid\": " << (attempted - failed)
+     << ", \"frames_failed\": " << failed
+     << ", \"edges\": " << result.diagnostics.edges
+     << ", \"groups\": " << result.diagnostics.groups
+     << ", \"collision_groups\": " << result.diagnostics.collision_groups
+     << ", \"unresolved_groups\": " << result.diagnostics.unresolved_groups
+     << ", \"erasures\": " << result.diagnostics.erasures
+     << ", \"fallback_passes\": " << result.diagnostics.fallback_passes
+     << ", \"fallback_recoveries\": "
+     << result.diagnostics.fallback_recoveries << "}";
+
+  if (stats.has_value()) {
+    const runtime::RuntimeStats& s = *stats;
+    const runtime::FaultCounters& f = s.faults;
+    os << ",\n  \"runtime\": {\"health\": \"" << runtime::to_string(s.health)
+       << "\", \"wall_seconds\": " << num(s.wall_seconds)
+       << ", \"effective_msps\": " << num(s.effective_msps())
+       << ", \"windows_decoded\": " << s.windows_decoded
+       << ", \"frames_published\": " << s.frames_published
+       << ", \"window_latency_ms\": {\"p50\": "
+       << num(s.window_latency_p50_ms)
+       << ", \"p90\": " << num(s.window_latency_p90_ms)
+       << ", \"p99\": " << num(s.window_latency_p99_ms)
+       << ", \"max\": " << num(s.window_latency_max_ms) << "}"
+       << ", \"chunks_dropped\": " << s.chunks_dropped
+       << ", \"samples_gap\": " << s.samples_gap
+       << ", \"ring_high_watermark\": " << s.ring_high_watermark
+       << ", \"mean_confidence\": " << num(s.mean_confidence)
+       << ", \"degraded_streams\": " << s.degraded_streams
+       << ",\n    \"faults\": {\"source_transient_errors\": "
+       << f.source_transient_errors
+       << ", \"source_retries\": " << f.source_retries
+       << ", \"source_failures\": " << f.source_failures
+       << ", \"source_stalls\": " << f.source_stalls
+       << ", \"worker_stalls\": " << f.worker_stalls
+       << ", \"worker_exceptions\": " << f.worker_exceptions
+       << ", \"subscriber_exceptions\": " << f.subscriber_exceptions
+       << ", \"samples_scrubbed\": " << f.samples_scrubbed
+       << ", \"low_confidence_streams\": " << f.low_confidence_streams
+       << "}}";
+  }
+
+  // Per-tag health from one ledger epoch over the final result: each
+  // stream keyed by its channel edge vector, exactly how a long-running
+  // ReaderSession would track it.
+  reader::HealthLedger ledger;
+  const reader::EpochHealth epoch = ledger.observe(result);
+  os << ",\n  \"health_ledger\": {\"tracked\": " << epoch.tracked
+     << ", \"quarantined\": " << epoch.quarantined
+     << ", \"probation\": " << epoch.probation
+     << ", \"mean_confidence\": " << num(epoch.mean_confidence)
+     << ", \"entries\": [";
+  for (std::size_t i = 0; i < ledger.entries().size(); ++i) {
+    const reader::HealthEntry& e = ledger.entries()[i];
+    os << (i > 0 ? ", " : "") << "{\"edge_re\": " << num(e.edge_vector.real())
+       << ", \"edge_im\": " << num(e.edge_vector.imag()) << ", \"state\": \""
+       << reader::to_string(e.state)
+       << "\", \"consecutive_failures\": " << e.consecutive_failures
+       << ", \"epochs_seen\": " << e.epochs_seen
+       << ", \"epochs_failed\": " << e.epochs_failed
+       << ", \"last_confidence\": " << num(e.last_confidence) << "}";
+  }
+  os << "]}\n}\n";
+  return os.good();
 }
 
 std::string bits_hex(const std::vector<bool>& bits) {
@@ -87,6 +197,11 @@ int main(int argc, char** argv) {
   std::size_t workers = 0;
   runtime::FaultPlan fault_plan;
   bool inject_faults = false;
+  std::string trace_out;
+  std::string trace_chrome;
+  std::string metrics_out;
+  std::string stats_json;
+  double stats_interval = 0.0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--crc5") {
@@ -121,6 +236,16 @@ int main(int argc, char** argv) {
       min_confidence = atof(argv[++i]);
     } else if (arg == "--trace") {
       dc.trace = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--trace-chrome" && i + 1 < argc) {
+      trace_chrome = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else if (arg == "--stats-json" && i + 1 < argc) {
+      stats_json = argv[++i];
+    } else if (arg == "--stats-interval" && i + 1 < argc) {
+      stats_interval = atof(argv[++i]);
     } else {
       usage();
       return 2;
@@ -139,7 +264,48 @@ int main(int argc, char** argv) {
   }
   if (inject_faults && workers == 0) workers = 1;
 
+  // Telemetry wiring: a null tracer/event-log (no flags) keeps every
+  // instrumented hot path at one pointer load and branch.
+  std::unique_ptr<obs::JsonlWriter> telemetry_writer;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::EventLog> event_log;
+  if (!trace_out.empty() || !trace_chrome.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+  }
+  if (!trace_out.empty()) {
+    telemetry_writer = std::make_unique<obs::JsonlWriter>(trace_out);
+    if (!telemetry_writer->ok()) {
+      std::fprintf(stderr, "error: cannot open --trace-out %s\n",
+                   trace_out.c_str());
+      return 2;
+    }
+    // Spans and structured events share the writer, so the JSONL file is
+    // one interleaved, time-ordered telemetry stream.
+    tracer->set_sink(telemetry_writer.get());
+    event_log = std::make_unique<obs::EventLog>(*telemetry_writer);
+    obs::set_event_log(event_log.get());
+  }
+  if (tracer) obs::set_tracer(tracer.get());
+
+  std::unique_ptr<obs::SnapshotEmitter> emitter;
+  if (stats_interval > 0.0) {
+    emitter = std::make_unique<obs::SnapshotEmitter>(stats_interval, [&] {
+      const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+      if (obs::EventLog* log = obs::event_log()) log->snapshot(snap);
+      if (!metrics_out.empty()) obs::write_prometheus_file(snap, metrics_out);
+      const std::uint64_t* windows = snap.counter("runtime.windows_decoded");
+      const std::uint64_t* frames = snap.counter("bus.published");
+      const std::uint64_t* passes = snap.counter("core.decode_passes");
+      std::fprintf(stderr,
+                   "stats: windows=%llu frames=%llu decode_passes=%llu\n",
+                   static_cast<unsigned long long>(windows ? *windows : 0),
+                   static_cast<unsigned long long>(frames ? *frames : 0),
+                   static_cast<unsigned long long>(passes ? *passes : 0));
+    });
+  }
+
   core::DecodeResult result;
+  std::optional<runtime::RuntimeStats> run_stats;
   double sample_rate = 0.0;
   std::size_t sample_count = 0;
   try {
@@ -171,6 +337,7 @@ int main(int argc, char** argv) {
       runtime::DecodeRuntime rt(rc);
       auto run = rt.run(source);
       result = std::move(run.decode);
+      run_stats = run.stats;
       std::printf(
           "runtime: %zu workers, %zu windows, %.2f effective Msps, "
           "window p50/p99 %.1f/%.1f ms, ring high-water %zu, dropped %zu\n",
@@ -216,6 +383,7 @@ int main(int argc, char** argv) {
         runtime::DecodeRuntime rt(rc);
         auto run = rt.decode(buffer);
         result = std::move(run.decode);
+        run_stats = run.stats;
         std::printf("runtime: %zu workers, %zu windows, %.2f effective "
                     "Msps, dropped %zu\n",
                     workers, run.stats.windows_decoded,
@@ -236,6 +404,58 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+
+  // Telemetry finalization. Serial paths have no FrameBus, so their frame
+  // events are emitted here — every frame appears in the JSONL stream on
+  // either path.
+  if (emitter) emitter->stop();  // fires one final snapshot tick
+  if (obs::EventLog* log = obs::event_log();
+      log != nullptr && !run_stats.has_value()) {
+    for (std::size_t i = 0; i < result.streams.size(); ++i) {
+      const auto& s = result.streams[i];
+      for (const auto& f : s.frames) {
+        log->emit(
+            "frame",
+            {obs::Field::integer("stream_index",
+                                 static_cast<std::int64_t>(i)),
+             obs::Field::num("stream_start", s.start_sample),
+             obs::Field::num("rate", s.rate),
+             obs::Field::flag("collided", s.collided),
+             obs::Field::num("confidence", s.confidence.score()),
+             obs::Field::integer(
+                 "fallback_stage",
+                 static_cast<std::int64_t>(s.confidence.stage)),
+             obs::Field::flag("crc_ok", f.crc_ok),
+             obs::Field::flag("anchor_ok", f.anchor_ok)});
+      }
+    }
+  }
+  if (tracer && !trace_chrome.empty()) {
+    // Export before the final flush: with a JSONL sink attached the ring
+    // only holds spans not yet auto-flushed.
+    std::ofstream os(trace_chrome);
+    if (os.is_open()) {
+      tracer->export_chrome(os);
+    } else {
+      std::fprintf(stderr, "warning: cannot open --trace-chrome %s\n",
+                   trace_chrome.c_str());
+    }
+  }
+  if (tracer) tracer->flush();
+  if (telemetry_writer) telemetry_writer->flush();
+  if (!metrics_out.empty() &&
+      !obs::write_prometheus_file(obs::metrics().snapshot(), metrics_out)) {
+    std::fprintf(stderr, "warning: cannot open --metrics-out %s\n",
+                 metrics_out.c_str());
+  }
+  if (!stats_json.empty() &&
+      !write_stats_json(stats_json, path, sample_rate, sample_count, result,
+                        run_stats)) {
+    std::fprintf(stderr, "warning: cannot write --stats-json %s\n",
+                 stats_json.c_str());
+  }
+  obs::set_tracer(nullptr);
+  obs::set_event_log(nullptr);
 
   std::printf("edges=%zu groups=%zu collisions=%zu unresolved=%zu\n",
               result.diagnostics.edges, result.diagnostics.groups,

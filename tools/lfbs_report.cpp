@@ -1,0 +1,170 @@
+// lfbs_report: render a JSONL telemetry stream (lfbs_decode --trace-out,
+// bench_robustness_sweep --trace-out) into per-stage and per-frame
+// accounting, from the file alone — no access to the run that produced it.
+//
+// Usage:
+//   lfbs_report <telemetry.jsonl>
+//
+// Reads every line as one JSON object and groups by "type":
+//   span     → per-stage table: count, total/mean/p50/p90/p99 duration
+//   frame    → frame accounting: per fallback stage, CRC results,
+//              confidence distribution
+//   health   → supervisor health transitions, in order
+//   ledger   → per-tag quarantine/recovery transitions
+//   rate     → rate-control decisions
+//   snapshot → count only (periodic metric snapshots)
+//
+// Exit status: 0 on a parseable stream (even an empty one); 2 when the
+// file cannot be read or no line parses as JSON.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "sim/table.h"
+
+using namespace lfbs;
+
+namespace {
+
+struct StageStats {
+  std::vector<double> durations_ms;
+  double total_ms = 0.0;
+};
+
+std::string fmt_ms(double ms) { return sim::fmt(ms, 3); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]) == "--help" ||
+      std::string(argv[1]) == "-h") {
+    std::fprintf(stderr, "usage: lfbs_report <telemetry.jsonl>\n");
+    return argc == 2 ? 0 : 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 2;
+  }
+
+  std::map<std::string, StageStats> stages;
+  std::map<std::int64_t, std::size_t> frames_by_stage;
+  std::size_t frames_total = 0;
+  std::size_t frames_crc_ok = 0;
+  std::size_t frames_collided = 0;
+  std::vector<double> confidences;
+  std::vector<std::string> health_log;
+  std::vector<std::string> ledger_log;
+  std::vector<std::string> rate_log;
+  std::size_t snapshots = 0;
+  std::size_t lines_total = 0;
+  std::size_t lines_bad = 0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines_total;
+    std::string error;
+    const auto parsed = obs::parse_json(line, &error);
+    if (!parsed.has_value() || !parsed->is_object()) {
+      ++lines_bad;
+      continue;
+    }
+    const obs::JsonValue& v = *parsed;
+    const std::string type = v.member_str("type", "");
+    if (type == "span") {
+      const std::string name = v.member_str("name", "?");
+      const double dur_ms = v.member_num("dur_us", 0.0) / 1e3;
+      StageStats& s = stages[name];
+      s.durations_ms.push_back(dur_ms);
+      s.total_ms += dur_ms;
+    } else if (type == "frame") {
+      ++frames_total;
+      if (v.member_bool("crc_ok", false)) ++frames_crc_ok;
+      if (v.member_bool("collided", false)) ++frames_collided;
+      ++frames_by_stage[static_cast<std::int64_t>(
+          v.member_num("fallback_stage", 0.0))];
+      confidences.push_back(v.member_num("confidence", 0.0));
+    } else if (type == "health") {
+      health_log.push_back(std::string(v.member_str("from", "?")) + " -> " +
+                           std::string(v.member_str("to", "?")));
+    } else if (type == "ledger") {
+      ledger_log.push_back(std::string(v.member_str("transition", "?")) +
+                           " (conf " +
+                           sim::fmt(v.member_num("last_confidence", 0.0), 2) +
+                           ")");
+    } else if (type == "rate") {
+      rate_log.push_back(std::string(v.member_str("cause", "?")) + ": " +
+                         sim::fmt(v.member_num("from_rate", 0.0) / 1e3, 0) +
+                         " -> " +
+                         sim::fmt(v.member_num("to_rate", 0.0) / 1e3, 0) +
+                         " kbps");
+    } else if (type == "snapshot") {
+      ++snapshots;
+    }
+  }
+  if (lines_total == 0 || lines_bad == lines_total) {
+    std::fprintf(stderr, "error: %s holds no parseable JSONL (%zu lines)\n",
+                 argv[1], lines_total);
+    return 2;
+  }
+
+  std::printf("%s: %zu telemetry lines (%zu unparsed), %zu snapshots\n",
+              argv[1], lines_total, lines_bad, snapshots);
+
+  if (!stages.empty()) {
+    std::printf("\n== per-stage time ==\n");
+    sim::Table table({"stage", "count", "total (ms)", "mean (ms)",
+                      "p50 (ms)", "p90 (ms)", "p99 (ms)"});
+    // Heaviest stages first: that is what a reader scans for.
+    std::vector<std::pair<std::string, const StageStats*>> order;
+    for (const auto& [name, s] : stages) order.emplace_back(name, &s);
+    std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+      return a.second->total_ms > b.second->total_ms;
+    });
+    for (const auto& [name, s] : order) {
+      const auto n = static_cast<double>(s->durations_ms.size());
+      table.add_row({name, std::to_string(s->durations_ms.size()),
+                     fmt_ms(s->total_ms), fmt_ms(s->total_ms / n),
+                     fmt_ms(obs::Histogram::percentile(s->durations_ms, 0.50)),
+                     fmt_ms(obs::Histogram::percentile(s->durations_ms, 0.90)),
+                     fmt_ms(obs::Histogram::percentile(s->durations_ms,
+                                                       0.99))});
+    }
+    table.print();
+  }
+
+  if (frames_total > 0) {
+    std::printf("\n== frames ==\n");
+    std::printf("%zu frames, %zu CRC-valid, %zu from collided streams\n",
+                frames_total, frames_crc_ok, frames_collided);
+    sim::Table table({"fallback stage", "frames"});
+    for (const auto& [stage, count] : frames_by_stage) {
+      table.add_row({std::to_string(stage), std::to_string(count)});
+    }
+    table.print();
+    std::printf("confidence p50/p90 %.2f/%.2f, min %.2f\n",
+                obs::Histogram::percentile(confidences, 0.50),
+                obs::Histogram::percentile(confidences, 0.90),
+                *std::min_element(confidences.begin(), confidences.end()));
+  }
+
+  if (!health_log.empty()) {
+    std::printf("\n== health transitions ==\n");
+    for (const auto& h : health_log) std::printf("  %s\n", h.c_str());
+  }
+  if (!ledger_log.empty()) {
+    std::printf("\n== ledger transitions ==\n");
+    for (const auto& l : ledger_log) std::printf("  %s\n", l.c_str());
+  }
+  if (!rate_log.empty()) {
+    std::printf("\n== rate commands ==\n");
+    for (const auto& r : rate_log) std::printf("  %s\n", r.c_str());
+  }
+  return 0;
+}

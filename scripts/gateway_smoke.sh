@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Loopback gateway smoke test, the CI shape of the net subsystem's
+# acceptance check: record a real capture, serve its decoded frames over
+# TCP with lfbs_gateway, tail the stream with a second lfbs_gateway
+# process, and require the tail to prove completeness (it exits 0 only
+# when its received-frame count matches the frames_published total in the
+# server's final stats message). Finishes by rendering the server's net.*
+# telemetry through lfbs_report.
+#
+# Usage: scripts/gateway_smoke.sh [build-dir]   (default: build)
+set -e
+
+build="${1:-build}"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+capture="$work/capture.lfbsiq"
+portfile="$work/gateway.port"
+trace="$work/gateway_trace.jsonl"
+
+# A capture with known content: the capture_replay example records one
+# 8-tag epoch and replays it, so its file is a real decodeable capture.
+"$build/examples/capture_replay" "$capture" > /dev/null
+
+# Serve in the background; --wait-subscriber holds the decode until the
+# tail below is attached, so no frame is published into the void.
+"$build/tools/lfbs_gateway" "$capture" \
+    --port-file "$portfile" --wait-subscriber 10 --workers 2 \
+    --trace-out "$trace" &
+server_pid=$!
+
+# The server writes its ephemeral port once bound.
+tries=0
+while [ ! -s "$portfile" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "gateway_smoke: server never wrote $portfile" >&2
+    kill "$server_pid" 2> /dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+port="$(cat "$portfile")"
+
+# Tail the stream. Exit 0 from --connect asserts: clean Bye(end-of-stream)
+# AND received == frames_published from the final stats digest.
+"$build/tools/lfbs_gateway" --connect "127.0.0.1:$port" --quiet
+
+wait "$server_pid"
+server_status=$?
+if [ "$server_status" -ne 0 ]; then
+  echo "gateway_smoke: server exited $server_status" >&2
+  exit 1
+fi
+
+# The telemetry must round-trip: lfbs_report reconstructs the gateway
+# section (connects, per-client frames sent, drops) from the JSONL alone.
+report="$("$build/tools/lfbs_report" "$trace")"
+echo "$report" | grep -q "== gateway ==" || {
+  echo "gateway_smoke: lfbs_report produced no gateway section" >&2
+  exit 1
+}
+echo "$report" | grep "frames delivered"
+echo "gateway_smoke: OK"

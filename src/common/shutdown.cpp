@@ -1,0 +1,43 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+
+namespace lfbs {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<int> g_signal{0};
+
+extern "C" void handle_signal(int signum) {
+  g_requested.store(true, std::memory_order_relaxed);
+  g_signal.store(signum, std::memory_order_relaxed);
+  // Restore the default disposition so a second signal terminates
+  // immediately instead of being absorbed by a wedged drain.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  static_assert(std::atomic<bool>::is_always_lock_free &&
+                    std::atomic<int>::is_always_lock_free,
+                "signal handler stores must be lock-free");
+  struct sigaction action {};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: interrupt blocking reads
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+const std::atomic<bool>& shutdown_flag() { return g_requested; }
+
+int shutdown_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+int shutdown_exit_code(int clean) {
+  const int signum = shutdown_signal();
+  return signum != 0 ? 128 + signum : clean;
+}
+
+}  // namespace lfbs

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <atomic>
+
+namespace lfbs {
+
+/// Process-wide graceful-shutdown latch for the long-running tools.
+///
+/// install_shutdown_handlers() registers SIGINT and SIGTERM handlers that
+/// do nothing but store into two lock-free atomics — async-signal-safe by
+/// construction. The tools hand shutdown_flag() to RuntimeConfig::
+/// stop_flag, so the first Ctrl-C stops ingest, drains every window
+/// already in flight, flushes sinks, prints final stats, and exits with
+/// the conventional 128 + signal (130 for SIGINT). A second signal while
+/// draining falls back to the default disposition and kills the process —
+/// the operator's escape hatch from a wedged drain.
+void install_shutdown_handlers();
+
+/// The latch the signal handler sets; pass &shutdown_flag() around.
+const std::atomic<bool>& shutdown_flag();
+
+/// The signal that fired, or 0 if none yet.
+int shutdown_signal();
+
+/// Conventional exit code for a signal-terminated-but-graceful run:
+/// 128 + signal when one fired, `clean` otherwise.
+int shutdown_exit_code(int clean = 0);
+
+}  // namespace lfbs

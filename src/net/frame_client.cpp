@@ -1,0 +1,131 @@
+#include "net/frame_client.h"
+
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace lfbs::net {
+
+namespace {
+
+/// Outcome of one connection's read loop.
+struct SessionEnd {
+  bool got_bye = false;
+  Bye bye;
+};
+
+}  // namespace
+
+TcpConnection FrameClient::connect_with_backoff() {
+  Seconds backoff = config_.backoff_initial;
+  std::size_t attempt = 0;
+  for (;;) {
+    try {
+      return TcpConnection::connect(config_.host, config_.port,
+                                    config_.connect_timeout);
+    } catch (const SocketError&) {
+      if (attempt >= config_.max_connect_attempts) throw;
+      ++attempt;
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2.0, config_.backoff_max);
+    }
+  }
+}
+
+Bye FrameClient::run(const Callbacks& callbacks) {
+  bool ever_connected = false;
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      return {ByeReason::kShuttingDown, "client stopped"};
+    }
+    TcpConnection conn = connect_with_backoff();
+
+    std::vector<std::uint8_t> handshake;
+    Hello hello;
+    hello.role = PeerRole::kFrameSubscriber;
+    hello.name = config_.name;
+    encode_hello(hello, handshake);
+    encode_subscribe(config_.filter, handshake);
+    std::size_t sent = 0;
+    while (sent < handshake.size()) {
+      const std::ptrdiff_t n =
+          conn.write_some(handshake.data() + sent, handshake.size() - sent);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+      } else if (n == -1) {
+        std::vector<PollItem> items{{conn.fd(), false, true}};
+        poll_fds(items, 100);
+      } else {
+        break;  // dead before the handshake finished; reconnect below
+      }
+    }
+
+    MessageReader reader;
+    SessionEnd end;
+    bool connection_alive = sent == handshake.size();
+    std::size_t acks_pending = 2;  // hello ack + subscribe ack
+    while (connection_alive && !end.got_bye &&
+           !stop_.load(std::memory_order_relaxed)) {
+      std::vector<PollItem> items{{conn.fd(), true, false}};
+      poll_fds(items, 100);
+      if (!items[0].readable && !items[0].error) continue;
+      std::uint8_t buf[4096];
+      const std::ptrdiff_t n = conn.read_some(buf, sizeof(buf));
+      if (n == -1) continue;
+      if (n == 0) {
+        connection_alive = false;
+        break;
+      }
+      reader.feed(buf, static_cast<std::size_t>(n));
+      while (auto message = reader.next()) {
+        switch (message->type) {
+          case MsgType::kAck: {
+            const Ack ack = decode_ack(message->body);
+            if (ack.status != 0) {
+              throw WireFormatError(WireError::kMalformed,
+                                    "server refused: " + ack.text);
+            }
+            if (acks_pending > 0 && --acks_pending == 0) {
+              ++counters_.connects;
+              if (ever_connected) {
+                ++counters_.reconnects;
+                obs::metrics().counter("net.client_reconnects").add();
+              }
+              ever_connected = true;
+            }
+            break;
+          }
+          case MsgType::kFrame: {
+            const runtime::FrameEvent event = decode_frame(message->body);
+            ++counters_.frames_received;
+            if (callbacks.on_frame) callbacks.on_frame(event);
+            break;
+          }
+          case MsgType::kStats: {
+            const WireStats stats = decode_stats(message->body);
+            ++counters_.stats_received;
+            if (callbacks.on_stats) callbacks.on_stats(stats);
+            break;
+          }
+          case MsgType::kBye:
+            end.got_bye = true;
+            end.bye = decode_bye(message->body);
+            break;
+          default:
+            throw WireFormatError(WireError::kMalformed,
+                                  "unexpected message from server");
+        }
+        if (end.got_bye) break;
+      }
+    }
+    if (end.got_bye) return end.bye;
+    if (stop_.load(std::memory_order_relaxed)) {
+      return {ByeReason::kShuttingDown, "client stopped"};
+    }
+    // Died without a Bye: transient by the Supervisor's definition. The
+    // next connect_with_backoff() call spends a fresh retry budget; if the
+    // server is truly gone it throws SocketError out of run().
+  }
+}
+
+}  // namespace lfbs::net

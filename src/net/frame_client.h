@@ -1,0 +1,75 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/units.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "runtime/frame_bus.h"
+#include "runtime/supervisor.h"
+
+namespace lfbs::net {
+
+struct FrameClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string name = "lfbs-client";
+  SubscribeFilter filter;
+  Seconds connect_timeout = 5.0;
+  /// Reconnect policy. The defaults are literally the Supervisor's source
+  /// retry policy — a lost gateway link is the same kind of transient fault
+  /// as a flaky local source, so it gets the same budget and backoff shape.
+  std::size_t max_connect_attempts =
+      runtime::SupervisorConfig{}.max_source_retries;
+  Seconds backoff_initial = runtime::SupervisorConfig{}.retry_backoff_initial;
+  Seconds backoff_max = runtime::SupervisorConfig{}.retry_backoff_max;
+};
+
+/// Reconnecting LFBW1 frame subscriber. run() owns the calling thread:
+/// connect → hello/subscribe handshake → deliver every kFrame / kStats to
+/// the callbacks until the server says Bye (the clean exits) or the retry
+/// budget is spent (SocketError / WireFormatError propagate).
+///
+/// A connection that dies *without* a Bye — server crash, network cut — is
+/// treated as transient: the client reconnects with exponential backoff and
+/// resubscribes, counting the reconnect. Frames already delivered are never
+/// replayed (the server has no history), so a reconnect can miss frames;
+/// consumers that need exactly-the-full-stream check the final WireStats
+/// frame count, which the gateway publishes before Bye(kEndOfStream).
+class FrameClient {
+ public:
+  struct Counters {
+    std::size_t connects = 0;    ///< successful handshakes
+    std::size_t reconnects = 0;  ///< recoveries after a dead connection
+    std::size_t frames_received = 0;
+    std::size_t stats_received = 0;
+  };
+
+  struct Callbacks {
+    std::function<void(const runtime::FrameEvent&)> on_frame;
+    std::function<void(const WireStats&)> on_stats;
+  };
+
+  explicit FrameClient(FrameClientConfig config) : config_(std::move(config)) {}
+
+  /// Blocks until the server closes the subscription. Returns the Bye that
+  /// ended it, or a synthesized Bye(kShuttingDown) after stop().
+  Bye run(const Callbacks& callbacks);
+
+  /// Makes run() return at its next poll tick. Safe from any thread.
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  TcpConnection connect_with_backoff();
+
+  FrameClientConfig config_;
+  Counters counters_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace lfbs::net

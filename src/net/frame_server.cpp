@@ -1,0 +1,420 @@
+#include "net/frame_server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "net/socket.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace lfbs::net {
+
+namespace {
+
+struct NetCounters {
+  obs::Counter& connects = obs::metrics().counter("net.connects");
+  obs::Counter& disconnects = obs::metrics().counter("net.disconnects");
+  obs::Counter& evictions = obs::metrics().counter("net.evictions");
+  obs::Counter& queue_drops = obs::metrics().counter("net.queue_drops");
+  obs::Counter& frames_sent = obs::metrics().counter("net.frames_sent");
+  obs::Counter& bytes_sent = obs::metrics().counter("net.bytes_sent");
+  obs::Counter& protocol_errors =
+      obs::metrics().counter("net.protocol_errors");
+};
+
+NetCounters& net_metrics() {
+  static NetCounters counters;
+  return counters;
+}
+
+}  // namespace
+
+/// One queued outbound message; `frame` marks kFrame records so delivery
+/// accounting can distinguish frames from acks/stats/byes.
+struct QueuedMessage {
+  std::vector<std::uint8_t> bytes;
+  bool frame = false;
+};
+
+struct FrameServer::Client {
+  std::uint64_t id = 0;
+  TcpConnection conn;
+  MessageReader reader;
+  std::string name;
+  bool greeted = false;
+  bool subscribed = false;
+  SubscribeFilter filter;
+  std::deque<QueuedMessage> queue;
+  std::vector<std::uint8_t> outbuf;
+  std::size_t out_off = 0;
+  bool out_is_frame = false;
+  std::size_t frames_sent = 0;
+  std::size_t drops = 0;
+  bool evict = false;    ///< set by publish(); the loop closes it
+  bool closing = false;  ///< bye queued; close once flushed
+  bool dead = false;     ///< swept at the end of the loop iteration
+
+  explicit Client(TcpConnection connection) : conn(std::move(connection)) {}
+};
+
+struct FrameServer::Impl {
+  TcpListener listener;
+  WakePipe wake;
+
+  Impl(const std::string& address, std::uint16_t port)
+      : listener(address, port) {}
+};
+
+FrameServer::FrameServer(FrameServerConfig config)
+    : config_(std::move(config)),
+      impl_(std::make_unique<Impl>(config_.bind_address, config_.port)) {
+  if (obs::EventLog* log = obs::event_log()) {
+    log->emit("net",
+              {obs::Field::str("action", "listen"),
+               obs::Field::integer("port",
+                                   static_cast<std::int64_t>(port()))});
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+FrameServer::~FrameServer() {
+  shutdown(false);
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  impl_->wake.wake();
+  if (thread_.joinable()) thread_.join();
+  detach();
+}
+
+std::uint16_t FrameServer::port() const { return impl_->listener.port(); }
+
+void FrameServer::attach(runtime::FrameBus& bus) {
+  detach();
+  bus_ = &bus;
+  bus_subscription_ =
+      bus.subscribe([this](const runtime::FrameEvent& event) {
+        publish(event);
+      });
+}
+
+void FrameServer::detach() {
+  if (bus_ != nullptr) {
+    bus_->unsubscribe(bus_subscription_);
+    bus_ = nullptr;
+  }
+}
+
+void FrameServer::publish(const runtime::FrameEvent& event) {
+  std::vector<std::uint8_t> bytes;
+  bool encoded = false;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& client : clients_) {
+      if (client->dead || client->closing || client->evict) continue;
+      if (!client->subscribed || !client->filter.accepts(event)) continue;
+      if (!encoded) {
+        encode_frame(event, bytes);
+        encoded = true;
+      }
+      enqueue_locked(*client, bytes, /*is_frame=*/true);
+    }
+  }
+  if (encoded) impl_->wake.wake();
+}
+
+void FrameServer::publish_stats(const runtime::RuntimeStats& stats) {
+  std::vector<std::uint8_t> bytes;
+  encode_stats(to_wire_stats(stats), bytes);
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& client : clients_) {
+      if (client->dead || client->closing || client->evict) continue;
+      if (!client->subscribed) continue;
+      enqueue_locked(*client, bytes, /*is_frame=*/false);
+    }
+  }
+  impl_->wake.wake();
+}
+
+void FrameServer::enqueue_locked(Client& client,
+                                 const std::vector<std::uint8_t>& bytes,
+                                 bool is_frame) {
+  if (client.queue.size() >= config_.send_queue_messages) {
+    if (config_.slow_consumer == SlowConsumerPolicy::kEvict) {
+      client.evict = true;
+      return;
+    }
+    client.queue.pop_front();
+    ++client.drops;
+    ++counters_.queue_drops;
+    net_metrics().queue_drops.add();
+  }
+  client.queue.push_back({bytes, is_frame});
+}
+
+bool FrameServer::wait_for_subscriber(Seconds timeout) {
+  std::unique_lock lock(mutex_);
+  cv_.wait_for(lock, std::chrono::duration<double>(timeout),
+               [&] { return counters_.subscribers > 0 || stop_; });
+  return counters_.subscribers > 0;
+}
+
+void FrameServer::shutdown(bool drain) {
+  {
+    std::lock_guard lock(mutex_);
+    accepting_ = false;
+    draining_ = true;
+    if (!drain) {
+      // Skip the queue flush: clients get a best-effort Bye and the
+      // connection closes regardless of what was still queued.
+      for (auto& client : clients_) {
+        client->queue.clear();
+        client->outbuf.clear();
+        client->out_off = 0;
+        if (!client->dead) {
+          std::vector<std::uint8_t> bye;
+          encode_bye({ByeReason::kShuttingDown, "server stopping"}, bye);
+          client->conn.write_some(bye.data(), bye.size());
+          close_client_locked(*client, "shutdown");
+        }
+      }
+    }
+  }
+  impl_->wake.wake();
+  std::unique_lock lock(mutex_);
+  cv_.wait_for(lock, std::chrono::duration<double>(config_.drain_timeout),
+               [&] {
+                 return stop_ ||
+                        std::all_of(clients_.begin(), clients_.end(),
+                                    [](const auto& c) { return c->dead; });
+               });
+}
+
+FrameServer::Counters FrameServer::counters() const {
+  std::lock_guard lock(mutex_);
+  return counters_;
+}
+
+void FrameServer::emit_event(const char* action, std::uint64_t client_id,
+                             std::size_t a, std::size_t b) {
+  if (obs::EventLog* log = obs::event_log()) {
+    log->emit("net",
+              {obs::Field::str("action", action),
+               obs::Field::integer("client",
+                                   static_cast<std::int64_t>(client_id)),
+               obs::Field::integer("frames", static_cast<std::int64_t>(a)),
+               obs::Field::integer("drops", static_cast<std::int64_t>(b))});
+  }
+}
+
+void FrameServer::close_client_locked(Client& client, const char* cause) {
+  if (client.dead) return;
+  client.dead = true;
+  client.conn.close();
+  ++counters_.disconnects;
+  net_metrics().disconnects.add();
+  if (client.subscribed) {
+    client.subscribed = false;
+    --counters_.subscribers;
+  }
+  emit_event(cause, client.id, client.frames_sent, client.drops);
+}
+
+void FrameServer::handle_incoming(Client& client) {
+  std::uint8_t buf[4096];
+  for (;;) {
+    const std::ptrdiff_t n = client.conn.read_some(buf, sizeof(buf));
+    if (n == -1) break;  // drained
+    if (n == 0) {
+      close_client_locked(client, "disconnect");
+      return;
+    }
+    try {
+      client.reader.feed(buf, static_cast<std::size_t>(n));
+      while (auto message = client.reader.next()) {
+        if (!client.greeted) {
+          if (message->type != MsgType::kHello) {
+            throw WireFormatError(WireError::kMalformed,
+                                  "expected hello first");
+          }
+          const Hello hello = decode_hello(message->body);
+          if (hello.role != PeerRole::kFrameSubscriber) {
+            throw WireFormatError(WireError::kMalformed,
+                                  "frame port requires a subscriber peer");
+          }
+          client.greeted = true;
+          client.name = hello.name;
+          std::vector<std::uint8_t> ack;
+          encode_ack({0, "lfbs-gateway"}, ack);
+          client.queue.push_back({std::move(ack), false});
+          emit_event("hello", client.id);
+        } else if (message->type == MsgType::kSubscribe) {
+          client.filter = decode_subscribe(message->body);
+          if (!client.subscribed) {
+            client.subscribed = true;
+            ++counters_.subscribers;
+          }
+          std::vector<std::uint8_t> ack;
+          encode_ack({0, "subscribed"}, ack);
+          client.queue.push_back({std::move(ack), false});
+          emit_event("subscribe", client.id);
+          cv_.notify_all();
+        } else if (message->type == MsgType::kBye) {
+          close_client_locked(client, "disconnect");
+          return;
+        } else {
+          throw WireFormatError(WireError::kMalformed,
+                                "unexpected message from subscriber");
+        }
+      }
+    } catch (const WireFormatError&) {
+      ++counters_.protocol_errors;
+      net_metrics().protocol_errors.add();
+      std::vector<std::uint8_t> bye;
+      encode_bye({ByeReason::kProtocolError, "unparseable input"}, bye);
+      client.conn.write_some(bye.data(), bye.size());
+      close_client_locked(client, "protocol-error");
+      return;
+    }
+  }
+}
+
+void FrameServer::pump_writes(Client& client) {
+  for (;;) {
+    if (client.outbuf.empty()) {
+      if (client.queue.empty()) break;
+      QueuedMessage message = std::move(client.queue.front());
+      client.queue.pop_front();
+      client.outbuf = std::move(message.bytes);
+      client.out_off = 0;
+      client.out_is_frame = message.frame;
+    }
+    const std::ptrdiff_t n =
+        client.conn.write_some(client.outbuf.data() + client.out_off,
+                               client.outbuf.size() - client.out_off);
+    if (n == -1) return;  // kernel buffer full; poll will call us back
+    if (n == 0) {
+      close_client_locked(client, "disconnect");
+      return;
+    }
+    client.out_off += static_cast<std::size_t>(n);
+    net_metrics().bytes_sent.add(static_cast<std::uint64_t>(n));
+    if (client.out_off == client.outbuf.size()) {
+      if (client.out_is_frame) {
+        ++client.frames_sent;
+        ++counters_.frames_sent;
+        net_metrics().frames_sent.add();
+      }
+      client.outbuf.clear();
+      client.out_off = 0;
+    }
+  }
+  if (client.closing && client.queue.empty() && client.outbuf.empty()) {
+    close_client_locked(client, "disconnect");
+  }
+}
+
+void FrameServer::loop() {
+  std::vector<PollItem> items;
+  std::vector<Client*> polled;
+  for (;;) {
+    items.clear();
+    polled.clear();
+    bool accepting;
+    {
+      std::lock_guard lock(mutex_);
+      if (stop_) break;
+      accepting = accepting_ && clients_.size() < config_.max_clients;
+      items.push_back({impl_->wake.read_fd(), true, false});
+      if (accepting) {
+        items.push_back({impl_->listener.fd(), true, false});
+      }
+      for (const auto& client : clients_) {
+        if (client->dead) continue;
+        PollItem item;
+        item.fd = client->conn.fd();
+        item.want_read = true;
+        item.want_write =
+            !client->outbuf.empty() || !client->queue.empty();
+        items.push_back(item);
+        polled.push_back(client.get());
+      }
+    }
+    poll_fds(items, 250);
+
+    std::lock_guard lock(mutex_);
+    std::size_t at = 0;
+    if (items[at].readable) impl_->wake.drain();
+    ++at;
+    if (accepting) {
+      if (items[at].readable) {
+        for (;;) {
+          FdHandle fd = impl_->listener.accept();
+          if (!fd.valid()) break;
+          TcpConnection conn(std::move(fd));
+          if (config_.send_buffer_bytes > 0) {
+            conn.set_send_buffer(config_.send_buffer_bytes);
+          }
+          auto client = std::make_unique<Client>(std::move(conn));
+          static std::uint64_t next_id = 1;
+          client->id = next_id++;
+          ++counters_.connects;
+          net_metrics().connects.add();
+          emit_event("connect", client->id);
+          clients_.push_back(std::move(client));
+          if (clients_.size() >= config_.max_clients) break;
+        }
+      }
+      ++at;
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i, ++at) {
+      Client& client = *polled[i];
+      if (client.dead) continue;
+      if (items[at].error) {
+        close_client_locked(client, "disconnect");
+        continue;
+      }
+      if (items[at].readable) handle_incoming(client);
+      if (client.dead) continue;
+      if (items[at].writable || !client.outbuf.empty() ||
+          !client.queue.empty()) {
+        pump_writes(client);
+      }
+    }
+    // Evictions decided by the publisher: the client's socket is already
+    // jammed, so the Bye is a single best-effort write, never a drain.
+    for (auto& client : clients_) {
+      if (client->evict && !client->dead) {
+        ++counters_.evictions;
+        net_metrics().evictions.add();
+        std::vector<std::uint8_t> bye;
+        encode_bye({ByeReason::kEvicted, "send queue overflow"}, bye);
+        client->conn.write_some(bye.data(), bye.size());
+        close_client_locked(*client, "evict");
+      }
+    }
+    if (draining_) {
+      for (auto& client : clients_) {
+        if (client->dead || client->closing) continue;
+        std::vector<std::uint8_t> bye;
+        encode_bye({ByeReason::kEndOfStream, "stream complete"}, bye);
+        client->queue.push_back({std::move(bye), false});
+        client->closing = true;
+      }
+      // Unsubscribed stragglers flush instantly; subscribed ones close
+      // when pump_writes finishes their queue.
+      for (auto& client : clients_) {
+        if (!client->dead) pump_writes(*client);
+      }
+    }
+    const bool all_dead =
+        std::all_of(clients_.begin(), clients_.end(),
+                    [](const auto& c) { return c->dead; });
+    if (all_dead && !clients_.empty() && draining_) clients_.clear();
+    if (draining_ && clients_.empty()) cv_.notify_all();
+  }
+}
+
+}  // namespace lfbs::net

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "net/wire.h"
+#include "runtime/frame_bus.h"
+#include "runtime/stats.h"
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lfbs::net {
+
+/// What to do with a subscriber that cannot keep up with the frame stream
+/// once its bounded send queue fills. Either way the stitcher thread never
+/// blocks on a stalled socket — the policies only choose what the slow
+/// client loses.
+enum class SlowConsumerPolicy {
+  /// Drop the oldest queued message and count it; the client stays
+  /// connected and sees the freshest frames it can absorb (tail -f shape).
+  kDropOldest,
+  /// Close the connection with Bye(kEvicted); a consumer that must see
+  /// every frame would rather reconnect than silently miss some.
+  kEvict,
+};
+
+struct FrameServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; FrameServer::port() reports the pick.
+  std::uint16_t port = 0;
+  std::size_t max_clients = 64;
+  /// Per-client send queue bound, in messages. Combined with the kernel
+  /// send buffer this is the total slack a slow consumer gets.
+  std::size_t send_queue_messages = 256;
+  SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kDropOldest;
+  /// Kernel send-buffer cap per accepted connection; 0 keeps the OS
+  /// default. Tests set this small to exercise the overflow policies.
+  std::size_t send_buffer_bytes = 0;
+  /// How long shutdown(drain=true) waits for queues to flush.
+  Seconds drain_timeout = 10.0;
+};
+
+/// TCP fan-out of decoded frames: bridges a runtime::FrameBus (or direct
+/// publish() calls) to N concurrent LFBW1 subscribers.
+///
+/// Threading: one event-loop thread owns every socket. publish() — called
+/// on the stitcher thread via the attached FrameBus handler — only encodes
+/// the frame, appends it to each eligible client's bounded queue under the
+/// mutex, and wakes the loop; it never touches a socket, so one stalled
+/// client can never block frame delivery to the bus's other subscribers or
+/// to healthy network clients.
+///
+/// Per-subscription filters (SubscribeFilter) run server-side at publish
+/// time, so a narrow consumer costs only the frames it will actually see.
+/// All activity lands in net.* metrics and typed "net" events via src/obs.
+class FrameServer {
+ public:
+  struct Counters {
+    std::size_t connects = 0;
+    std::size_t disconnects = 0;
+    std::size_t evictions = 0;        ///< slow consumers closed by policy
+    std::size_t queue_drops = 0;      ///< messages dropped by kDropOldest
+    std::size_t frames_sent = 0;      ///< frame messages fully written
+    std::size_t protocol_errors = 0;  ///< clients that sent garbage
+    std::size_t subscribers = 0;      ///< currently subscribed clients
+  };
+
+  /// Binds and starts the event loop. Throws SocketError when the port
+  /// cannot be bound.
+  explicit FrameServer(FrameServerConfig config);
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  std::uint16_t port() const;
+
+  /// Subscribes to `bus`; every published FrameEvent is fanned out to the
+  /// matching network subscribers. detach() (or destruction) unsubscribes.
+  void attach(runtime::FrameBus& bus);
+  void detach();
+
+  /// Queues one frame to every subscribed client whose filter accepts it.
+  /// Never blocks: a full queue triggers the slow-consumer policy.
+  void publish(const runtime::FrameEvent& event);
+
+  /// Queues a RuntimeStats digest to every subscriber (filters do not
+  /// apply). The gateway sends one after its run drains so clients can
+  /// verify they received every published frame.
+  void publish_stats(const runtime::RuntimeStats& stats);
+
+  /// Blocks until at least one client has subscribed, the timeout passes,
+  /// or the server stops. Returns whether a subscriber is present.
+  bool wait_for_subscriber(Seconds timeout);
+
+  /// Stops accepting, then either drains every client queue and closes
+  /// each connection with Bye(kEndOfStream) — blocking up to
+  /// drain_timeout — or closes immediately with Bye(kShuttingDown).
+  /// Idempotent; the destructor calls shutdown(false) if needed.
+  void shutdown(bool drain);
+
+  Counters counters() const;
+
+ private:
+  struct Client;
+
+  void loop();
+  void handle_incoming(Client& client);
+  void pump_writes(Client& client);
+  void enqueue_locked(Client& client, const std::vector<std::uint8_t>& bytes,
+                      bool is_frame);
+  void close_client_locked(Client& client, const char* cause);
+  void emit_event(const char* action, std::uint64_t client_id,
+                  std::size_t a = 0, std::size_t b = 0);
+
+  FrameServerConfig config_;
+  runtime::FrameBus* bus_ = nullptr;
+  runtime::FrameBus::SubscriberId bus_subscription_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  Counters counters_;
+  bool stop_ = false;
+  bool accepting_ = true;
+  bool draining_ = false;
+
+  // Owned by the loop thread after construction.
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::thread thread_;
+};
+
+}  // namespace lfbs::net

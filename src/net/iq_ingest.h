@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "runtime/sample_source.h"
+
+namespace lfbs::net {
+
+struct IqIngestConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; RemoteIqSource::port() reports
+  /// How long wait_for_pusher blocks for a capture process to appear.
+  Seconds accept_timeout = 30.0;
+  /// A mid-stream read silent for longer than this is a stalled link:
+  /// next_chunk throws a *transient* SourceError so the runtime supervisor
+  /// applies its usual retry-with-backoff policy before failing the run.
+  Seconds read_timeout = 30.0;
+};
+
+/// A runtime::SampleSource fed over TCP: the decoder end of remote IQ
+/// ingest. Binds a listener, waits for one LFBW1 peer in the kIqPusher
+/// role, then serves its kIqChunk stream through next_chunk() with exactly
+/// the local-source contract:
+///
+///   - kIqEnd (clean close)            → std::nullopt, end of stream
+///   - connection dies mid-stream      → SourceError, non-transient
+///   - read stalls past read_timeout   → SourceError, transient (retried)
+///   - unparseable bytes               → SourceError, non-transient
+///
+/// Pull-model like every other source: all socket work happens inside
+/// next_chunk on the runtime's producer thread — no extra thread, no queue.
+class RemoteIqSource : public runtime::SampleSource {
+ public:
+  explicit RemoteIqSource(IqIngestConfig config);
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Blocks until a pusher connects and completes its hello; returns the
+  /// sample rate it declared. Must be called (successfully) before the
+  /// runtime starts, since RuntimeConfig needs the rate up front. Throws
+  /// SourceError (non-transient) on timeout or a bad handshake.
+  SampleRate wait_for_pusher();
+
+  SampleRate sample_rate() const override { return rate_; }
+  std::optional<runtime::SampleChunk> next_chunk() override;
+
+  std::uint64_t total_samples() const { return total_samples_; }
+  /// Pusher declared more samples in IqEnd than it actually sent.
+  bool truncated() const { return truncated_; }
+
+ private:
+  void fail_protocol(const std::string& what);
+
+  IqIngestConfig config_;
+  TcpListener listener_;
+  TcpConnection conn_{FdHandle{}};
+  MessageReader reader_;
+  SampleRate rate_ = 0.0;
+  std::uint64_t total_samples_ = 0;
+  bool ended_ = false;
+  bool truncated_ = false;
+};
+
+/// Capture-side helper: connect to a RemoteIqSource, declare `rate`, stream
+/// every chunk of `source`, finish with IqEnd. `f64` sends full doubles so
+/// the remote decode is bit-identical to a local one; false quantizes to
+/// float32 (half the bytes, LFBSIQ1 precision). Returns samples pushed.
+/// Throws SocketError / WireFormatError on connection or handshake failure.
+std::uint64_t push_iq(const std::string& host, std::uint16_t port,
+                      runtime::SampleSource& source, bool f64,
+                      Seconds connect_timeout = 5.0,
+                      const std::string& name = "lfbs-pusher");
+
+}  // namespace lfbs::net

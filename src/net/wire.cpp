@@ -1,0 +1,463 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace lfbs::net {
+
+namespace {
+
+/// Little-endian append helpers. The repo only targets little-endian hosts
+/// in practice, but writing bytes explicitly keeps the format defined (and
+/// identical) everywhere.
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  const auto n = static_cast<std::uint16_t>(
+      std::min<std::size_t>(s.size(), 0xFFFF));
+  put_u16(out, n);
+  out.insert(out.end(), s.begin(), s.begin() + n);
+}
+
+/// Reserves the 5-byte frame header and returns the offset of the length
+/// field, to be patched once the body is written.
+std::size_t begin_message(std::vector<std::uint8_t>& out, MsgType type) {
+  put_u8(out, static_cast<std::uint8_t>(type));
+  const std::size_t length_at = out.size();
+  put_u32(out, 0);
+  return length_at;
+}
+
+void end_message(std::vector<std::uint8_t>& out, std::size_t length_at) {
+  const std::size_t body = out.size() - length_at - 4;
+  LFBS_CHECK_MSG(body <= kMaxMessageBody, "encoded message exceeds bound");
+  for (int i = 0; i < 4; ++i) {
+    out[length_at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body >> (8 * i));
+  }
+}
+
+/// Bounds-checked body reader; every get_* throws kTruncated rather than
+/// reading past the end, so a short body can never become a wild read.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t get_u8() { return take(1)[0]; }
+
+  std::uint16_t get_u16() {
+    const auto b = take(2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+
+  std::uint32_t get_u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+  float get_f32() { return std::bit_cast<float>(get_u32()); }
+
+  std::string get_string() {
+    const std::uint16_t n = get_u16();
+    const auto b = take(n);
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (bytes_.size() - offset_ < n) {
+      throw WireFormatError(WireError::kTruncated,
+                            "message body shorter than its layout");
+    }
+    const auto view = bytes_.subspan(offset_, n);
+    offset_ += n;
+    return view;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(WireError code) {
+  switch (code) {
+    case WireError::kBadMagic:
+      return "bad magic";
+    case WireError::kBadVersion:
+      return "incompatible version";
+    case WireError::kTruncated:
+      return "truncated";
+    case WireError::kOversized:
+      return "oversized";
+    case WireError::kUnknownType:
+      return "unknown message type";
+    case WireError::kMalformed:
+      return "malformed";
+  }
+  return "?";
+}
+
+const char* to_string(ByeReason reason) {
+  switch (reason) {
+    case ByeReason::kEndOfStream:
+      return "end-of-stream";
+    case ByeReason::kEvicted:
+      return "evicted";
+    case ByeReason::kProtocolError:
+      return "protocol-error";
+    case ByeReason::kShuttingDown:
+      return "shutting-down";
+  }
+  return "?";
+}
+
+bool SubscribeFilter::accepts(const runtime::FrameEvent& event) const {
+  if (event.confidence < min_confidence) return false;
+  if (min_rate > 0.0 && event.rate < min_rate) return false;
+  if (max_rate > 0.0 && event.rate > max_rate) return false;
+  if (crc_valid_only && !event.frame.crc_ok) return false;
+  return true;
+}
+
+WireStats to_wire_stats(const runtime::RuntimeStats& stats) {
+  WireStats out;
+  out.health = static_cast<std::uint8_t>(stats.health);
+  out.stopped_early = stats.stopped_early;
+  out.wall_seconds = stats.wall_seconds;
+  out.samples_in = stats.samples_in;
+  out.windows_decoded = stats.windows_decoded;
+  out.frames_published = stats.frames_published;
+  out.streams = stats.streams;
+  out.chunks_dropped = stats.chunks_dropped;
+  out.faults_total = stats.faults.total();
+  out.mean_confidence = stats.mean_confidence;
+  return out;
+}
+
+void encode_hello(const Hello& hello, std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kHello);
+  out.insert(out.end(), kWireMagic, kWireMagic + sizeof(kWireMagic));
+  put_u16(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(hello.role));
+  put_f64(out, hello.sample_rate);
+  put_string(out, hello.name);
+  end_message(out, at);
+}
+
+Hello decode_hello(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  const auto magic = c.take(sizeof(kWireMagic));
+  if (std::memcmp(magic.data(), kWireMagic, sizeof(kWireMagic)) != 0) {
+    throw WireFormatError(WireError::kBadMagic,
+                          "hello does not carry the LFBW1 magic");
+  }
+  const std::uint16_t version = c.get_u16();
+  if (version != kWireVersion) {
+    throw WireFormatError(WireError::kBadVersion,
+                          "peer speaks LFBW version " +
+                              std::to_string(version) + ", want " +
+                              std::to_string(kWireVersion));
+  }
+  Hello hello;
+  const std::uint8_t role = c.get_u8();
+  if (role > static_cast<std::uint8_t>(PeerRole::kIqReceiver)) {
+    throw WireFormatError(WireError::kMalformed, "unknown peer role");
+  }
+  hello.role = static_cast<PeerRole>(role);
+  hello.sample_rate = c.get_f64();
+  hello.name = c.get_string();
+  return hello;
+}
+
+void encode_subscribe(const SubscribeFilter& filter,
+                      std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kSubscribe);
+  put_f64(out, filter.min_confidence);
+  put_f64(out, filter.min_rate);
+  put_f64(out, filter.max_rate);
+  put_u8(out, filter.crc_valid_only ? 1 : 0);
+  end_message(out, at);
+}
+
+SubscribeFilter decode_subscribe(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  SubscribeFilter filter;
+  filter.min_confidence = c.get_f64();
+  filter.min_rate = c.get_f64();
+  filter.max_rate = c.get_f64();
+  filter.crc_valid_only = (c.get_u8() & 1) != 0;
+  return filter;
+}
+
+void encode_ack(const Ack& ack, std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kAck);
+  put_u8(out, ack.status);
+  put_string(out, ack.text);
+  end_message(out, at);
+}
+
+Ack decode_ack(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  Ack ack;
+  ack.status = c.get_u8();
+  ack.text = c.get_string();
+  return ack;
+}
+
+void encode_frame(const runtime::FrameEvent& event,
+                  std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kFrame);
+  put_u64(out, event.stream_index);
+  put_f64(out, event.stream_start);
+  put_f64(out, event.rate);
+  put_f64(out, event.confidence);
+  put_u8(out, static_cast<std::uint8_t>(event.fallback_stage));
+  std::uint8_t flags = 0;
+  if (event.collided) flags |= 1;
+  if (event.frame.crc_ok) flags |= 2;
+  if (event.frame.anchor_ok) flags |= 4;
+  put_u8(out, flags);
+  const auto& payload = event.frame.payload;
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    acc = static_cast<std::uint8_t>((acc << 1) | (payload[i] ? 1 : 0));
+    if ((i & 7) == 7) {
+      out.push_back(acc);
+      acc = 0;
+    }
+  }
+  if (payload.size() % 8 != 0) {
+    out.push_back(
+        static_cast<std::uint8_t>(acc << (8 - (payload.size() % 8))));
+  }
+  end_message(out, at);
+}
+
+runtime::FrameEvent decode_frame(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  runtime::FrameEvent event;
+  event.stream_index = static_cast<std::size_t>(c.get_u64());
+  event.stream_start = c.get_f64();
+  event.rate = c.get_f64();
+  event.confidence = c.get_f64();
+  const std::uint8_t stage = c.get_u8();
+  if (stage >
+      static_cast<std::uint8_t>(core::FallbackStage::kRelaxedDetection)) {
+    throw WireFormatError(WireError::kMalformed, "unknown fallback stage");
+  }
+  event.fallback_stage = static_cast<core::FallbackStage>(stage);
+  const std::uint8_t flags = c.get_u8();
+  event.collided = (flags & 1) != 0;
+  event.frame.crc_ok = (flags & 2) != 0;
+  event.frame.anchor_ok = (flags & 4) != 0;
+  const std::uint32_t bits = c.get_u32();
+  const auto packed = c.take((bits + 7) / 8);
+  event.frame.payload.resize(bits);
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    event.frame.payload[i] =
+        (packed[i / 8] >> (7 - (i % 8)) & 1) != 0;
+  }
+  return event;
+}
+
+void encode_stats(const WireStats& stats, std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kStats);
+  put_u8(out, stats.health);
+  put_u8(out, stats.stopped_early ? 1 : 0);
+  put_f64(out, stats.wall_seconds);
+  put_u64(out, stats.samples_in);
+  put_u64(out, stats.windows_decoded);
+  put_u64(out, stats.frames_published);
+  put_u64(out, stats.streams);
+  put_u64(out, stats.chunks_dropped);
+  put_u64(out, stats.faults_total);
+  put_f64(out, stats.mean_confidence);
+  end_message(out, at);
+}
+
+WireStats decode_stats(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  WireStats stats;
+  stats.health = c.get_u8();
+  if (stats.health > static_cast<std::uint8_t>(runtime::HealthState::kFailed)) {
+    throw WireFormatError(WireError::kMalformed, "unknown health state");
+  }
+  stats.stopped_early = (c.get_u8() & 1) != 0;
+  stats.wall_seconds = c.get_f64();
+  stats.samples_in = c.get_u64();
+  stats.windows_decoded = c.get_u64();
+  stats.frames_published = c.get_u64();
+  stats.streams = c.get_u64();
+  stats.chunks_dropped = c.get_u64();
+  stats.faults_total = c.get_u64();
+  stats.mean_confidence = c.get_f64();
+  return stats;
+}
+
+void encode_iq_chunk(const runtime::SampleChunk& chunk, bool f64,
+                     std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kIqChunk);
+  put_u64(out, chunk.first_sample);
+  put_u8(out, f64 ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(chunk.samples.size()));
+  for (const Complex& s : chunk.samples) {
+    if (f64) {
+      put_f64(out, s.real());
+      put_f64(out, s.imag());
+    } else {
+      put_f32(out, static_cast<float>(s.real()));
+      put_f32(out, static_cast<float>(s.imag()));
+    }
+  }
+  end_message(out, at);
+}
+
+runtime::SampleChunk decode_iq_chunk(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  runtime::SampleChunk chunk;
+  chunk.first_sample = c.get_u64();
+  const std::uint8_t format = c.get_u8();
+  if (format > 1) {
+    throw WireFormatError(WireError::kMalformed, "unknown IQ sample format");
+  }
+  const std::uint32_t count = c.get_u32();
+  // Validate the declared count against what the body actually holds
+  // before allocating — a garbled count cannot trigger a huge allocation.
+  const std::size_t per_sample = format == 1 ? 16 : 8;
+  if (c.remaining() != count * per_sample) {
+    throw WireFormatError(WireError::kTruncated,
+                          "IQ chunk body does not match declared count");
+  }
+  chunk.samples.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (format == 1) {
+      const double re = c.get_f64();
+      const double im = c.get_f64();
+      chunk.samples.emplace_back(re, im);
+    } else {
+      const float re = c.get_f32();
+      const float im = c.get_f32();
+      chunk.samples.emplace_back(re, im);
+    }
+  }
+  return chunk;
+}
+
+void encode_iq_end(const IqEnd& end, std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kIqEnd);
+  put_u64(out, end.total_samples);
+  put_u8(out, end.truncated ? 1 : 0);
+  end_message(out, at);
+}
+
+IqEnd decode_iq_end(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  IqEnd end;
+  end.total_samples = c.get_u64();
+  end.truncated = (c.get_u8() & 1) != 0;
+  return end;
+}
+
+void encode_bye(const Bye& bye, std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kBye);
+  put_u8(out, static_cast<std::uint8_t>(bye.reason));
+  put_string(out, bye.text);
+  end_message(out, at);
+}
+
+Bye decode_bye(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  Bye bye;
+  const std::uint8_t reason = c.get_u8();
+  if (reason > static_cast<std::uint8_t>(ByeReason::kShuttingDown)) {
+    throw WireFormatError(WireError::kMalformed, "unknown bye reason");
+  }
+  bye.reason = static_cast<ByeReason>(reason);
+  bye.text = c.get_string();
+  return bye;
+}
+
+void MessageReader::feed(const std::uint8_t* data, std::size_t n) {
+  // Reclaim consumed prefix before growing; keeps the buffer bounded by
+  // one partial message plus whatever feed() just delivered.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > kMaxMessageBody) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+std::optional<Message> MessageReader::next() {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 5) return std::nullopt;
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  const std::uint8_t type = head[0];
+  if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
+      type > static_cast<std::uint8_t>(MsgType::kBye)) {
+    throw WireFormatError(WireError::kUnknownType,
+                          "unknown message type " + std::to_string(type));
+  }
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(head[1 + i]) << (8 * i);
+  }
+  if (length > kMaxMessageBody) {
+    throw WireFormatError(WireError::kOversized,
+                          "message body of " + std::to_string(length) +
+                              " bytes exceeds the " +
+                              std::to_string(kMaxMessageBody) + " bound");
+  }
+  if (available < 5 + static_cast<std::size_t>(length)) return std::nullopt;
+  Message message;
+  message.type = static_cast<MsgType>(type);
+  message.body.assign(head + 5, head + 5 + length);
+  consumed_ += 5 + length;
+  return message;
+}
+
+}  // namespace lfbs::net

@@ -1,0 +1,193 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "runtime/chunk.h"
+#include "runtime/frame_bus.h"
+#include "runtime/stats.h"
+
+namespace lfbs::net {
+
+/// LFBW1 — the gateway's wire protocol. Every message on a connection is
+/// one length-prefixed, little-endian record:
+///
+///   byte  0      message type (MsgType)
+///   bytes 1..4   body length, uint32 LE
+///   then         body (per-type layout below)
+///
+/// The first message in either direction must be kHello, whose body leads
+/// with the "LFBW1\0" magic and a version — so a peer speaking the wrong
+/// protocol (or a future incompatible revision) is rejected before anything
+/// else is parsed. Doubles travel as their IEEE-754 bit patterns, so frame
+/// metadata (rates, confidences, stream anchors) survives the wire
+/// bit-exactly — the loopback parity tests depend on it.
+constexpr char kWireMagic[6] = {'L', 'F', 'B', 'W', '1', '\0'};
+constexpr std::uint16_t kWireVersion = 1;
+
+/// Upper bound on one message body. Protects the receiver from a garbled
+/// (or hostile) length prefix triggering a huge allocation — the same
+/// validate-before-allocate stance signal::load_iq takes on file headers.
+constexpr std::size_t kMaxMessageBody = 16u << 20;
+
+/// What, structurally, is wrong with an incoming byte stream. Mirrors
+/// signal::IqError: a malformed peer is an expected runtime condition, so
+/// the codec reports it with a typed error a caller can switch on.
+enum class WireError {
+  kBadMagic,     ///< hello does not lead with the LFBW1 magic
+  kBadVersion,   ///< hello carries an incompatible protocol version
+  kTruncated,    ///< body shorter than its layout requires
+  kOversized,    ///< length prefix exceeds kMaxMessageBody
+  kUnknownType,  ///< message type byte not in MsgType
+  kMalformed,    ///< fields present but invalid (bad enum value, bad count)
+};
+
+const char* to_string(WireError code);
+
+/// Thrown by the decoders on malformed or truncated input. Derives from
+/// CheckError so generic catch sites keep working; protocol-aware code can
+/// catch WireFormatError and inspect code().
+class WireFormatError : public CheckError {
+ public:
+  WireFormatError(WireError code, const std::string& what)
+      : CheckError(what), code_(code) {}
+  WireError code() const { return code_; }
+
+ private:
+  WireError code_;
+};
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,      ///< magic + version + role handshake, both directions
+  kSubscribe = 2,  ///< client → server: frame filter
+  kAck = 3,        ///< server → client: handshake / subscribe outcome
+  kFrame = 4,      ///< server → client: one decoded FrameEvent
+  kStats = 5,      ///< server → client: RuntimeStats snapshot
+  kIqChunk = 6,    ///< pusher → ingest: one SampleChunk of raw IQ
+  kIqEnd = 7,      ///< pusher → ingest: clean end-of-stream marker
+  kBye = 8,        ///< server → client: reasoned connection close
+};
+
+/// Who a peer claims to be in its hello.
+enum class PeerRole : std::uint8_t {
+  kFrameServer = 0,      ///< gateway serving decoded frames
+  kFrameSubscriber = 1,  ///< client tailing decoded frames
+  kIqPusher = 2,         ///< capture process streaming raw IQ in
+  kIqReceiver = 3,       ///< ingest endpoint accepting raw IQ
+};
+
+struct Hello {
+  PeerRole role = PeerRole::kFrameSubscriber;
+  /// IQ pushers declare their capture rate here; 0 for frame peers.
+  SampleRate sample_rate = 0.0;
+  std::string name;  ///< free-form peer name for logs
+};
+
+/// Per-subscription frame filter, applied server-side so a narrow consumer
+/// does not pay for traffic it would discard.
+struct SubscribeFilter {
+  double min_confidence = 0.0;  ///< drop frames below this composite score
+  BitRate min_rate = 0.0;       ///< drop streams slower than this (0 = off)
+  BitRate max_rate = 0.0;       ///< drop streams faster than this (0 = off)
+  bool crc_valid_only = false;  ///< deliver only CRC-clean frames
+
+  bool accepts(const runtime::FrameEvent& event) const;
+};
+
+struct Ack {
+  std::uint8_t status = 0;  ///< 0 = ok, anything else = refused
+  std::string text;
+};
+
+enum class ByeReason : std::uint8_t {
+  kEndOfStream = 0,    ///< server drained: every queued frame was delivered
+  kEvicted = 1,        ///< slow-consumer policy closed the connection
+  kProtocolError = 2,  ///< peer sent something unparseable
+  kShuttingDown = 3,   ///< server stopping without a full drain
+};
+
+const char* to_string(ByeReason reason);
+
+struct Bye {
+  ByeReason reason = ByeReason::kEndOfStream;
+  std::string text;
+};
+
+/// RuntimeStats digest small enough to push periodically. The gateway
+/// sends one after its run drains, so a tailing client can verify it
+/// received every published frame from the stream alone.
+struct WireStats {
+  std::uint8_t health = 0;  ///< runtime::HealthState
+  bool stopped_early = false;
+  Seconds wall_seconds = 0.0;
+  std::uint64_t samples_in = 0;
+  std::uint64_t windows_decoded = 0;
+  std::uint64_t frames_published = 0;
+  std::uint64_t streams = 0;
+  std::uint64_t chunks_dropped = 0;
+  std::uint64_t faults_total = 0;
+  double mean_confidence = 0.0;
+};
+
+WireStats to_wire_stats(const runtime::RuntimeStats& stats);
+
+struct IqEnd {
+  std::uint64_t total_samples = 0;
+  bool truncated = false;  ///< source ended short of what it declared
+};
+
+/// One de-framed message: type byte plus raw body, ready for decode_*.
+struct Message {
+  MsgType type = MsgType::kHello;
+  std::vector<std::uint8_t> body;
+};
+
+// --- encoders: append one complete framed message to `out` ---------------
+
+void encode_hello(const Hello& hello, std::vector<std::uint8_t>& out);
+void encode_subscribe(const SubscribeFilter& filter,
+                      std::vector<std::uint8_t>& out);
+void encode_ack(const Ack& ack, std::vector<std::uint8_t>& out);
+void encode_frame(const runtime::FrameEvent& event,
+                  std::vector<std::uint8_t>& out);
+void encode_stats(const WireStats& stats, std::vector<std::uint8_t>& out);
+/// `f64` sends full double samples (bit-exact ingest, 2x the bytes);
+/// otherwise samples are quantized to float32 like the LFBSIQ1 file format.
+void encode_iq_chunk(const runtime::SampleChunk& chunk, bool f64,
+                     std::vector<std::uint8_t>& out);
+void encode_iq_end(const IqEnd& end, std::vector<std::uint8_t>& out);
+void encode_bye(const Bye& bye, std::vector<std::uint8_t>& out);
+
+// --- decoders: parse one message body; throw WireFormatError -------------
+
+Hello decode_hello(std::span<const std::uint8_t> body);
+SubscribeFilter decode_subscribe(std::span<const std::uint8_t> body);
+Ack decode_ack(std::span<const std::uint8_t> body);
+runtime::FrameEvent decode_frame(std::span<const std::uint8_t> body);
+WireStats decode_stats(std::span<const std::uint8_t> body);
+runtime::SampleChunk decode_iq_chunk(std::span<const std::uint8_t> body);
+IqEnd decode_iq_end(std::span<const std::uint8_t> body);
+Bye decode_bye(std::span<const std::uint8_t> body);
+
+/// Incremental de-framer: feed() raw bytes as they arrive off a socket,
+/// next() hands back complete messages in order. Tolerates any fragmenta-
+/// tion (TCP gives no record boundaries); throws WireFormatError::
+/// kOversized the moment a length prefix exceeds kMaxMessageBody, before
+/// any allocation, and kUnknownType on a type byte outside MsgType.
+class MessageReader {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+  std::optional<Message> next();
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace lfbs::net

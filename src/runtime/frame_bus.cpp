@@ -10,16 +10,19 @@ namespace lfbs::runtime {
 FrameBus::SubscriberId FrameBus::subscribe(Handler handler) {
   std::lock_guard lock(mutex_);
   const SubscriberId id = next_id_++;
-  subscribers_.push_back({id, std::move(handler)});
+  auto next = std::make_shared<SubscriberList>(*subscribers_);
+  next->push_back({id, std::move(handler)});
+  subscribers_ = std::move(next);
   return id;
 }
 
 void FrameBus::unsubscribe(SubscriberId id) {
   std::lock_guard lock(mutex_);
-  subscribers_.erase(
-      std::remove_if(subscribers_.begin(), subscribers_.end(),
-                     [&](const Subscriber& s) { return s.id == id; }),
-      subscribers_.end());
+  auto next = std::make_shared<SubscriberList>(*subscribers_);
+  next->erase(std::remove_if(next->begin(), next->end(),
+                             [&](const Subscriber& s) { return s.id == id; }),
+              next->end());
+  subscribers_ = std::move(next);
 }
 
 void FrameBus::publish(const FrameEvent& event) {
@@ -42,19 +45,21 @@ void FrameBus::publish(const FrameEvent& event) {
          obs::Field::flag("crc_ok", event.frame.crc_ok),
          obs::Field::flag("anchor_ok", event.frame.anchor_ok)});
   }
-  // Copy the handler list so a handler can (un)subscribe re-entrantly
-  // without deadlocking on the bus mutex.
-  std::vector<Handler> handlers;
+  // Snapshot the immutable subscriber list: one shared_ptr copy under the
+  // lock, no allocation on the per-frame path. A handler that
+  // (un)subscribes re-entrantly swaps in a new list without touching this
+  // snapshot, so iteration stays valid and the change applies from the
+  // next publish.
+  std::shared_ptr<const SubscriberList> snapshot;
   {
     std::lock_guard lock(mutex_);
     ++published_;
-    handlers.reserve(subscribers_.size());
-    for (const auto& s : subscribers_) handlers.push_back(s.handler);
+    snapshot = subscribers_;
   }
   std::size_t exceptions = 0;
-  for (const auto& h : handlers) {
+  for (const auto& s : *snapshot) {
     try {
-      h(event);
+      s.handler(event);
     } catch (...) {
       // Contain: the remaining subscribers still see the event, and the
       // runtime surfaces the count (and degrades health) via its stats.

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -57,9 +58,15 @@ class FrameBus {
     SubscriberId id;
     Handler handler;
   };
+  using SubscriberList = std::vector<Subscriber>;
 
   mutable std::mutex mutex_;
-  std::vector<Subscriber> subscribers_;
+  /// Copy-on-write: (un)subscribe builds a fresh list and swaps the
+  /// pointer; publish takes a shared_ptr copy under the lock — O(1), no
+  /// per-frame allocation — and iterates the immutable snapshot outside
+  /// it, so handlers can still (un)subscribe re-entrantly.
+  std::shared_ptr<const SubscriberList> subscribers_ =
+      std::make_shared<const SubscriberList>();
   SubscriberId next_id_ = 1;
   std::size_t published_ = 0;
   std::size_t handler_exceptions_ = 0;

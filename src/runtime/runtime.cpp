@@ -301,8 +301,22 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
   // Ingest on the caller's thread: source → chunk ring, with the
   // configured overflow policy. Reads go through the supervisor — retry
   // with backoff on transient errors, scrub non-finite samples — so a
-  // flaky source degrades the run instead of wedging or killing it.
-  while (auto chunk = supervisor.next_chunk(source)) {
+  // flaky source degrades the run instead of wedging or killing it. A
+  // stop request (signal handler flag or request_stop) ends ingest early
+  // but everything already in flight still drains and publishes.
+  const auto stop_requested = [&] {
+    return stop_requested_.load(std::memory_order_relaxed) ||
+           (config_.stop_flag != nullptr &&
+            config_.stop_flag->load(std::memory_order_relaxed));
+  };
+  bool stopped_early = false;
+  for (;;) {
+    if (stop_requested()) {
+      stopped_early = true;
+      break;
+    }
+    auto chunk = supervisor.next_chunk(source);
+    if (!chunk) break;
     supervisor.scrub(*chunk);
     if (config_.drop_when_full) {
       ring.offer(std::move(*chunk));
@@ -363,6 +377,7 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
 
   out.stats.health = supervisor.health();
   out.stats.faults = supervisor.counters();
+  out.stats.stopped_early = stopped_early;
   latency.summarize(out.stats);
   obs::metrics().gauge("runtime.ring_high_watermark")
       .set(static_cast<double>(out.stats.ring_high_watermark));

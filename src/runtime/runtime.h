@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "core/windowed_decoder.h"
@@ -55,6 +56,11 @@ struct RuntimeConfig {
   /// and degrade run health — the channel, not the software, is the fault,
   /// but the operator should see it in the same place.
   double confidence_floor = 0.2;
+  /// Optional external stop flag (e.g. a signal handler's atomic). When it
+  /// becomes true the ingest loop stops pulling from the source; every
+  /// chunk already ingested still decodes, stitches, and publishes before
+  /// run() returns with stats.stopped_early set. The flag is only read.
+  const std::atomic<bool>* stop_flag = nullptr;
 };
 
 struct RuntimeResult {
@@ -80,9 +86,15 @@ class DecodeRuntime {
   RuntimeResult decode(const signal::SampleBuffer& buffer,
                        std::size_t chunk_samples = 1 << 16);
 
+  /// Asks the active run to stop ingesting and drain (same semantics as
+  /// RuntimeConfig::stop_flag). Safe from any thread; sticky for the
+  /// runtime's lifetime.
+  void request_stop() { stop_requested_.store(true); }
+
  private:
   RuntimeConfig config_;
   FrameBus bus_;
+  std::atomic<bool> stop_requested_{false};
 };
 
 }  // namespace lfbs::runtime

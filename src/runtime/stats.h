@@ -86,6 +86,10 @@ struct RuntimeStats {
   // Supervision.
   HealthState health = HealthState::kHealthy;
   FaultCounters faults;
+  /// The run was cut short by a stop request (operator signal or
+  /// DecodeRuntime::request_stop) rather than draining its source. What
+  /// was ingested before the stop is fully decoded and published.
+  bool stopped_early = false;
 
   // Throughput.
   Seconds wall_seconds = 0.0;

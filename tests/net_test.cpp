@@ -1,0 +1,730 @@
+// Tests for the network gateway (src/net): the LFBW1 wire codec, the
+// poll-driven frame server and its slow-consumer policies, the
+// reconnecting frame client, and remote IQ ingest. The load-bearing
+// properties: frames received over a loopback TCP hop are bit-identical
+// to a direct FrameBus subscription, a stalled subscriber can never delay
+// a healthy one, and a remotely-ingested capture decodes bit-identically
+// to a local one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "channel/channel_model.h"
+#include "core/windowed_decoder.h"
+#include "net/frame_client.h"
+#include "net/frame_server.h"
+#include "net/iq_ingest.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "protocol/frame.h"
+#include "reader/receiver.h"
+#include "runtime/runtime.h"
+#include "runtime/sample_source.h"
+#include "tag/tag.h"
+
+namespace lfbs::net {
+namespace {
+
+runtime::FrameEvent make_event(std::size_t index, std::uint64_t seed) {
+  Rng rng(seed);
+  runtime::FrameEvent event;
+  event.stream_index = index;
+  event.stream_start = rng.uniform(0.0, 1e6);
+  event.rate = rng.uniform(1e3, 250e3);
+  event.collided = (seed % 2) == 0;
+  event.confidence = rng.uniform(0.0, 1.0);
+  event.fallback_stage = core::FallbackStage::kRelaxedDetection;
+  event.frame.payload = rng.bits(96 + seed % 7);  // odd lengths too
+  event.frame.anchor_ok = true;
+  event.frame.crc_ok = (seed % 3) != 0;
+  return event;
+}
+
+void expect_event_identical(const runtime::FrameEvent& a,
+                            const runtime::FrameEvent& b) {
+  EXPECT_EQ(a.stream_index, b.stream_index);
+  EXPECT_EQ(a.stream_start, b.stream_start);  // bit-exact doubles
+  EXPECT_EQ(a.rate, b.rate);
+  EXPECT_EQ(a.collided, b.collided);
+  EXPECT_EQ(a.confidence, b.confidence);
+  EXPECT_EQ(a.fallback_stage, b.fallback_stage);
+  EXPECT_EQ(a.frame.payload, b.frame.payload);
+  EXPECT_EQ(a.frame.anchor_ok, b.frame.anchor_ok);
+  EXPECT_EQ(a.frame.crc_ok, b.frame.crc_ok);
+}
+
+/// Feeds a byte vector through a MessageReader and returns every message.
+std::vector<Message> reparse(const std::vector<std::uint8_t>& bytes,
+                             std::size_t step = 0) {
+  MessageReader reader;
+  std::vector<Message> out;
+  if (step == 0) step = bytes.size();
+  for (std::size_t at = 0; at < bytes.size(); at += step) {
+    reader.feed(bytes.data() + at, std::min(step, bytes.size() - at));
+    while (auto message = reader.next()) out.push_back(std::move(*message));
+  }
+  return out;
+}
+
+TEST(Wire, HelloRoundTrip) {
+  Hello hello;
+  hello.role = PeerRole::kIqPusher;
+  hello.sample_rate = 25e6;
+  hello.name = "unit-test pusher";
+  std::vector<std::uint8_t> bytes;
+  encode_hello(hello, bytes);
+  const auto messages = reparse(bytes);
+  ASSERT_EQ(messages.size(), 1u);
+  ASSERT_EQ(messages[0].type, MsgType::kHello);
+  const Hello back = decode_hello(messages[0].body);
+  EXPECT_EQ(back.role, PeerRole::kIqPusher);
+  EXPECT_EQ(back.sample_rate, 25e6);
+  EXPECT_EQ(back.name, hello.name);
+}
+
+TEST(Wire, ControlMessagesRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  SubscribeFilter filter;
+  filter.min_confidence = 0.25;
+  filter.min_rate = 1e3;
+  filter.max_rate = 200e3;
+  filter.crc_valid_only = true;
+  encode_subscribe(filter, bytes);
+  encode_ack({7, "busy"}, bytes);
+  encode_bye({ByeReason::kEvicted, "too slow"}, bytes);
+  encode_iq_end({123456, true}, bytes);
+
+  const auto messages = reparse(bytes);
+  ASSERT_EQ(messages.size(), 4u);
+  const SubscribeFilter f = decode_subscribe(messages[0].body);
+  EXPECT_EQ(f.min_confidence, 0.25);
+  EXPECT_EQ(f.min_rate, 1e3);
+  EXPECT_EQ(f.max_rate, 200e3);
+  EXPECT_TRUE(f.crc_valid_only);
+  const Ack ack = decode_ack(messages[1].body);
+  EXPECT_EQ(ack.status, 7);
+  EXPECT_EQ(ack.text, "busy");
+  const Bye bye = decode_bye(messages[2].body);
+  EXPECT_EQ(bye.reason, ByeReason::kEvicted);
+  EXPECT_EQ(bye.text, "too slow");
+  const IqEnd end = decode_iq_end(messages[3].body);
+  EXPECT_EQ(end.total_samples, 123456u);
+  EXPECT_TRUE(end.truncated);
+}
+
+TEST(Wire, FrameRoundTripIsBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    const runtime::FrameEvent event = make_event(seed, seed * 31);
+    std::vector<std::uint8_t> bytes;
+    encode_frame(event, bytes);
+    const auto messages = reparse(bytes);
+    ASSERT_EQ(messages.size(), 1u);
+    ASSERT_EQ(messages[0].type, MsgType::kFrame);
+    expect_event_identical(event, decode_frame(messages[0].body));
+  }
+}
+
+TEST(Wire, StatsRoundTrip) {
+  runtime::RuntimeStats stats;
+  stats.health = runtime::HealthState::kDegraded;
+  stats.stopped_early = true;
+  stats.wall_seconds = 1.5;
+  stats.samples_in = 1000000;
+  stats.windows_decoded = 42;
+  stats.frames_published = 17;
+  stats.streams = 5;
+  stats.chunks_dropped = 3;
+  stats.faults.worker_exceptions = 2;
+  stats.mean_confidence = 0.875;
+  std::vector<std::uint8_t> bytes;
+  encode_stats(to_wire_stats(stats), bytes);
+  const auto messages = reparse(bytes);
+  ASSERT_EQ(messages.size(), 1u);
+  const WireStats back = decode_stats(messages[0].body);
+  EXPECT_EQ(back.health,
+            static_cast<std::uint8_t>(runtime::HealthState::kDegraded));
+  EXPECT_TRUE(back.stopped_early);
+  EXPECT_EQ(back.wall_seconds, 1.5);
+  EXPECT_EQ(back.samples_in, 1000000u);
+  EXPECT_EQ(back.windows_decoded, 42u);
+  EXPECT_EQ(back.frames_published, 17u);
+  EXPECT_EQ(back.streams, 5u);
+  EXPECT_EQ(back.chunks_dropped, 3u);
+  EXPECT_GE(back.faults_total, 2u);
+  EXPECT_EQ(back.mean_confidence, 0.875);
+}
+
+TEST(Wire, IqChunkF64RoundTripIsBitIdentical) {
+  Rng rng(9);
+  runtime::SampleChunk chunk;
+  chunk.first_sample = 0xABCDEF0123ull;
+  for (int i = 0; i < 777; ++i) {
+    chunk.samples.emplace_back(rng.gaussian(), rng.gaussian());
+  }
+  std::vector<std::uint8_t> bytes;
+  encode_iq_chunk(chunk, /*f64=*/true, bytes);
+  const auto messages = reparse(bytes);
+  ASSERT_EQ(messages.size(), 1u);
+  const runtime::SampleChunk back = decode_iq_chunk(messages[0].body);
+  EXPECT_EQ(back.first_sample, chunk.first_sample);
+  ASSERT_EQ(back.samples.size(), chunk.samples.size());
+  for (std::size_t i = 0; i < chunk.samples.size(); ++i) {
+    ASSERT_EQ(back.samples[i], chunk.samples[i]) << "sample " << i;
+  }
+}
+
+TEST(Wire, IqChunkF32QuantizesToFloatPrecision) {
+  runtime::SampleChunk chunk;
+  chunk.first_sample = 5;
+  chunk.samples.emplace_back(0.1234567890123, -0.9876543210987);
+  std::vector<std::uint8_t> bytes;
+  encode_iq_chunk(chunk, /*f64=*/false, bytes);
+  const auto messages = reparse(bytes);
+  const runtime::SampleChunk back = decode_iq_chunk(messages[0].body);
+  ASSERT_EQ(back.samples.size(), 1u);
+  EXPECT_EQ(back.samples[0].real(),
+            static_cast<double>(static_cast<float>(0.1234567890123)));
+  EXPECT_EQ(back.samples[0].imag(),
+            static_cast<double>(static_cast<float>(-0.9876543210987)));
+}
+
+TEST(Wire, MessageReaderHandlesAnyFragmentation) {
+  std::vector<std::uint8_t> bytes;
+  encode_hello({PeerRole::kFrameSubscriber, 0.0, "frag"}, bytes);
+  encode_subscribe({}, bytes);
+  encode_frame(make_event(3, 99), bytes);
+  encode_bye({ByeReason::kEndOfStream, ""}, bytes);
+  for (const std::size_t step : {std::size_t{1}, std::size_t{3},
+                                 std::size_t{17}, bytes.size()}) {
+    const auto messages = reparse(bytes, step);
+    ASSERT_EQ(messages.size(), 4u) << "step " << step;
+    EXPECT_EQ(messages[0].type, MsgType::kHello);
+    EXPECT_EQ(messages[1].type, MsgType::kSubscribe);
+    EXPECT_EQ(messages[2].type, MsgType::kFrame);
+    EXPECT_EQ(messages[3].type, MsgType::kBye);
+  }
+}
+
+TEST(Wire, BadMagicAndBadVersionAreTyped) {
+  Hello hello;
+  hello.name = "x";
+  std::vector<std::uint8_t> bytes;
+  encode_hello(hello, bytes);
+  auto tampered = bytes;
+  tampered[5 + 2] = 'X';  // type + length prefix, then magic
+  auto messages = reparse(tampered);
+  ASSERT_EQ(messages.size(), 1u);
+  try {
+    decode_hello(messages[0].body);
+    FAIL() << "bad magic must throw";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kBadMagic);
+  }
+
+  tampered = bytes;
+  tampered[5 + sizeof(kWireMagic)] = 0xFF;  // version low byte
+  messages = reparse(tampered);
+  try {
+    decode_hello(messages[0].body);
+    FAIL() << "bad version must throw";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kBadVersion);
+  }
+}
+
+TEST(Wire, TruncatedBodyThrowsTyped) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(make_event(1, 5), bytes);
+  const auto messages = reparse(bytes);
+  ASSERT_EQ(messages.size(), 1u);
+  auto body = messages[0].body;
+  body.resize(body.size() / 2);
+  try {
+    decode_frame(body);
+    FAIL() << "truncated frame must throw";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kTruncated);
+  }
+}
+
+TEST(Wire, OversizedLengthPrefixThrowsBeforeBody) {
+  // Type byte + a 64 MiB length prefix: the reader must reject it from
+  // the 5-byte header alone, before any body bytes exist to allocate.
+  const std::uint8_t header[5] = {
+      static_cast<std::uint8_t>(MsgType::kFrame), 0x00, 0x00, 0x00, 0x04};
+  MessageReader reader;
+  reader.feed(header, sizeof(header));
+  try {
+    reader.next();
+    FAIL() << "oversized prefix must throw";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kOversized);
+  }
+}
+
+TEST(Wire, UnknownTypeByteThrowsTyped) {
+  const std::uint8_t header[5] = {0x77, 0x00, 0x00, 0x00, 0x00};
+  MessageReader reader;
+  reader.feed(header, sizeof(header));
+  try {
+    reader.next();
+    FAIL() << "unknown type must throw";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.code(), WireError::kUnknownType);
+  }
+}
+
+TEST(Wire, SubscribeFilterGatesOnConfidenceRateAndCrc) {
+  runtime::FrameEvent event = make_event(0, 2);
+  event.confidence = 0.5;
+  event.rate = 100e3;
+  event.frame.crc_ok = false;
+
+  SubscribeFilter all;
+  EXPECT_TRUE(all.accepts(event));
+
+  SubscribeFilter confident;
+  confident.min_confidence = 0.6;
+  EXPECT_FALSE(confident.accepts(event));
+  confident.min_confidence = 0.5;
+  EXPECT_TRUE(confident.accepts(event));
+
+  SubscribeFilter banded;
+  banded.min_rate = 150e3;
+  EXPECT_FALSE(banded.accepts(event));
+  banded.min_rate = 0.0;
+  banded.max_rate = 50e3;
+  EXPECT_FALSE(banded.accepts(event));
+
+  SubscribeFilter clean;
+  clean.crc_valid_only = true;
+  EXPECT_FALSE(clean.accepts(event));
+  event.frame.crc_ok = true;
+  EXPECT_TRUE(clean.accepts(event));
+}
+
+// --- server / client loopback -------------------------------------------
+
+TEST(FrameServerClient, LoopbackDeliveryIsBitIdentical) {
+  // Publish a set of frames through the server while a FrameClient tails
+  // it over real TCP; the client must observe every event, in order, with
+  // every field bit-identical — and the final stats digest must let it
+  // prove completeness.
+  FrameServerConfig sc;
+  FrameServer server(sc);
+
+  std::vector<runtime::FrameEvent> received;
+  std::atomic<bool> done{false};
+  FrameClientConfig cc;
+  cc.port = server.port();
+  FrameClient client(cc);
+  std::optional<WireStats> final_stats;
+  std::thread tail([&] {
+    FrameClient::Callbacks callbacks;
+    callbacks.on_frame = [&](const runtime::FrameEvent& event) {
+      received.push_back(event);
+    };
+    callbacks.on_stats = [&](const WireStats& stats) { final_stats = stats; };
+    const Bye bye = client.run(callbacks);
+    EXPECT_EQ(bye.reason, ByeReason::kEndOfStream);
+    done = true;
+  });
+
+  ASSERT_TRUE(server.wait_for_subscriber(5.0));
+  std::vector<runtime::FrameEvent> sent;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    sent.push_back(make_event(static_cast<std::size_t>(i), i * 7 + 1));
+    server.publish(sent.back());
+  }
+  runtime::RuntimeStats stats;
+  stats.frames_published = sent.size();
+  server.publish_stats(stats);
+  server.shutdown(/*drain=*/true);
+  tail.join();
+  ASSERT_TRUE(done.load());
+
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    expect_event_identical(sent[i], received[i]);
+  }
+  ASSERT_TRUE(final_stats.has_value());
+  EXPECT_EQ(final_stats->frames_published, sent.size());
+  EXPECT_EQ(server.counters().frames_sent, sent.size());
+  EXPECT_EQ(server.counters().queue_drops, 0u);
+}
+
+TEST(FrameServerClient, ServerSideFilterNarrowsDelivery) {
+  FrameServerConfig sc;
+  FrameServer server(sc);
+
+  std::vector<runtime::FrameEvent> received;
+  FrameClientConfig cc;
+  cc.port = server.port();
+  cc.filter.crc_valid_only = true;
+  cc.filter.min_confidence = 0.5;
+  FrameClient client(cc);
+  std::thread tail([&] {
+    FrameClient::Callbacks callbacks;
+    callbacks.on_frame = [&](const runtime::FrameEvent& event) {
+      received.push_back(event);
+    };
+    client.run(callbacks);
+  });
+
+  ASSERT_TRUE(server.wait_for_subscriber(5.0));
+  std::size_t expected = 0;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    runtime::FrameEvent event = make_event(static_cast<std::size_t>(i), i);
+    if (event.frame.crc_ok && event.confidence >= 0.5) ++expected;
+    server.publish(event);
+  }
+  server.shutdown(/*drain=*/true);
+  tail.join();
+
+  ASSERT_GT(expected, 0u);  // seed choice must exercise both sides
+  ASSERT_LT(expected, 32u);
+  EXPECT_EQ(received.size(), expected);
+  for (const auto& event : received) {
+    EXPECT_TRUE(event.frame.crc_ok);
+    EXPECT_GE(event.confidence, 0.5);
+  }
+}
+
+/// A raw subscriber that completes the handshake and then never reads —
+/// the deliberately stalled client of the slow-consumer tests.
+struct StalledSubscriber {
+  TcpConnection conn;
+
+  explicit StalledSubscriber(std::uint16_t port)
+      : conn(TcpConnection::connect("127.0.0.1", port, 5.0)) {
+    std::vector<std::uint8_t> bytes;
+    encode_hello({PeerRole::kFrameSubscriber, 0.0, "stalled"}, bytes);
+    encode_subscribe({}, bytes);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const std::ptrdiff_t n =
+          conn.write_some(bytes.data() + sent, bytes.size() - sent);
+      if (n > 0) sent += static_cast<std::size_t>(n);
+    }
+  }
+};
+
+TEST(FrameServerClient, StalledClientDropsOldestWithoutDelayingHealthy) {
+  FrameServerConfig sc;
+  sc.send_queue_messages = 8;
+  sc.send_buffer_bytes = 2048;  // tiny SO_SNDBUF: the kernel can't hide it
+  sc.slow_consumer = SlowConsumerPolicy::kDropOldest;
+  sc.drain_timeout = 2.0;
+  FrameServer server(sc);
+
+  StalledSubscriber stalled(server.port());
+
+  std::atomic<std::size_t> healthy_frames{0};
+  FrameClientConfig cc;
+  cc.port = server.port();
+  FrameClient client(cc);
+  std::thread tail([&] {
+    FrameClient::Callbacks callbacks;
+    callbacks.on_frame = [&](const runtime::FrameEvent&) {
+      ++healthy_frames;
+    };
+    client.run(callbacks);
+  });
+
+  // Both clients subscribed (stalled one races its handshake in).
+  ASSERT_TRUE(server.wait_for_subscriber(5.0));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.counters().subscribers < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.counters().subscribers, 2u);
+
+  // Publish far more than queue + socket buffer can hold, paced just
+  // enough that a *reading* client keeps up — so any loss at the healthy
+  // client would indict publish(), not the test's own burst rate. The
+  // stalled client saturates its 2 KiB kernel buffer and 8-message queue
+  // almost immediately regardless of pacing.
+  constexpr std::size_t kFrames = 512;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    server.publish(make_event(static_cast<std::size_t>(i), i));
+    if (i % 4 == 3) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const Seconds publish_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // Pacing accounts for ~128 ms; anything near drain_timeout would mean
+  // publish() blocked on the stalled client's socket.
+  EXPECT_LT(publish_seconds, 2.0) << "publish must not block on the "
+                                     "stalled client";
+
+  // Unstall by closing; the healthy client still gets every frame.
+  server.shutdown(/*drain=*/true);
+  stalled.conn.close();
+  tail.join();
+
+  EXPECT_EQ(healthy_frames.load(), kFrames);
+  const auto counters = server.counters();
+  EXPECT_GT(counters.queue_drops, 0u);
+  EXPECT_EQ(counters.evictions, 0u);
+}
+
+TEST(FrameServerClient, StalledClientIsEvictedUnderEvictPolicy) {
+  FrameServerConfig sc;
+  sc.send_queue_messages = 8;
+  sc.send_buffer_bytes = 2048;
+  sc.slow_consumer = SlowConsumerPolicy::kEvict;
+  sc.drain_timeout = 5.0;
+  FrameServer server(sc);
+
+  StalledSubscriber stalled(server.port());
+
+  std::atomic<std::size_t> healthy_frames{0};
+  FrameClientConfig cc;
+  cc.port = server.port();
+  FrameClient client(cc);
+  std::thread tail([&] {
+    FrameClient::Callbacks callbacks;
+    callbacks.on_frame = [&](const runtime::FrameEvent&) {
+      ++healthy_frames;
+    };
+    client.run(callbacks);
+  });
+
+  ASSERT_TRUE(server.wait_for_subscriber(5.0));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  while (server.counters().subscribers < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.counters().subscribers, 2u);
+
+  constexpr std::size_t kFrames = 512;
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    server.publish(make_event(static_cast<std::size_t>(i), i));
+    if (i % 4 == 3) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.shutdown(/*drain=*/true);
+  tail.join();
+
+  EXPECT_EQ(healthy_frames.load(), kFrames);
+  const auto counters = server.counters();
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.queue_drops, 0u);
+}
+
+TEST(FrameServer, GarbageSpeakerIsClosedAsProtocolError) {
+  FrameServerConfig sc;
+  FrameServer server(sc);
+  TcpConnection conn = TcpConnection::connect("127.0.0.1", server.port(), 5.0);
+  const char garbage[] = "GET / HTTP/1.0\r\n\r\n";
+  conn.write_some(reinterpret_cast<const std::uint8_t*>(garbage),
+                  sizeof(garbage) - 1);
+  // The server must close the connection; reads eventually return EOF.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(5);
+  std::ptrdiff_t n = -1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::uint8_t buf[256];
+    n = conn.read_some(buf, sizeof(buf));
+    if (n == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(n, 0) << "server should close a non-LFBW1 speaker";
+  const auto counters = server.counters();
+  EXPECT_EQ(counters.protocol_errors, 1u);
+  EXPECT_EQ(counters.subscribers, 0u);
+  server.shutdown(false);
+}
+
+TEST(FrameServer, WaitForSubscriberTimesOutCleanly) {
+  FrameServerConfig sc;
+  FrameServer server(sc);
+  EXPECT_FALSE(server.wait_for_subscriber(0.05));
+  server.shutdown(false);
+}
+
+TEST(FrameClient, ConnectFailureExhaustsSupervisorStyleBackoff) {
+  // Bind-then-close to get a port with nothing listening.
+  std::uint16_t dead_port;
+  {
+    TcpListener probe("127.0.0.1", 0);
+    dead_port = probe.port();
+  }
+  FrameClientConfig cc;
+  cc.port = dead_port;
+  cc.connect_timeout = 0.5;
+  FrameClient client(cc);
+  FrameClient::Callbacks callbacks;
+  EXPECT_THROW(client.run(callbacks), SocketError);
+  EXPECT_EQ(client.counters().connects, 0u);
+  // The defaults really are the Supervisor's retry policy.
+  EXPECT_EQ(cc.max_connect_attempts,
+            runtime::SupervisorConfig{}.max_source_retries);
+  EXPECT_EQ(cc.backoff_initial,
+            runtime::SupervisorConfig{}.retry_backoff_initial);
+  EXPECT_EQ(cc.backoff_max, runtime::SupervisorConfig{}.retry_backoff_max);
+}
+
+// --- remote IQ ingest ----------------------------------------------------
+
+signal::SampleBuffer make_noise_capture(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.emplace_back(rng.gaussian(), rng.gaussian());
+  }
+  return signal::SampleBuffer(5.0 * kMsps, std::move(samples));
+}
+
+TEST(RemoteIqSource, F64PushDeliversBitIdenticalSamples) {
+  const signal::SampleBuffer capture = make_noise_capture(50000, 71);
+
+  IqIngestConfig ic;
+  RemoteIqSource source(ic);
+  std::thread pusher([&] {
+    runtime::MemorySource local(capture, 4096);
+    const std::uint64_t pushed =
+        push_iq("127.0.0.1", source.port(), local, /*f64=*/true);
+    EXPECT_EQ(pushed, capture.size());
+  });
+
+  EXPECT_EQ(source.wait_for_pusher(), capture.sample_rate());
+  std::vector<Complex> received;
+  std::uint64_t next = 0;
+  while (auto chunk = source.next_chunk()) {
+    EXPECT_EQ(chunk->first_sample, next);
+    next += chunk->size();
+    received.insert(received.end(), chunk->samples.begin(),
+                    chunk->samples.end());
+  }
+  pusher.join();
+
+  ASSERT_EQ(received.size(), capture.size());
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    ASSERT_EQ(received[i], capture[i]) << "sample " << i;
+  }
+  EXPECT_FALSE(source.truncated());
+  EXPECT_EQ(source.total_samples(), capture.size());
+}
+
+TEST(RemoteIqSource, RemoteDecodeMatchesLocalDecodeBitForBit) {
+  // The full promise: decode a capture through a TCP hop and get exactly
+  // the frames a local decode produces. Uses the same multi-tag capture
+  // construction as the runtime parity tests.
+  Rng rng(123);
+  reader::ReceiverConfig rcv;
+  rcv.sample_rate = 5.0 * kMsps;
+  rcv.noise_power = 1e-5;
+  channel::ChannelModel ch;
+  std::vector<tag::Tag> tags;
+  protocol::FrameConfig fc;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ch.add_tag(std::polar(rng.uniform(0.08, 0.2), rng.uniform(0.0, 6.2831)));
+    tag::TagConfig tc;
+    tc.incoming_energy = rng.uniform(0.7, 1.3);
+    tags.emplace_back(tc, rng);
+  }
+  std::vector<signal::StateTimeline> timelines;
+  const Seconds duration = 5e-3;
+  for (auto& t : tags) {
+    std::vector<std::vector<bool>> frames{
+        protocol::build_frame(rng.bits(96), fc)};
+    timelines.push_back(t.transmit_epoch(frames, duration, rng).timeline);
+  }
+  reader::Receiver receiver(rcv, ch);
+  const signal::SampleBuffer capture =
+      receiver.receive_epoch(timelines, duration, rng);
+
+  runtime::RuntimeConfig rc;
+  rc.workers = 2;
+  const auto local = runtime::DecodeRuntime(rc).decode(capture, 4096);
+
+  IqIngestConfig ic;
+  RemoteIqSource source(ic);
+  std::thread pusher([&] {
+    runtime::MemorySource mem(capture, 4096);
+    push_iq("127.0.0.1", source.port(), mem, /*f64=*/true);
+  });
+  source.wait_for_pusher();
+  const auto remote = runtime::DecodeRuntime(rc).run(source);
+  pusher.join();
+
+  ASSERT_EQ(remote.decode.streams.size(), local.decode.streams.size());
+  for (std::size_t i = 0; i < local.decode.streams.size(); ++i) {
+    const auto& a = local.decode.streams[i];
+    const auto& b = remote.decode.streams[i];
+    EXPECT_EQ(a.start_sample, b.start_sample);
+    EXPECT_EQ(a.rate, b.rate);
+    EXPECT_EQ(a.bits, b.bits);
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    for (std::size_t f = 0; f < a.frames.size(); ++f) {
+      EXPECT_EQ(a.frames[f].payload, b.frames[f].payload);
+      EXPECT_EQ(a.frames[f].valid(), b.frames[f].valid());
+    }
+  }
+}
+
+TEST(RemoteIqSource, PusherDeathMidStreamIsNonTransient) {
+  IqIngestConfig ic;
+  RemoteIqSource source(ic);
+  std::thread pusher([&] {
+    TcpConnection conn =
+        TcpConnection::connect("127.0.0.1", source.port(), 5.0);
+    std::vector<std::uint8_t> bytes;
+    encode_hello({PeerRole::kIqPusher, 1e6, "dying"}, bytes);
+    runtime::SampleChunk chunk;
+    chunk.first_sample = 0;
+    chunk.samples.assign(100, Complex{0.5, -0.5});
+    encode_iq_chunk(chunk, true, bytes);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const std::ptrdiff_t n =
+          conn.write_some(bytes.data() + sent, bytes.size() - sent);
+      if (n > 0) sent += static_cast<std::size_t>(n);
+    }
+    conn.close();  // no IqEnd: mid-stream death
+  });
+
+  source.wait_for_pusher();
+  const auto chunk = source.next_chunk();
+  ASSERT_TRUE(chunk.has_value());
+  EXPECT_EQ(chunk->samples.size(), 100u);
+  try {
+    while (source.next_chunk().has_value()) {
+    }
+    FAIL() << "mid-stream EOF must throw";
+  } catch (const runtime::SourceError& e) {
+    EXPECT_FALSE(e.transient());
+  }
+  pusher.join();
+}
+
+TEST(RemoteIqSource, WrongRolePeerIsRejected) {
+  IqIngestConfig ic;
+  RemoteIqSource source(ic);
+  std::thread peer([&] {
+    TcpConnection conn =
+        TcpConnection::connect("127.0.0.1", source.port(), 5.0);
+    std::vector<std::uint8_t> bytes;
+    encode_hello({PeerRole::kFrameSubscriber, 0.0, "wrong"}, bytes);
+    conn.write_some(bytes.data(), bytes.size());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  try {
+    source.wait_for_pusher();
+    FAIL() << "wrong role must be rejected";
+  } catch (const runtime::SourceError& e) {
+    EXPECT_FALSE(e.transient());
+  }
+  peer.join();
+}
+
+}  // namespace
+}  // namespace lfbs::net

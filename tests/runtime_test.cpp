@@ -254,6 +254,62 @@ TEST(FrameBus, ConcurrentPublishersDeliverEveryEvent) {
   EXPECT_EQ(bus.handler_exceptions(), 0u);
 }
 
+TEST(FrameBus, HandlerMaySubscribeReentrantly) {
+  // A handler adding a subscriber mid-publish must not invalidate the
+  // in-flight delivery (the COW snapshot stays stable); the new subscriber
+  // starts receiving from the *next* publish.
+  FrameBus bus;
+  int late = 0;
+  FrameBus::SubscriberId late_id = 0;
+  bool added = false;
+  bus.subscribe([&](const FrameEvent&) {
+    if (!added) {
+      added = true;
+      late_id = bus.subscribe([&](const FrameEvent&) { ++late; });
+    }
+  });
+  bus.publish({});
+  EXPECT_EQ(late, 0) << "same-publish delivery would mean the snapshot "
+                        "mutated mid-iteration";
+  bus.publish({});
+  EXPECT_EQ(late, 1);
+  bus.unsubscribe(late_id);
+  bus.publish({});
+  EXPECT_EQ(late, 1);
+  EXPECT_EQ(bus.handler_exceptions(), 0u);
+}
+
+TEST(FrameBus, HandlerMayUnsubscribeItselfAndPeersReentrantly) {
+  // Self-removal and peer-removal from inside a handler: the current
+  // publish still delivers to every subscriber captured in its snapshot,
+  // and the removals take effect afterwards.
+  FrameBus bus;
+  int self = 0;
+  int peer = 0;
+  FrameBus::SubscriberId self_id = 0;
+  FrameBus::SubscriberId peer_id = 0;
+  peer_id = bus.subscribe([&](const FrameEvent&) { ++peer; });
+  self_id = bus.subscribe([&](const FrameEvent&) {
+    ++self;
+    bus.unsubscribe(self_id);   // remove myself
+    bus.unsubscribe(peer_id);   // remove a peer ahead of me in the list
+  });
+  int after = 0;
+  bus.subscribe([&](const FrameEvent&) { ++after; });
+  bus.publish({});
+  // Snapshot semantics: everyone subscribed at publish time ran once —
+  // including the subscriber after the one doing the removing.
+  EXPECT_EQ(peer, 1);
+  EXPECT_EQ(self, 1);
+  EXPECT_EQ(after, 1);
+  bus.publish({});
+  EXPECT_EQ(peer, 1);
+  EXPECT_EQ(self, 1);
+  EXPECT_EQ(after, 2);
+  EXPECT_EQ(bus.handler_exceptions(), 0u);
+  EXPECT_EQ(bus.published(), 2u);
+}
+
 TEST(DecodeRuntime, TracedRunStaysBitIdenticalAndLogsEveryFrame) {
   // The tentpole's zero-interference contract: attaching the tracer and
   // the structured event log must not change a single decoded bit, and

@@ -46,6 +46,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/shutdown.h"
 #include "core/windowed_decoder.h"
 #include "dsp/resample.h"
 #include "obs/events.h"
@@ -315,6 +316,11 @@ int main(int argc, char** argv) {
       runtime::RuntimeConfig rc;
       rc.windowed = wc;
       rc.workers = workers;
+      // Ctrl-C during a streaming decode stops ingest, drains the windows
+      // already in flight, and still prints stats / writes --stats-json;
+      // the process then exits 128+signal (130 for SIGINT).
+      install_shutdown_handlers();
+      rc.stop_flag = &shutdown_flag();
       runtime::IqFileSource file_source(path, 1 << 16);
       sample_rate = file_source.sample_rate();
       sample_count = file_source.total_samples();
@@ -380,6 +386,8 @@ int main(int argc, char** argv) {
         runtime::RuntimeConfig rc;
         rc.windowed = wc;
         rc.workers = workers;
+        install_shutdown_handlers();
+        rc.stop_flag = &shutdown_flag();
         runtime::DecodeRuntime rt(rc);
         auto run = rt.decode(buffer);
         result = std::move(run.decode);
@@ -457,6 +465,12 @@ int main(int argc, char** argv) {
   obs::set_tracer(nullptr);
   obs::set_event_log(nullptr);
 
+  if (run_stats.has_value() && run_stats->stopped_early) {
+    std::fprintf(stderr,
+                 "interrupted: stopped ingest after %llu samples; decoded "
+                 "everything in flight\n",
+                 static_cast<unsigned long long>(run_stats->samples_in));
+  }
   std::printf("edges=%zu groups=%zu collisions=%zu unresolved=%zu\n",
               result.diagnostics.edges, result.diagnostics.groups,
               result.diagnostics.collision_groups,
@@ -503,5 +517,5 @@ int main(int argc, char** argv) {
     std::printf("(%zu stream%s below --min-confidence %.2f hidden)\n", hidden,
                 hidden == 1 ? "" : "s", min_confidence);
   }
-  return valid_total > 0 ? 0 : 1;
+  return shutdown_exit_code(valid_total > 0 ? 0 : 1);
 }

@@ -1,0 +1,415 @@
+// lfbs_gateway: network frame gateway — decode on one machine, consume on
+// another. One binary, three roles:
+//
+// Serve (default): decode a source and fan the frames out over TCP (LFBW1)
+//   lfbs_gateway <capture.lfbsiq> [--port N] [--port-file PATH] ...
+//   lfbs_gateway --scenario [--tags N] [--epochs N] ...
+//   lfbs_gateway --iq-listen [--iq-port N] [--iq-port-file PATH] ...
+//     (--iq-listen decodes IQ pushed to it by a remote `--push` process)
+//
+// Tail: subscribe to a serving gateway and print frames as they arrive
+//   lfbs_gateway --connect HOST:PORT [--min-confidence X] [--crc-only]
+//                [--quiet]
+//
+// Push: stream a capture file into a gateway running --iq-listen
+//   lfbs_gateway --push HOST:PORT <capture.lfbsiq> [--f32]
+//
+// Serve options:
+//   --port N            frame port (default 0 = ephemeral, printed)
+//   --port-file PATH    write the bound frame port to PATH (for scripts)
+//   --wait-subscriber S wait up to S seconds for a subscriber before
+//                       decoding starts (so a tail sees the whole stream)
+//   --queue-frames N    per-client send queue bound (default 256)
+//   --evict-slow        evict slow consumers instead of dropping oldest
+//   --send-buffer N     kernel send-buffer bytes per client (testing)
+//   --workers N         decode worker threads (default 4)
+//   --crc5 / --payload N / --windowed MS   decoder knobs (as lfbs_decode)
+//   --trace-out PATH    JSONL telemetry incl. net.* events ("-" = stdout)
+//
+// The server publishes a final stats message (frames_published et al.)
+// before closing each subscriber with Bye(end-of-stream), so a tailing
+// client can verify it missed nothing; --connect does that check and
+// reports it.
+//
+// Exit status — serve: 0 at least one CRC-valid frame published, 1 none,
+// 2 usage/IO error; 130/143 after SIGINT/SIGTERM (graceful drain first).
+// Tail: 0 clean end-of-stream with complete delivery, 1 incomplete
+// (evicted, frames missed, or server stopped early), 2 connection error.
+// Push: 0 on a fully acknowledged stream, 2 on any failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/shutdown.h"
+#include "net/frame_client.h"
+#include "net/frame_server.h"
+#include "net/iq_ingest.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/runtime.h"
+#include "sim/scenario.h"
+
+using namespace lfbs;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: lfbs_gateway <capture.lfbsiq> [serve options]\n"
+      "       lfbs_gateway --scenario [--tags N] [--epochs N] [serve "
+      "options]\n"
+      "       lfbs_gateway --iq-listen [--iq-port N] [--iq-port-file PATH] "
+      "[serve options]\n"
+      "       lfbs_gateway --connect HOST:PORT [--min-confidence X] "
+      "[--crc-only] [--quiet]\n"
+      "       lfbs_gateway --push HOST:PORT <capture.lfbsiq> [--f32]\n"
+      "serve options: [--port N] [--port-file PATH] [--wait-subscriber S]\n"
+      "               [--queue-frames N] [--evict-slow] [--send-buffer N]\n"
+      "               [--workers N] [--crc5] [--payload N] [--windowed MS]\n"
+      "               [--trace-out PATH]\n");
+}
+
+bool split_host_port(const std::string& spec, std::string& host,
+                     std::uint16_t& port) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) return false;
+  host = spec.substr(0, colon);
+  const int p = atoi(spec.c_str() + colon + 1);
+  if (p <= 0 || p > 65535) return false;
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+std::string bits_hex(const std::vector<bool>& bits) {
+  std::string out;
+  for (std::size_t i = 0; i < bits.size(); i += 4) {
+    unsigned nibble = 0;
+    for (std::size_t b = 0; b < 4 && i + b < bits.size(); ++b) {
+      nibble = (nibble << 1) | (bits[i + b] ? 1u : 0u);
+    }
+    out += "0123456789abcdef"[nibble & 0xF];
+  }
+  return out;
+}
+
+int run_tail(const std::string& spec, double min_confidence, bool crc_only,
+             bool quiet) {
+  net::FrameClientConfig cc;
+  if (!split_host_port(spec, cc.host, cc.port)) {
+    std::fprintf(stderr, "error: --connect wants HOST:PORT, got '%s'\n",
+                 spec.c_str());
+    return 2;
+  }
+  cc.name = "lfbs_gateway --connect";
+  cc.filter.min_confidence = min_confidence;
+  cc.filter.crc_valid_only = crc_only;
+
+  net::FrameClient client(cc);
+  install_shutdown_handlers();
+  std::optional<net::WireStats> final_stats;
+  net::FrameClient::Callbacks callbacks;
+  callbacks.on_frame = [&](const runtime::FrameEvent& event) {
+    if (shutdown_flag().load()) client.stop();
+    if (quiet) return;
+    std::printf("frame: stream=%zu rate=%s conf=%.2f crc=%s payload=%s\n",
+                event.stream_index, format_rate(event.rate).c_str(),
+                event.confidence, event.frame.crc_ok ? "ok" : "BAD",
+                bits_hex(event.frame.payload).c_str());
+  };
+  callbacks.on_stats = [&](const net::WireStats& stats) {
+    final_stats = stats;
+  };
+
+  net::Bye bye;
+  try {
+    bye = client.run(callbacks);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  const auto& counters = client.counters();
+  std::fprintf(stderr, "tail: %zu frames, %zu reconnects, bye=%s\n",
+               counters.frames_received, counters.reconnects,
+               net::to_string(bye.reason));
+  if (bye.reason != net::ByeReason::kEndOfStream) return 1;
+  if (final_stats.has_value()) {
+    // An unfiltered tail should have seen every published frame; a
+    // filtered one cannot check completeness, only report.
+    const bool filtered = min_confidence > 0.0 || crc_only;
+    if (!filtered &&
+        counters.frames_received != final_stats->frames_published) {
+      std::fprintf(stderr,
+                   "tail: INCOMPLETE — server published %llu frames, "
+                   "received %zu\n",
+                   static_cast<unsigned long long>(
+                       final_stats->frames_published),
+                   counters.frames_received);
+      return 1;
+    }
+    if (final_stats->stopped_early) return 1;
+  }
+  return shutdown_exit_code(0);
+}
+
+int run_push(const std::string& spec, const std::string& capture, bool f64) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!split_host_port(spec, host, port)) {
+    std::fprintf(stderr, "error: --push wants HOST:PORT, got '%s'\n",
+                 spec.c_str());
+    return 2;
+  }
+  try {
+    runtime::IqFileSource source(capture, 1 << 16);
+    const std::uint64_t pushed = net::push_iq(host, port, source, f64);
+    std::fprintf(stderr, "push: %llu samples at %.6g Msps (%s)\n",
+                 static_cast<unsigned long long>(pushed),
+                 source.sample_rate() / 1e6, f64 ? "f64" : "f32");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+bool write_port_file(const std::string& path, std::uint16_t port) {
+  std::ofstream os(path);
+  os << port << "\n";
+  return os.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  if (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h") {
+    usage();
+    return 0;
+  }
+
+  std::string capture;
+  bool scenario_mode = false;
+  bool iq_listen = false;
+  std::string connect_spec;
+  std::string push_spec;
+  std::size_t tags = 8;
+  std::size_t epochs = 4;
+  std::uint16_t port = 0;
+  std::uint16_t iq_port = 0;
+  std::string port_file;
+  std::string iq_port_file;
+  double wait_subscriber = 0.0;
+  std::size_t queue_frames = 256;
+  bool evict_slow = false;
+  std::size_t send_buffer = 0;
+  std::size_t workers = 4;
+  double window_ms = 0.0;
+  double min_confidence = 0.0;
+  bool crc_only = false;
+  bool quiet = false;
+  bool f64 = true;
+  core::DecoderConfig dc;
+  std::string trace_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scenario") {
+      scenario_mode = true;
+    } else if (arg == "--iq-listen") {
+      iq_listen = true;
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_spec = argv[++i];
+    } else if (arg == "--push" && i + 1 < argc) {
+      push_spec = argv[++i];
+    } else if (arg == "--tags" && i + 1 < argc) {
+      tags = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--epochs" && i + 1 < argc) {
+      epochs = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(atoi(argv[++i]));
+    } else if (arg == "--iq-port" && i + 1 < argc) {
+      iq_port = static_cast<std::uint16_t>(atoi(argv[++i]));
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (arg == "--iq-port-file" && i + 1 < argc) {
+      iq_port_file = argv[++i];
+    } else if (arg == "--wait-subscriber" && i + 1 < argc) {
+      wait_subscriber = atof(argv[++i]);
+    } else if (arg == "--queue-frames" && i + 1 < argc) {
+      queue_frames = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--evict-slow") {
+      evict_slow = true;
+    } else if (arg == "--send-buffer" && i + 1 < argc) {
+      send_buffer = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--crc5") {
+      dc.frame.crc = protocol::CrcKind::kCrc5;
+    } else if (arg == "--payload" && i + 1 < argc) {
+      dc.frame.payload_bits = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--windowed" && i + 1 < argc) {
+      window_ms = atof(argv[++i]);
+    } else if (arg == "--min-confidence" && i + 1 < argc) {
+      min_confidence = atof(argv[++i]);
+    } else if (arg == "--crc-only") {
+      crc_only = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--f32") {
+      f64 = false;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      capture = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  if (!connect_spec.empty()) {
+    return run_tail(connect_spec, min_confidence, crc_only, quiet);
+  }
+  if (!push_spec.empty()) {
+    if (capture.empty()) {
+      std::fprintf(stderr, "error: --push needs a capture file\n");
+      return 2;
+    }
+    return run_push(push_spec, capture, f64);
+  }
+  const int source_modes = (capture.empty() ? 0 : 1) +
+                           (scenario_mode ? 1 : 0) + (iq_listen ? 1 : 0);
+  if (source_modes != 1) {
+    usage();
+    return 2;
+  }
+
+  // --- serve ---------------------------------------------------------------
+  std::unique_ptr<obs::JsonlWriter> telemetry_writer;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::EventLog> event_log;
+  if (!trace_out.empty()) {
+    telemetry_writer = std::make_unique<obs::JsonlWriter>(trace_out);
+    if (!telemetry_writer->ok()) {
+      std::fprintf(stderr, "error: cannot open --trace-out %s\n",
+                   trace_out.c_str());
+      return 2;
+    }
+    tracer = std::make_unique<obs::Tracer>();
+    tracer->set_sink(telemetry_writer.get());
+    obs::set_tracer(tracer.get());
+    event_log = std::make_unique<obs::EventLog>(*telemetry_writer);
+    obs::set_event_log(event_log.get());
+  }
+
+  int exit_code = 2;
+  try {
+    net::FrameServerConfig sc;
+    sc.port = port;
+    sc.send_queue_messages = queue_frames;
+    sc.slow_consumer = evict_slow ? net::SlowConsumerPolicy::kEvict
+                                  : net::SlowConsumerPolicy::kDropOldest;
+    sc.send_buffer_bytes = send_buffer;
+    net::FrameServer server(sc);
+    std::fprintf(stderr, "gateway: serving frames on port %u\n",
+                 server.port());
+    if (!port_file.empty() && !write_port_file(port_file, server.port())) {
+      std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                   port_file.c_str());
+      return 2;
+    }
+
+    install_shutdown_handlers();
+    runtime::RuntimeConfig rc;
+    rc.windowed.decoder = dc;
+    if (window_ms > 0.0) rc.windowed.window = window_ms * 1e-3;
+    rc.workers = workers;
+    rc.stop_flag = &shutdown_flag();
+
+    // Build the source last: --iq-listen blocks here for a pusher.
+    Rng rng(2025);
+    sim::ScenarioConfig scenario_config;
+    scenario_config.num_tags = tags;
+    std::unique_ptr<sim::Scenario> scenario;
+    std::unique_ptr<runtime::SampleSource> source;
+    if (!capture.empty()) {
+      source = std::make_unique<runtime::IqFileSource>(capture, 1 << 16);
+    } else if (scenario_mode) {
+      scenario = std::make_unique<sim::Scenario>(scenario_config, rng);
+      rc.windowed.decoder = scenario->default_decoder();
+      runtime::ScenarioSource::Config scfg;
+      scfg.epochs = epochs;
+      scfg.chunk_samples = 1 << 14;
+      source = std::make_unique<runtime::ScenarioSource>(*scenario, rng, scfg);
+    } else {
+      net::IqIngestConfig ic;
+      ic.port = iq_port;
+      auto remote = std::make_unique<net::RemoteIqSource>(ic);
+      std::fprintf(stderr, "gateway: listening for IQ on port %u\n",
+                   remote->port());
+      if (!iq_port_file.empty() &&
+          !write_port_file(iq_port_file, remote->port())) {
+        std::fprintf(stderr, "error: cannot write --iq-port-file %s\n",
+                     iq_port_file.c_str());
+        return 2;
+      }
+      const SampleRate rate = remote->wait_for_pusher();
+      std::fprintf(stderr, "gateway: pusher connected at %.6g Msps\n",
+                   rate / 1e6);
+      source = std::move(remote);
+    }
+
+    runtime::DecodeRuntime rt(rc);
+    server.attach(rt.bus());
+    if (wait_subscriber > 0.0 &&
+        !server.wait_for_subscriber(wait_subscriber)) {
+      std::fprintf(stderr,
+                   "gateway: no subscriber within %.1fs, serving anyway\n",
+                   wait_subscriber);
+    }
+
+    const runtime::RuntimeResult run = rt.run(*source);
+    server.detach();
+    // Final digest first, then a drained Bye(end-of-stream): a tail can
+    // check frames_received against frames_published from the stream.
+    server.publish_stats(run.stats);
+    server.shutdown(/*drain=*/true);
+
+    const auto net_counters = server.counters();
+    std::fprintf(
+        stderr,
+        "gateway: %zu frames published, %zu sent over %zu connections "
+        "(%zu drops, %zu evictions), health %s%s\n",
+        run.stats.frames_published, net_counters.frames_sent,
+        net_counters.connects, net_counters.queue_drops,
+        net_counters.evictions, runtime::to_string(run.stats.health),
+        run.stats.stopped_early ? ", interrupted" : "");
+
+    std::size_t crc_valid = 0;
+    for (const auto& stream : run.decode.streams) {
+      for (const auto& frame : stream.frames) {
+        if (frame.valid()) ++crc_valid;
+      }
+    }
+    exit_code = crc_valid > 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    exit_code = 2;
+  }
+
+  if (tracer) tracer->flush();
+  if (telemetry_writer) telemetry_writer->flush();
+  obs::set_tracer(nullptr);
+  obs::set_event_log(nullptr);
+  return shutdown_exit_code(exit_code);
+}

@@ -12,6 +12,9 @@
 //   health   → supervisor health transitions, in order
 //   ledger   → per-tag quarantine/recovery transitions
 //   rate     → rate-control decisions
+//   net      → gateway activity: connects, subscribes, per-client
+//              disconnect accounting (frames sent / queue drops),
+//              evictions, protocol errors
 //   snapshot → count only (periodic metric snapshots)
 //
 // Exit status: 0 on a parseable stream (even an empty one); 2 when the
@@ -61,6 +64,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> health_log;
   std::vector<std::string> ledger_log;
   std::vector<std::string> rate_log;
+  std::map<std::string, std::size_t> net_actions;
+  std::vector<std::string> net_log;
+  std::size_t net_frames_sent = 0;
+  std::size_t net_drops = 0;
   std::size_t snapshots = 0;
   std::size_t lines_total = 0;
   std::size_t lines_bad = 0;
@@ -104,6 +111,25 @@ int main(int argc, char** argv) {
                          " -> " +
                          sim::fmt(v.member_num("to_rate", 0.0) / 1e3, 0) +
                          " kbps");
+    } else if (type == "net") {
+      const std::string action = v.member_str("action", "?");
+      ++net_actions[action];
+      // Close-of-connection events carry the client's lifetime totals.
+      if (action == "disconnect" || action == "evict" ||
+          action == "protocol-error" || action == "shutdown") {
+        const auto frames =
+            static_cast<std::size_t>(v.member_num("frames", 0.0));
+        const auto drops =
+            static_cast<std::size_t>(v.member_num("drops", 0.0));
+        net_frames_sent += frames;
+        net_drops += drops;
+        net_log.push_back(
+            "client " +
+            std::to_string(
+                static_cast<std::int64_t>(v.member_num("client", 0.0))) +
+            " " + action + ": " + std::to_string(frames) +
+            " frames sent, " + std::to_string(drops) + " dropped");
+      }
     } else if (type == "snapshot") {
       ++snapshots;
     }
@@ -165,6 +191,17 @@ int main(int argc, char** argv) {
   if (!rate_log.empty()) {
     std::printf("\n== rate commands ==\n");
     for (const auto& r : rate_log) std::printf("  %s\n", r.c_str());
+  }
+  if (!net_actions.empty()) {
+    std::printf("\n== gateway ==\n");
+    sim::Table table({"event", "count"});
+    for (const auto& [action, count] : net_actions) {
+      table.add_row({action, std::to_string(count)});
+    }
+    table.print();
+    std::printf("%zu frames delivered, %zu dropped to slow consumers\n",
+                net_frames_sent, net_drops);
+    for (const auto& n : net_log) std::printf("  %s\n", n.c_str());
   }
   return 0;
 }

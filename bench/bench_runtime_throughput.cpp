@@ -200,6 +200,12 @@ int main(int argc, char** argv) {
           "ms\n",
           static_cast<unsigned long long>(h->count()), h->percentile(0.50),
           h->percentile(0.99));
+      // The regression gate (scripts/check_bench_regression.sh) compares
+      // these against the committed BENCH_summary.json baseline.
+      json += ",\n  \"window_latency_p50_ms\": " +
+              sim::fmt(h->percentile(0.50), 3) +
+              ",\n  \"window_latency_p99_ms\": " +
+              sim::fmt(h->percentile(0.99), 3);
     }
     json += ",\n  \"tracer_overhead_pct\": " + sim::fmt(overhead_pct, 2) +
             ",\n  \"tracer_spans\": " + std::to_string(tracer.recorded());

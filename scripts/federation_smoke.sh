@@ -1,0 +1,131 @@
+#!/usr/bin/env sh
+# Federation smoke test, the CI shape of the src/net/federation acceptance
+# check, all on loopback with real lfbs_gateway processes:
+#
+#   1. Serial reference: serve a real capture with lfbs_gateway, tail it,
+#      and keep the decoded frame lines as ground truth.
+#   2. Sharded decode: two `lfbs_gateway --shard-worker` processes, the
+#      coordinator fanning windows to both (`--shard HOST:PORT` twice);
+#      the tailed frames must be BIT-IDENTICAL to the serial reference.
+#   3. 2-hop relay chain: source (gateway-id 1) -> relay (id 2) -> relay
+#      (id 3) -> tail. The tail exits 0 only when its received count
+#      matches the source's frames_published digest (frame-count closure),
+#      and the relayed frames must again match the serial reference.
+#      The second relay's telemetry must round-trip through lfbs_report's
+#      "== federation ==" section.
+#
+# Usage: scripts/federation_smoke.sh [build-dir]   (default: build)
+set -e
+
+build="${1:-build}"
+work="$(mktemp -d)"
+pids=""
+cleanup() {
+  for p in $pids; do kill "$p" 2> /dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+capture="$work/capture.lfbsiq"
+"$build/examples/capture_replay" "$capture" > /dev/null
+
+wait_port_file() { # file
+  tries=0
+  while [ ! -s "$1" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "federation_smoke: no port file at $1" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+frames_of() { # log-file -> sorted frame lines
+  grep '^frame:' "$1" | sort
+}
+
+# --- 1. serial reference ---------------------------------------------------
+"$build/tools/lfbs_gateway" "$capture" \
+    --port-file "$work/serial.port" --wait-subscriber 10 --quiet &
+pids="$pids $!"
+wait_port_file "$work/serial.port"
+"$build/tools/lfbs_gateway" --connect "127.0.0.1:$(cat "$work/serial.port")" \
+    > "$work/serial.out"
+frames_of "$work/serial.out" > "$work/serial.frames"
+serial_count=$(wc -l < "$work/serial.frames")
+if [ "$serial_count" -eq 0 ]; then
+  echo "federation_smoke: serial reference decoded no frames" >&2
+  exit 1
+fi
+echo "federation_smoke: serial reference has $serial_count frames"
+
+# --- 2. sharded decode across two worker processes -------------------------
+"$build/tools/lfbs_gateway" --shard-worker \
+    --port-file "$work/w1.port" > /dev/null 2>&1 &
+pids="$pids $!"
+"$build/tools/lfbs_gateway" --shard-worker \
+    --port-file "$work/w2.port" > /dev/null 2>&1 &
+pids="$pids $!"
+wait_port_file "$work/w1.port"
+wait_port_file "$work/w2.port"
+
+"$build/tools/lfbs_gateway" "$capture" \
+    --shard "127.0.0.1:$(cat "$work/w1.port")" \
+    --shard "127.0.0.1:$(cat "$work/w2.port")" \
+    --port-file "$work/shard.port" --wait-subscriber 10 --quiet &
+shard_pid=$!
+pids="$pids $shard_pid"
+wait_port_file "$work/shard.port"
+"$build/tools/lfbs_gateway" --connect "127.0.0.1:$(cat "$work/shard.port")" \
+    > "$work/shard.out"
+wait "$shard_pid"
+frames_of "$work/shard.out" > "$work/shard.frames"
+if ! diff -u "$work/serial.frames" "$work/shard.frames" > /dev/null; then
+  echo "federation_smoke: sharded decode DIVERGED from serial" >&2
+  diff -u "$work/serial.frames" "$work/shard.frames" >&2 || true
+  exit 1
+fi
+echo "federation_smoke: sharded decode bit-identical to serial"
+
+# --- 3. 2-hop relay chain --------------------------------------------------
+"$build/tools/lfbs_gateway" "$capture" \
+    --gateway-id 1 --port-file "$work/src.port" --wait-subscriber 10 \
+    --quiet &
+pids="$pids $!"
+wait_port_file "$work/src.port"
+
+"$build/tools/lfbs_gateway" --relay "127.0.0.1:$(cat "$work/src.port")" \
+    --gateway-id 2 --port-file "$work/r1.port" --wait-subscriber 10 \
+    2> /dev/null &
+pids="$pids $!"
+wait_port_file "$work/r1.port"
+
+"$build/tools/lfbs_gateway" --relay "127.0.0.1:$(cat "$work/r1.port")" \
+    --gateway-id 3 --port-file "$work/r2.port" --wait-subscriber 10 \
+    --trace-out "$work/r2_trace.jsonl" 2> /dev/null &
+r2_pid=$!
+pids="$pids $r2_pid"
+wait_port_file "$work/r2.port"
+
+# Exit 0 from --connect asserts frame-count closure: received count ==
+# frames_published in the relay's final stats digest.
+"$build/tools/lfbs_gateway" --connect "127.0.0.1:$(cat "$work/r2.port")" \
+    > "$work/relay.out"
+wait "$r2_pid"
+frames_of "$work/relay.out" > "$work/relay.frames"
+if ! diff -u "$work/serial.frames" "$work/relay.frames" > /dev/null; then
+  echo "federation_smoke: 2-hop relayed frames DIVERGED from serial" >&2
+  diff -u "$work/serial.frames" "$work/relay.frames" >&2 || true
+  exit 1
+fi
+echo "federation_smoke: 2-hop relay delivered all $serial_count frames" \
+     "bit-identically"
+
+report="$("$build/tools/lfbs_report" "$work/r2_trace.jsonl")"
+echo "$report" | grep -q "== federation ==" || {
+  echo "federation_smoke: lfbs_report produced no federation section" >&2
+  exit 1
+}
+echo "$report" | grep "frames relayed"
+echo "federation_smoke: OK"

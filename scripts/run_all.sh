@@ -29,6 +29,8 @@ for b in build/bench/bench_*; do
       [ -n "$v" ] && metric=", \"serial_msps\": $v"
       o=$(sed -n 's/.*"tracer_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' BENCH_runtime.json | head -n 1)
       [ -n "$o" ] && metric="$metric, \"tracer_overhead_pct\": $o"
+      p=$(sed -n 's/.*"window_latency_p99_ms": \([0-9.]*\).*/\1/p' BENCH_runtime.json | head -n 1)
+      [ -n "$p" ] && metric="$metric, \"window_latency_p99_ms\": $p"
       ;;
     bench_robustness_sweep)
       v=$(grep -o '"rescued_captures": [0-9]*' BENCH_robustness.json | \

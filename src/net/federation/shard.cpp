@@ -1,0 +1,358 @@
+#include "net/federation/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/check.h"
+#include "net/federation/shard_wire.h"
+#include "net/wire.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace lfbs::net::federation {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kIqChunkSamples = 1 << 16;
+
+}  // namespace
+
+/// One worker connection plus its in-flight bookkeeping.
+struct ShardedDecoder::WorkerLink {
+  TcpConnection conn;
+  MessageReader reader;
+  bool acked = false;
+  bool got_bye = false;
+  std::size_t assigned = 0;
+  std::map<std::uint64_t, Clock::time_point> dispatched_at;
+
+  explicit WorkerLink(TcpConnection connection)
+      : conn(std::move(connection)) {}
+};
+
+ShardedDecoder::ShardedDecoder(ShardConfig config)
+    : config_(std::move(config)) {
+  LFBS_CHECK_MSG(!config_.workers.empty(),
+                 "sharded decode requires at least one worker");
+  LFBS_CHECK(config_.windowed.window > 0.0);
+}
+
+ShardedDecoder::Result ShardedDecoder::run(runtime::SampleSource& source) {
+  static obs::Counter& windows_counter =
+      obs::metrics().counter("federation.shard_windows");
+  static obs::HistogramMetric& latency_hist =
+      obs::metrics().histogram("federation.shard_latency_ms");
+
+  const SampleRate fs = source.sample_rate();
+  LFBS_CHECK_MSG(fs > 0.0, "sample source must declare a sample rate");
+  const core::WindowedDecoder decoder(config_.windowed);
+  const std::size_t window_samples = decoder.window_samples(fs);
+
+  const auto t0 = Clock::now();
+
+  // Results arrive in whatever order workers finish; the merge below
+  // consumes them strictly by window index.
+  std::map<std::uint64_t, ShardResult> results;
+  runtime::LatencyRecorder latency;
+
+  // --- pool connect + handshake ------------------------------------------
+  std::vector<std::unique_ptr<WorkerLink>> links;
+  links.reserve(config_.workers.size());
+  for (const auto& endpoint : config_.workers) {
+    auto link = std::make_unique<WorkerLink>(TcpConnection::connect(
+        endpoint.host, endpoint.port, config_.connect_timeout));
+    std::vector<std::uint8_t> hello_bytes;
+    Hello hello;
+    hello.role = PeerRole::kShardCoordinator;
+    hello.sample_rate = fs;
+    hello.name = config_.name;
+    encode_hello(hello, hello_bytes);
+    std::size_t sent = 0;
+    while (sent < hello_bytes.size()) {
+      const std::ptrdiff_t n = link->conn.write_some(
+          hello_bytes.data() + sent, hello_bytes.size() - sent);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+      } else if (n == -1) {
+        std::vector<PollItem> items{{link->conn.fd(), false, true}};
+        poll_fds(items, 100);
+      } else {
+        throw SocketError("shard worker closed during handshake");
+      }
+    }
+    links.push_back(std::move(link));
+  }
+
+  // Drains whatever a worker has sent, recording results. Called
+  // opportunistically while writing (deadlock avoidance: a worker blocked
+  // sending us a result must never stall our IQ send forever) and in the
+  // final collection loop.
+  const auto drain_incoming = [&](WorkerLink& link) {
+    for (;;) {
+      std::uint8_t buf[65536];
+      const std::ptrdiff_t n = link.conn.read_some(buf, sizeof(buf));
+      if (n == -1) return;  // nothing pending
+      if (n == 0) {
+        if (!link.got_bye) {
+          throw SocketError("shard worker died mid-run");
+        }
+        return;
+      }
+      link.reader.feed(buf, static_cast<std::size_t>(n));
+      while (auto message = link.reader.next()) {
+        switch (message->type) {
+          case MsgType::kAck:
+            link.acked = true;
+            break;
+          case MsgType::kShardFrame: {
+            ShardResult result = decode_shard_result(message->body);
+            const auto it = link.dispatched_at.find(result.window_index);
+            if (it != link.dispatched_at.end()) {
+              const double ms =
+                  std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            it->second)
+                      .count();
+              latency_hist.record(ms);
+              latency.record(ms / 1e3);
+              link.dispatched_at.erase(it);
+            }
+            results.emplace(result.window_index, std::move(result));
+            break;
+          }
+          case MsgType::kStats:
+            break;  // informational; workers don't send these today
+          case MsgType::kBye: {
+            const Bye bye = decode_bye(message->body);
+            link.got_bye = true;
+            if (bye.reason != ByeReason::kEndOfStream) {
+              throw SocketError("shard worker closed: " +
+                                std::string(to_string(bye.reason)));
+            }
+            break;
+          }
+          default:
+            throw WireFormatError(WireError::kMalformed,
+                                  "unexpected message from shard worker");
+        }
+      }
+    }
+  };
+
+  // Fully writes `bytes` to a worker, draining every link's reads while
+  // the send buffer is full.
+  const auto send_all = [&](WorkerLink& link,
+                            const std::vector<std::uint8_t>& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const std::ptrdiff_t n =
+          link.conn.write_some(bytes.data() + sent, bytes.size() - sent);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n == 0) throw SocketError("shard worker died mid-send");
+      std::vector<PollItem> items{{link.conn.fd(), true, true}};
+      poll_fds(items, 100);
+      for (auto& other : links) drain_incoming(*other);
+    }
+  };
+
+  ShardStats stats;
+
+  // Dispatches one window (or the short-capture whole buffer) to a worker.
+  const auto dispatch = [&](std::uint64_t window_index, bool short_capture,
+                            std::vector<Complex> samples) {
+    WorkerLink& link =
+        *links[static_cast<std::size_t>(window_index) % links.size()];
+    ShardAssign assign;
+    assign.window_index = window_index;
+    assign.short_capture = short_capture;
+    assign.sample_count = samples.size();
+    assign.sample_rate = fs;
+    assign.window_seconds = config_.windowed.window;
+    assign.phase_tolerance = config_.windowed.phase_tolerance;
+    assign.vector_tolerance = config_.windowed.vector_tolerance;
+    assign.seed = config_.windowed.decoder.seed;
+    assign.payload_bits = static_cast<std::uint32_t>(
+        config_.windowed.decoder.frame.payload_bits);
+    assign.crc_kind =
+        static_cast<std::uint8_t>(config_.windowed.decoder.frame.crc);
+    std::vector<std::uint8_t> bytes;
+    encode_shard_assign(assign, bytes);
+    // The window's samples, window-local offsets, always f64: the worker
+    // must decode the coordinator's exact bit patterns.
+    for (std::size_t off = 0; off < samples.size(); off += kIqChunkSamples) {
+      const std::size_t take =
+          std::min(kIqChunkSamples, samples.size() - off);
+      runtime::SampleChunk chunk;
+      chunk.first_sample = off;
+      chunk.samples.assign(samples.begin() + static_cast<std::ptrdiff_t>(off),
+                           samples.begin() +
+                               static_cast<std::ptrdiff_t>(off + take));
+      encode_iq_chunk(chunk, /*f64=*/true, bytes);
+    }
+    link.dispatched_at.emplace(window_index, Clock::now());
+    ++link.assigned;
+    ++stats.windows_assigned;
+    windows_counter.add();
+    send_all(link, bytes);
+    drain_incoming(link);
+  };
+
+  // --- IqSharder: the runtime assembler's slicing, verbatim --------------
+  // Same lattice rules: zero-fill gaps so absolute positions hold, hold
+  // early windows back until the capture is known long (short captures
+  // take the whole-buffer plain-decode path), drop a tail shorter than a
+  // quarter window.
+  std::vector<Complex> window;
+  window.reserve(window_samples);
+  std::vector<std::vector<Complex>> held;
+  std::uint64_t next_expected = 0;
+  std::uint64_t next_window_index = 0;
+  bool known_long = false;
+
+  const auto close_full_window = [&] {
+    if (known_long) {
+      dispatch(next_window_index++, /*short_capture=*/false,
+               std::move(window));
+    } else {
+      held.push_back(std::move(window));
+      ++next_window_index;
+    }
+    window = {};
+    window.reserve(window_samples);
+  };
+  const auto append = [&](const Complex* data, std::size_t n) {
+    std::size_t done = 0;
+    while (done < n) {
+      const std::size_t take =
+          std::min(n - done, window_samples - window.size());
+      window.insert(window.end(), data + done, data + done + take);
+      done += take;
+      if (window.size() == window_samples) close_full_window();
+    }
+  };
+
+  while (auto chunk = source.next_chunk()) {
+    if (chunk->first_sample > next_expected) {
+      std::uint64_t gap = chunk->first_sample - next_expected;
+      const std::vector<Complex> zeros(
+          std::min<std::uint64_t>(gap, window_samples), Complex{});
+      while (gap > 0) {
+        const auto take = std::min<std::uint64_t>(gap, zeros.size());
+        append(zeros.data(), static_cast<std::size_t>(take));
+        gap -= take;
+      }
+      next_expected = chunk->first_sample;
+    }
+    std::size_t skip = 0;
+    if (chunk->first_sample < next_expected) {
+      skip = static_cast<std::size_t>(std::min<std::uint64_t>(
+          next_expected - chunk->first_sample, chunk->size()));
+    }
+    const std::size_t fresh = chunk->size() - skip;
+    append(chunk->samples.data() + skip, fresh);
+    stats.samples_in += fresh;
+    next_expected += fresh;
+    if (!known_long &&
+        !decoder.is_short_capture(static_cast<std::size_t>(next_expected),
+                                  fs)) {
+      known_long = true;
+      std::uint64_t index = 0;
+      for (auto& held_window : held) {
+        dispatch(index++, /*short_capture=*/false, std::move(held_window));
+      }
+      held.clear();
+    }
+  }
+
+  std::uint64_t expected_windows = 0;
+  bool is_short = false;
+  if (!known_long) {
+    // Short capture: one whole-buffer assignment, plain-decoder path.
+    std::vector<Complex> all;
+    for (auto& held_window : held) {
+      all.insert(all.end(), held_window.begin(), held_window.end());
+    }
+    all.insert(all.end(), window.begin(), window.end());
+    dispatch(0, /*short_capture=*/true, std::move(all));
+    expected_windows = 1;
+    is_short = true;
+  } else {
+    if (window.size() >= window_samples / 4) {
+      dispatch(next_window_index++, /*short_capture=*/false,
+               std::move(window));
+    }
+    expected_windows = next_window_index;
+  }
+
+  // --- end of input: close every link and collect stragglers -------------
+  for (auto& link : links) {
+    std::vector<std::uint8_t> end_bytes;
+    encode_iq_end({0, false}, end_bytes);
+    send_all(*link, end_bytes);
+  }
+  while (std::any_of(links.begin(), links.end(),
+                     [](const auto& l) { return !l->got_bye; })) {
+    std::vector<PollItem> items;
+    for (const auto& link : links) {
+      if (!link->got_bye) items.push_back({link->conn.fd(), true, false});
+    }
+    poll_fds(items, 250);
+    for (auto& link : links) {
+      if (!link->got_bye) drain_incoming(*link);
+    }
+  }
+
+  // Strict completeness: every window must have come back.
+  LFBS_CHECK_MSG(results.size() == expected_windows,
+                 "sharded decode is missing window results");
+
+  // --- ShardMerger: the runtime stitcher, re-used verbatim ---------------
+  Result out;
+  if (is_short) {
+    out.decode = std::move(results.begin()->second.result);
+  } else {
+    core::WindowStitcher stitcher(config_.windowed, fs);
+    for (std::uint64_t index = 0; index < expected_windows; ++index) {
+      const auto it = results.find(index);
+      LFBS_CHECK_MSG(it != results.end(),
+                     "sharded decode is missing a window");
+      stitcher.add_window(std::move(it->second.result),
+                          static_cast<std::size_t>(index) * window_samples);
+    }
+    out.decode = stitcher.finish();
+  }
+
+  stats.windows_decoded = results.size();
+  stats.frames_published = runtime::publish_frames(
+      bus_, out.decode, config_.epoch_index, window_samples);
+  stats.streams = out.decode.streams.size();
+  stats.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  runtime::RuntimeStats latency_digest;
+  latency.summarize(latency_digest);
+  stats.shard_latency_p50_ms = latency_digest.window_latency_p50_ms;
+  stats.shard_latency_p99_ms = latency_digest.window_latency_p99_ms;
+  if (obs::EventLog* log = obs::event_log()) {
+    log->emit("federation",
+              {obs::Field::str("action", "shard-run"),
+               obs::Field::integer(
+                   "windows", static_cast<std::int64_t>(stats.windows_decoded)),
+               obs::Field::integer(
+                   "workers", static_cast<std::int64_t>(links.size())),
+               obs::Field::integer(
+                   "frames",
+                   static_cast<std::int64_t>(stats.frames_published)),
+               obs::Field::num("latency_p99_ms", stats.shard_latency_p99_ms)});
+  }
+  out.stats = stats;
+  return out;
+}
+
+}  // namespace lfbs::net::federation

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/windowed_decoder.h"
+#include "net/socket.h"
+#include "runtime/frame_bus.h"
+#include "runtime/sample_source.h"
+#include "runtime/stats.h"
+
+namespace lfbs::net::federation {
+
+struct ShardWorkerEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct ShardConfig {
+  core::WindowedDecoderConfig windowed{};
+  std::vector<ShardWorkerEndpoint> workers;
+  std::string name = "lfbs-shard-coordinator";
+  Seconds connect_timeout = 5.0;
+  /// Epoch stamped on published frames, like RuntimeConfig::epoch_index.
+  std::uint64_t epoch_index = 0;
+};
+
+struct ShardStats {
+  std::uint64_t samples_in = 0;
+  std::size_t windows_assigned = 0;
+  std::size_t windows_decoded = 0;
+  std::size_t streams = 0;
+  std::size_t frames_published = 0;
+  double wall_seconds = 0.0;
+  /// Dispatch-to-result latency per window, aggregated across workers.
+  double shard_latency_p50_ms = 0.0;
+  double shard_latency_p99_ms = 0.0;
+};
+
+/// Cross-process sharded decode: the IqSharder half slices a sample source
+/// into WindowedDecoder windows — replicating the runtime assembler's
+/// lattice exactly (gap zero-fill, short-capture hold-back, quarter-window
+/// tail rule) — and round-robins each window to a pool of ShardWorker
+/// processes over LFBW1 (kShardAssign + f64 kIqChunks). The ShardMerger
+/// half collects kShardFrame results as workers finish, re-orders them,
+/// folds them through the same serial WindowStitcher the runtime uses, and
+/// publishes the stitched frames on this coordinator's FrameBus via the
+/// shared runtime::publish_frames helper.
+///
+/// Bit-identity contract: because windows decode under index-mixed seeds,
+/// samples transit as f64 bit patterns, and the stitch is the same code in
+/// the same order, run() over N worker processes returns (and publishes) a
+/// DecodeResult bit-identical to core::WindowedDecoder::decode on the same
+/// capture — the tests enforce it across real processes.
+///
+/// Failure stance: strict. A worker that dies mid-run fails the run with
+/// SocketError (no silent holes in the capture); reassignment/retry is a
+/// deliberate non-goal at this layer — the caller re-runs against a
+/// healthy pool.
+class ShardedDecoder {
+ public:
+  struct Result {
+    core::DecodeResult decode;
+    ShardStats stats;
+  };
+
+  explicit ShardedDecoder(ShardConfig config);
+
+  /// Frames publish here (on the calling thread of run()).
+  runtime::FrameBus& bus() { return bus_; }
+
+  /// Blocking: drains `source`, shards, merges, publishes. Throws
+  /// SocketError / WireFormatError / CheckError when the pool misbehaves.
+  Result run(runtime::SampleSource& source);
+
+ private:
+  struct WorkerLink;
+
+  ShardConfig config_;
+  runtime::FrameBus bus_;
+};
+
+}  // namespace lfbs::net::federation

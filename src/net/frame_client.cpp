@@ -16,6 +16,16 @@ struct SessionEnd {
 
 }  // namespace
 
+void FrameClient::set_filter(const SubscribeFilter& filter) {
+  std::lock_guard lock(filter_mutex_);
+  config_.filter = filter;
+}
+
+SubscribeFilter FrameClient::filter() const {
+  std::lock_guard lock(filter_mutex_);
+  return config_.filter;
+}
+
 TcpConnection FrameClient::connect_with_backoff() {
   Seconds backoff = config_.backoff_initial;
   std::size_t attempt = 0;
@@ -40,12 +50,22 @@ Bye FrameClient::run(const Callbacks& callbacks) {
     }
     TcpConnection conn = connect_with_backoff();
 
+    // Every (re)connect rebuilds the full handshake — hello, the optional
+    // relay announcement, and the *current* subscribe filter — so every
+    // reconnect path (dead connection, eviction) resubscribes identically
+    // to a fresh connect.
     std::vector<std::uint8_t> handshake;
     Hello hello;
     hello.role = PeerRole::kFrameSubscriber;
     hello.name = config_.name;
     encode_hello(hello, handshake);
-    encode_subscribe(config_.filter, handshake);
+    const bool is_relay = config_.relay_hello.gateway_id != 0;
+    if (is_relay) encode_relay_hello(config_.relay_hello, handshake);
+    encode_subscribe(filter(), handshake);
+    if (ever_connected) {
+      ++counters_.resubscribes;
+      obs::metrics().counter("net.client_resubscribes").add();
+    }
     std::size_t sent = 0;
     while (sent < handshake.size()) {
       const std::ptrdiff_t n =
@@ -63,7 +83,8 @@ Bye FrameClient::run(const Callbacks& callbacks) {
     MessageReader reader;
     SessionEnd end;
     bool connection_alive = sent == handshake.size();
-    std::size_t acks_pending = 2;  // hello ack + subscribe ack
+    // hello ack + subscribe ack (+ relay-hello ack when announcing)
+    std::size_t acks_pending = is_relay ? 3 : 2;
     while (connection_alive && !end.got_bye &&
            !stop_.load(std::memory_order_relaxed)) {
       std::vector<PollItem> items{{conn.fd(), true, false}};
@@ -118,7 +139,20 @@ Bye FrameClient::run(const Callbacks& callbacks) {
         if (end.got_bye) break;
       }
     }
-    if (end.got_bye) return end.bye;
+    if (end.got_bye) {
+      if (end.bye.reason == ByeReason::kEvicted) {
+        ++counters_.evictions;
+        obs::metrics().counter("net.client_evictions").add();
+        if (config_.reconnect_on_evict &&
+            !stop_.load(std::memory_order_relaxed)) {
+          // The slow-consumer policy closed us; reconnecting immediately
+          // is the "must see the live stream" behaviour the relay wants.
+          // The handshake above re-applies the current filter.
+          continue;
+        }
+      }
+      return end.bye;
+    }
     if (stop_.load(std::memory_order_relaxed)) {
       return {ByeReason::kShuttingDown, "client stopped"};
     }

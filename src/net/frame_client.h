@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "common/units.h"
@@ -26,6 +27,15 @@ struct FrameClientConfig {
       runtime::SupervisorConfig{}.max_source_retries;
   Seconds backoff_initial = runtime::SupervisorConfig{}.retry_backoff_initial;
   Seconds backoff_max = runtime::SupervisorConfig{}.retry_backoff_max;
+  /// Treat Bye(kEvicted) like a dead connection: reconnect (and
+  /// resubscribe, with the current filter) instead of returning. What the
+  /// federation relay wants — an evicted relay link should heal itself —
+  /// while a plain tail keeps the old "evicted means stop" contract.
+  bool reconnect_on_evict = false;
+  /// When gateway_id is non-zero the client announces itself as a relay:
+  /// a kRelayHello follows the hello on every (re)connect, so the upstream
+  /// can log/count its downstream relays.
+  RelayHello relay_hello;
 };
 
 /// Reconnecting LFBW1 frame subscriber. run() owns the calling thread:
@@ -44,6 +54,8 @@ class FrameClient {
   struct Counters {
     std::size_t connects = 0;    ///< successful handshakes
     std::size_t reconnects = 0;  ///< recoveries after a dead connection
+    std::size_t resubscribes = 0;  ///< filters re-applied on reconnect
+    std::size_t evictions = 0;   ///< Bye(kEvicted) received
     std::size_t frames_received = 0;
     std::size_t stats_received = 0;
   };
@@ -62,6 +74,13 @@ class FrameClient {
   /// Makes run() return at its next poll tick. Safe from any thread.
   void stop() { stop_.store(true, std::memory_order_relaxed); }
 
+  /// Replaces the subscription filter. Safe from any thread; the new
+  /// filter is applied at the next (re)connect handshake — every
+  /// reconnect path re-sends whatever filter is current, so a filter set
+  /// mid-run survives evictions and dead connections.
+  void set_filter(const SubscribeFilter& filter);
+  SubscribeFilter filter() const;
+
   const Counters& counters() const { return counters_; }
 
  private:
@@ -70,6 +89,7 @@ class FrameClient {
   FrameClientConfig config_;
   Counters counters_;
   std::atomic<bool> stop_{false};
+  mutable std::mutex filter_mutex_;
 };
 
 }  // namespace lfbs::net

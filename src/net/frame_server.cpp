@@ -1,6 +1,7 @@
 #include "net/frame_server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "net/socket.h"
@@ -43,6 +44,7 @@ struct FrameServer::Client {
   std::string name;
   bool greeted = false;
   bool subscribed = false;
+  std::uint64_t relay_id = 0;  ///< non-zero once the peer sent a RelayHello
   SubscribeFilter filter;
   std::deque<QueuedMessage> queue;
   std::vector<std::uint8_t> outbuf;
@@ -107,15 +109,24 @@ void FrameServer::detach() {
 }
 
 void FrameServer::publish(const runtime::FrameEvent& event) {
+  // A federated gateway stamps its id on frames it decoded itself (origin
+  // still 0); relayed frames keep their original origin untouched.
+  runtime::FrameEvent stamped;
+  const runtime::FrameEvent* out = &event;
+  if (config_.origin_id != 0 && event.origin == 0) {
+    stamped = event;
+    stamped.origin = config_.origin_id;
+    out = &stamped;
+  }
   std::vector<std::uint8_t> bytes;
   bool encoded = false;
   {
     std::lock_guard lock(mutex_);
     for (const auto& client : clients_) {
       if (client->dead || client->closing || client->evict) continue;
-      if (!client->subscribed || !client->filter.accepts(event)) continue;
+      if (!client->subscribed || !client->filter.accepts(*out)) continue;
       if (!encoded) {
-        encode_frame(event, bytes);
+        encode_frame(*out, bytes);
         encoded = true;
       }
       enqueue_locked(*client, bytes, /*is_frame=*/true);
@@ -250,6 +261,25 @@ void FrameServer::handle_incoming(Client& client) {
           encode_ack({0, "lfbs-gateway"}, ack);
           client.queue.push_back({std::move(ack), false});
           emit_event("hello", client.id);
+        } else if (message->type == MsgType::kRelayHello) {
+          const RelayHello relay = decode_relay_hello(message->body);
+          if (client.relay_id == 0) ++counters_.relays;
+          client.relay_id = relay.gateway_id;
+          std::vector<std::uint8_t> ack;
+          encode_ack({0, "relay"}, ack);
+          client.queue.push_back({std::move(ack), false});
+          if (obs::EventLog* log = obs::event_log()) {
+            log->emit("net",
+                      {obs::Field::str("action", "relay-hello"),
+                       obs::Field::integer(
+                           "client", static_cast<std::int64_t>(client.id)),
+                       obs::Field::integer(
+                           "gateway",
+                           static_cast<std::int64_t>(relay.gateway_id)),
+                       obs::Field::integer(
+                           "hop_limit",
+                           static_cast<std::int64_t>(relay.hop_limit))});
+          }
         } else if (message->type == MsgType::kSubscribe) {
           client.filter = decode_subscribe(message->body);
           if (!client.subscribed) {
@@ -358,8 +388,10 @@ void FrameServer::loop() {
             conn.set_send_buffer(config_.send_buffer_bytes);
           }
           auto client = std::make_unique<Client>(std::move(conn));
-          static std::uint64_t next_id = 1;
-          client->id = next_id++;
+          // Shared across every FrameServer in the process (each loop runs
+          // under its own instance mutex), so the counter must be atomic.
+          static std::atomic<std::uint64_t> next_id{1};
+          client->id = next_id.fetch_add(1, std::memory_order_relaxed);
           ++counters_.connects;
           net_metrics().connects.add();
           emit_event("connect", client->id);

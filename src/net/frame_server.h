@@ -44,6 +44,12 @@ struct FrameServerConfig {
   std::size_t send_buffer_bytes = 0;
   /// How long shutdown(drain=true) waits for queues to flush.
   Seconds drain_timeout = 10.0;
+  /// This gateway's federation id. When non-zero, frames published with
+  /// origin 0 (i.e. decoded locally, not relayed) are stamped with it
+  /// before they hit the wire, so downstream relays can spot their own
+  /// frames coming back around a cycle. 0 = not federated; frames go out
+  /// unstamped, exactly the pre-federation wire behaviour.
+  std::uint64_t origin_id = 0;
 };
 
 /// TCP fan-out of decoded frames: bridges a runtime::FrameBus (or direct
@@ -69,6 +75,7 @@ class FrameServer {
     std::size_t frames_sent = 0;      ///< frame messages fully written
     std::size_t protocol_errors = 0;  ///< clients that sent garbage
     std::size_t subscribers = 0;      ///< currently subscribed clients
+    std::size_t relays = 0;           ///< peers that announced a RelayHello
   };
 
   /// Binds and starts the event loop. Throws SocketError when the port

@@ -1,123 +1,14 @@
 #include "net/wire.h"
 
-#include <bit>
 #include <cstring>
+
+#include "net/wire_io.h"
 
 namespace lfbs::net {
 
-namespace {
-
-/// Little-endian append helpers. The repo only targets little-endian hosts
-/// in practice, but writing bytes explicitly keeps the format defined (and
-/// identical) everywhere.
-void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
-  out.push_back(v);
-}
-
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-void put_f64(std::vector<std::uint8_t>& out, double v) {
-  put_u64(out, std::bit_cast<std::uint64_t>(v));
-}
-
-void put_f32(std::vector<std::uint8_t>& out, float v) {
-  put_u32(out, std::bit_cast<std::uint32_t>(v));
-}
-
-void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
-  const auto n = static_cast<std::uint16_t>(
-      std::min<std::size_t>(s.size(), 0xFFFF));
-  put_u16(out, n);
-  out.insert(out.end(), s.begin(), s.begin() + n);
-}
-
-/// Reserves the 5-byte frame header and returns the offset of the length
-/// field, to be patched once the body is written.
-std::size_t begin_message(std::vector<std::uint8_t>& out, MsgType type) {
-  put_u8(out, static_cast<std::uint8_t>(type));
-  const std::size_t length_at = out.size();
-  put_u32(out, 0);
-  return length_at;
-}
-
-void end_message(std::vector<std::uint8_t>& out, std::size_t length_at) {
-  const std::size_t body = out.size() - length_at - 4;
-  LFBS_CHECK_MSG(body <= kMaxMessageBody, "encoded message exceeds bound");
-  for (int i = 0; i < 4; ++i) {
-    out[length_at + static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(body >> (8 * i));
-  }
-}
-
-/// Bounds-checked body reader; every get_* throws kTruncated rather than
-/// reading past the end, so a short body can never become a wild read.
-class Cursor {
- public:
-  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  std::uint8_t get_u8() { return take(1)[0]; }
-
-  std::uint16_t get_u16() {
-    const auto b = take(2);
-    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
-  }
-
-  std::uint32_t get_u32() {
-    const auto b = take(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
-    return v;
-  }
-
-  std::uint64_t get_u64() {
-    const auto b = take(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
-    return v;
-  }
-
-  double get_f64() { return std::bit_cast<double>(get_u64()); }
-  float get_f32() { return std::bit_cast<float>(get_u32()); }
-
-  std::string get_string() {
-    const std::uint16_t n = get_u16();
-    const auto b = take(n);
-    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
-  }
-
-  std::span<const std::uint8_t> take(std::size_t n) {
-    if (bytes_.size() - offset_ < n) {
-      throw WireFormatError(WireError::kTruncated,
-                            "message body shorter than its layout");
-    }
-    const auto view = bytes_.subspan(offset_, n);
-    offset_ += n;
-    return view;
-  }
-
-  std::size_t remaining() const { return bytes_.size() - offset_; }
-
- private:
-  std::span<const std::uint8_t> bytes_;
-  std::size_t offset_ = 0;
-};
-
-}  // namespace
+// The append/read primitives (put_*, Cursor, message framing) live in
+// wire_io.h so the federation shard codec shares them byte-for-byte.
+using namespace wire_io;
 
 const char* to_string(WireError code) {
   switch (code) {
@@ -200,7 +91,7 @@ Hello decode_hello(std::span<const std::uint8_t> body) {
   }
   Hello hello;
   const std::uint8_t role = c.get_u8();
-  if (role > static_cast<std::uint8_t>(PeerRole::kIqReceiver)) {
+  if (role > static_cast<std::uint8_t>(PeerRole::kShardWorker)) {
     throw WireFormatError(WireError::kMalformed, "unknown peer role");
   }
   hello.role = static_cast<PeerRole>(role);
@@ -257,20 +148,12 @@ void encode_frame(const runtime::FrameEvent& event,
   if (event.frame.crc_ok) flags |= 2;
   if (event.frame.anchor_ok) flags |= 4;
   put_u8(out, flags);
-  const auto& payload = event.frame.payload;
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  std::uint8_t acc = 0;
-  for (std::size_t i = 0; i < payload.size(); ++i) {
-    acc = static_cast<std::uint8_t>((acc << 1) | (payload[i] ? 1 : 0));
-    if ((i & 7) == 7) {
-      out.push_back(acc);
-      acc = 0;
-    }
-  }
-  if (payload.size() % 8 != 0) {
-    out.push_back(
-        static_cast<std::uint8_t>(acc << (8 - (payload.size() % 8))));
-  }
+  put_u64(out, event.epoch_index);
+  put_u64(out, event.window_index);
+  put_u64(out, event.frame_index);
+  put_u64(out, event.origin);
+  put_u8(out, event.hops);
+  put_packed_bits(out, event.frame.payload);
   end_message(out, at);
 }
 
@@ -291,13 +174,12 @@ runtime::FrameEvent decode_frame(std::span<const std::uint8_t> body) {
   event.collided = (flags & 1) != 0;
   event.frame.crc_ok = (flags & 2) != 0;
   event.frame.anchor_ok = (flags & 4) != 0;
-  const std::uint32_t bits = c.get_u32();
-  const auto packed = c.take((bits + 7) / 8);
-  event.frame.payload.resize(bits);
-  for (std::uint32_t i = 0; i < bits; ++i) {
-    event.frame.payload[i] =
-        (packed[i / 8] >> (7 - (i % 8)) & 1) != 0;
-  }
+  event.epoch_index = c.get_u64();
+  event.window_index = c.get_u64();
+  event.frame_index = c.get_u64();
+  event.origin = c.get_u64();
+  event.hops = c.get_u8();
+  event.frame.payload = c.get_packed_bits();
   return event;
 }
 
@@ -418,6 +300,28 @@ Bye decode_bye(std::span<const std::uint8_t> body) {
   return bye;
 }
 
+void encode_relay_hello(const RelayHello& hello,
+                        std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kRelayHello);
+  put_u64(out, hello.gateway_id);
+  put_u8(out, hello.hop_limit);
+  put_string(out, hello.name);
+  end_message(out, at);
+}
+
+RelayHello decode_relay_hello(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  RelayHello hello;
+  hello.gateway_id = c.get_u64();
+  if (hello.gateway_id == 0) {
+    throw WireFormatError(WireError::kMalformed,
+                          "relay hello with gateway id 0");
+  }
+  hello.hop_limit = c.get_u8();
+  hello.name = c.get_string();
+  return hello;
+}
+
 void MessageReader::feed(const std::uint8_t* data, std::size_t n) {
   // Reclaim consumed prefix before growing; keeps the buffer bounded by
   // one partial message plus whatever feed() just delivered.
@@ -438,7 +342,7 @@ std::optional<Message> MessageReader::next() {
   const std::uint8_t* head = buffer_.data() + consumed_;
   const std::uint8_t type = head[0];
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kBye)) {
+      type > static_cast<std::uint8_t>(MsgType::kShardFrame)) {
     throw WireFormatError(WireError::kUnknownType,
                           "unknown message type " + std::to_string(type));
   }

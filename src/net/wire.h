@@ -28,7 +28,12 @@ namespace lfbs::net {
 /// metadata (rates, confidences, stream anchors) survives the wire
 /// bit-exactly — the loopback parity tests depend on it.
 constexpr char kWireMagic[6] = {'L', 'F', 'B', 'W', '1', '\0'};
-constexpr std::uint16_t kWireVersion = 1;
+/// Version 2: kFrame grew identity coordinates and the relay header
+/// (epoch/window/frame indices, origin gateway, hop count), and the
+/// federation messages (kRelayHello, kShardAssign, kShardFrame) joined
+/// the protocol. Both changes are incompatible with v1 peers, and the
+/// hello check rejects them before any frame is parsed.
+constexpr std::uint16_t kWireVersion = 2;
 
 /// Upper bound on one message body. Protects the receiver from a garbled
 /// (or hostile) length prefix triggering a huge allocation — the same
@@ -71,6 +76,9 @@ enum class MsgType : std::uint8_t {
   kIqChunk = 6,    ///< pusher → ingest: one SampleChunk of raw IQ
   kIqEnd = 7,      ///< pusher → ingest: clean end-of-stream marker
   kBye = 8,        ///< server → client: reasoned connection close
+  kRelayHello = 9,   ///< relay → upstream: gateway id + hop limit
+  kShardAssign = 10, ///< coordinator → worker: one window's decode order
+  kShardFrame = 11,  ///< worker → coordinator: one window's DecodeResult
 };
 
 /// Who a peer claims to be in its hello.
@@ -79,6 +87,8 @@ enum class PeerRole : std::uint8_t {
   kFrameSubscriber = 1,  ///< client tailing decoded frames
   kIqPusher = 2,         ///< capture process streaming raw IQ in
   kIqReceiver = 3,       ///< ingest endpoint accepting raw IQ
+  kShardCoordinator = 4, ///< sharded-decode coordinator dispatching windows
+  kShardWorker = 5,      ///< decode worker accepting shard assignments
 };
 
 struct Hello {
@@ -86,6 +96,16 @@ struct Hello {
   /// IQ pushers declare their capture rate here; 0 for frame peers.
   SampleRate sample_rate = 0.0;
   std::string name;  ///< free-form peer name for logs
+};
+
+/// Sent by a relay right after its hello, before kSubscribe: announces the
+/// relay's own gateway id and how many hops its republished frames may
+/// still take. The upstream acks it like a subscribe; a frame server that
+/// never sees one simply treats the peer as a plain subscriber.
+struct RelayHello {
+  std::uint64_t gateway_id = 0;  ///< the relay's own id (non-zero)
+  std::uint8_t hop_limit = 4;    ///< max hops a frame may accumulate
+  std::string name;              ///< free-form relay name for logs
 };
 
 /// Per-subscription frame filter, applied server-side so a narrow consumer
@@ -162,6 +182,8 @@ void encode_iq_chunk(const runtime::SampleChunk& chunk, bool f64,
                      std::vector<std::uint8_t>& out);
 void encode_iq_end(const IqEnd& end, std::vector<std::uint8_t>& out);
 void encode_bye(const Bye& bye, std::vector<std::uint8_t>& out);
+void encode_relay_hello(const RelayHello& hello,
+                        std::vector<std::uint8_t>& out);
 
 // --- decoders: parse one message body; throw WireFormatError -------------
 
@@ -173,6 +195,7 @@ WireStats decode_stats(std::span<const std::uint8_t> body);
 runtime::SampleChunk decode_iq_chunk(std::span<const std::uint8_t> body);
 IqEnd decode_iq_end(std::span<const std::uint8_t> body);
 Bye decode_bye(std::span<const std::uint8_t> body);
+RelayHello decode_relay_hello(std::span<const std::uint8_t> body);
 
 /// Incremental de-framer: feed() raw bytes as they arrive off a socket,
 /// next() hands back complete messages in order. Tolerates any fragmenta-

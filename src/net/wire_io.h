@@ -1,0 +1,162 @@
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+/// Low-level LFBW1 codec building blocks, shared by the core codec
+/// (wire.cpp) and the federation shard codec (federation/shard_wire.cpp).
+/// Everything is little-endian and bounds-checked: writers append explicit
+/// bytes, the Cursor reader throws WireFormatError(kTruncated) rather than
+/// reading past the end of a body.
+namespace lfbs::net::wire_io {
+
+inline void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Doubles travel as IEEE-754 bit patterns — bit-exact transit is what the
+/// federation's bit-identity invariant rests on.
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+inline void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  const auto n =
+      static_cast<std::uint16_t>(std::min<std::size_t>(s.size(), 0xFFFF));
+  put_u16(out, n);
+  out.insert(out.end(), s.begin(), s.begin() + n);
+}
+
+/// Bit vector as u32 count + MSB-first packed bytes (the kFrame payload
+/// layout, reused for shard bits and payloads).
+inline void put_packed_bits(std::vector<std::uint8_t>& out,
+                            const std::vector<bool>& bits) {
+  put_u32(out, static_cast<std::uint32_t>(bits.size()));
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    acc = static_cast<std::uint8_t>((acc << 1) | (bits[i] ? 1 : 0));
+    if ((i & 7) == 7) {
+      out.push_back(acc);
+      acc = 0;
+    }
+  }
+  if (bits.size() % 8 != 0) {
+    out.push_back(static_cast<std::uint8_t>(acc << (8 - (bits.size() % 8))));
+  }
+}
+
+/// Reserves the 5-byte frame header and returns the offset of the length
+/// field, to be patched once the body is written.
+inline std::size_t begin_message(std::vector<std::uint8_t>& out,
+                                 MsgType type) {
+  put_u8(out, static_cast<std::uint8_t>(type));
+  const std::size_t length_at = out.size();
+  put_u32(out, 0);
+  return length_at;
+}
+
+inline void end_message(std::vector<std::uint8_t>& out,
+                        std::size_t length_at) {
+  const std::size_t body = out.size() - length_at - 4;
+  LFBS_CHECK_MSG(body <= kMaxMessageBody, "encoded message exceeds bound");
+  for (int i = 0; i < 4; ++i) {
+    out[length_at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body >> (8 * i));
+  }
+}
+
+/// Bounds-checked body reader; every get_* throws kTruncated rather than
+/// reading past the end, so a short body can never become a wild read.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t get_u8() { return take(1)[0]; }
+
+  std::uint16_t get_u16() {
+    const auto b = take(2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+
+  std::uint32_t get_u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    }
+    return v;
+  }
+
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+  float get_f32() { return std::bit_cast<float>(get_u32()); }
+
+  std::string get_string() {
+    const std::uint16_t n = get_u16();
+    const auto b = take(n);
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  std::vector<bool> get_packed_bits() {
+    const std::uint32_t bits = get_u32();
+    const auto packed = take((bits + 7) / 8);
+    std::vector<bool> out(bits);
+    for (std::uint32_t i = 0; i < bits; ++i) {
+      out[i] = (packed[i / 8] >> (7 - (i % 8)) & 1) != 0;
+    }
+    return out;
+  }
+
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (bytes_.size() - offset_ < n) {
+      throw WireFormatError(WireError::kTruncated,
+                            "message body shorter than its layout");
+    }
+    const auto view = bytes_.subspan(offset_, n);
+    offset_ += n;
+    return view;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace lfbs::net::wire_io

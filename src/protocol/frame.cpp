@@ -81,4 +81,9 @@ std::vector<ParsedFrame> scan_frames(const std::vector<bool>& bits,
   return frames;
 }
 
+std::uint64_t payload_key(const ParsedFrame& frame) {
+  return static_cast<std::uint64_t>(crc16_ccitt(frame.payload)) |
+         (static_cast<std::uint64_t>(frame.payload.size()) << 16);
+}
+
 }  // namespace lfbs::protocol

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -56,5 +57,11 @@ std::vector<ParsedFrame> parse_stream(const std::vector<bool>& bits,
 /// cost of O(bits x frame length) and the CRC's false-positive floor.
 std::vector<ParsedFrame> scan_frames(const std::vector<bool>& bits,
                                      const FrameConfig& config);
+
+/// Content key of a parsed frame's payload: CRC-16/CCITT of the payload
+/// bits in the low 16 bits, the bit length above them. Pure function of
+/// the payload, so it is identical wherever the frame was decoded — the
+/// payload coordinate of runtime::FrameIdentity.
+std::uint64_t payload_key(const ParsedFrame& frame);
 
 }  // namespace lfbs::protocol

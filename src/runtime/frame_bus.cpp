@@ -1,11 +1,84 @@
 #include "runtime/frame_bus.h"
 
 #include <algorithm>
+#include <bit>
 
+#include "core/lf_decoder.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace lfbs::runtime {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer WindowedDecoder uses for
+/// per-window seeds. Full avalanche, so near-identical coordinates (stream
+/// anchors one sample apart, consecutive window indices) land far apart.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ mix64(v));
+}
+
+}  // namespace
+
+std::uint64_t FrameIdentity::key() const {
+  return combine(combine(combine(mix64(epoch), window), stream_key),
+                 payload_crc);
+}
+
+FrameIdentity frame_identity(const FrameEvent& event) {
+  FrameIdentity id;
+  id.epoch = event.epoch_index;
+  id.window = event.window_index;
+  // Hash the doubles by bit pattern: both survive the LFBW1 wire
+  // bit-exactly, so the key is reproducible on every gateway that sees
+  // the frame. origin and hops are deliberately left out — the relay
+  // mutates them per hop, and identity must not change in flight.
+  std::uint64_t stream_key = mix64(event.stream_index);
+  stream_key = combine(stream_key,
+                       std::bit_cast<std::uint64_t>(event.stream_start));
+  stream_key = combine(stream_key,
+                       std::bit_cast<std::uint64_t>(event.rate));
+  stream_key = combine(stream_key, event.frame_index);
+  id.stream_key = stream_key;
+  id.payload_crc = protocol::payload_key(event.frame);
+  return id;
+}
+
+std::size_t publish_frames(FrameBus& bus, const core::DecodeResult& decode,
+                           std::uint64_t epoch_index,
+                           std::size_t window_samples) {
+  std::size_t published = 0;
+  for (std::size_t i = 0; i < decode.streams.size(); ++i) {
+    const auto& stream = decode.streams[i];
+    for (std::size_t f = 0; f < stream.frames.size(); ++f) {
+      FrameEvent event;
+      event.stream_index = i;
+      event.stream_start = stream.start_sample;
+      event.rate = stream.rate;
+      event.collided = stream.collided;
+      event.confidence = stream.confidence.score();
+      event.fallback_stage = stream.confidence.stage;
+      event.frame = stream.frames[f];
+      event.epoch_index = epoch_index;
+      event.window_index =
+          window_samples > 0
+              ? static_cast<std::uint64_t>(stream.start_sample) /
+                    window_samples
+              : 0;
+      event.frame_index = f;
+      bus.publish(event);
+      ++published;
+    }
+  }
+  return published;
+}
 
 FrameBus::SubscriberId FrameBus::subscribe(Handler handler) {
   std::lock_guard lock(mutex_);

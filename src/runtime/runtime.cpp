@@ -280,22 +280,10 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
       ++next;
     }
     if (!is_short) out.decode = stitcher.finish();
-    for (std::size_t i = 0; i < out.decode.streams.size(); ++i) {
-      const auto& stream = out.decode.streams[i];
-      for (const auto& frame : stream.frames) {
-        FrameEvent event;
-        event.stream_index = i;
-        event.stream_start = stream.start_sample;
-        event.rate = stream.rate;
-        event.collided = stream.collided;
-        event.confidence = stream.confidence.score();
-        event.fallback_stage = stream.confidence.stage;
-        event.frame = frame;
-        bus_.publish(event);
-        ++frames_published;
-        frames_counter.add();
-      }
-    }
+    const std::size_t published = publish_frames(
+        bus_, out.decode, config_.epoch_index, window_samples);
+    frames_published += published;
+    frames_counter.add(published);
   });
 
   // Ingest on the caller's thread: source → chunk ring, with the

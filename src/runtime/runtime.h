@@ -61,6 +61,11 @@ struct RuntimeConfig {
   /// chunk already ingested still decodes, stitches, and publishes before
   /// run() returns with stats.stopped_early set. The flag is only read.
   const std::atomic<bool>* stop_flag = nullptr;
+  /// Epoch stamped on every published FrameEvent (FrameIdentity's first
+  /// coordinate). A gateway decoding successive captures bumps this so
+  /// frames from different runs stay distinguishable across the
+  /// federation's dedup.
+  std::uint64_t epoch_index = 0;
 };
 
 struct RuntimeResult {

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "channel/channel_model.h"
@@ -18,6 +19,7 @@
 #include "net/iq_ingest.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "protocol/frame.h"
 #include "reader/receiver.h"
 #include "runtime/runtime.h"
@@ -39,6 +41,11 @@ runtime::FrameEvent make_event(std::size_t index, std::uint64_t seed) {
   event.frame.payload = rng.bits(96 + seed % 7);  // odd lengths too
   event.frame.anchor_ok = true;
   event.frame.crc_ok = (seed % 3) != 0;
+  event.epoch_index = seed * 11;
+  event.window_index = seed * 13 + 1;
+  event.frame_index = seed % 5;
+  event.origin = seed * 17 + 3;
+  event.hops = static_cast<std::uint8_t>(seed % 6);
   return event;
 }
 
@@ -53,6 +60,11 @@ void expect_event_identical(const runtime::FrameEvent& a,
   EXPECT_EQ(a.frame.payload, b.frame.payload);
   EXPECT_EQ(a.frame.anchor_ok, b.frame.anchor_ok);
   EXPECT_EQ(a.frame.crc_ok, b.frame.crc_ok);
+  EXPECT_EQ(a.epoch_index, b.epoch_index);
+  EXPECT_EQ(a.window_index, b.window_index);
+  EXPECT_EQ(a.frame_index, b.frame_index);
+  EXPECT_EQ(a.origin, b.origin);
+  EXPECT_EQ(a.hops, b.hops);
 }
 
 /// Feeds a byte vector through a MessageReader and returns every message.
@@ -276,6 +288,118 @@ TEST(Wire, UnknownTypeByteThrowsTyped) {
   }
 }
 
+TEST(Wire, MessageReaderSurvivesAdversarialByteStreams) {
+  // Property test for the reader against hostile transports: a valid
+  // stream must parse identically under ANY fragmentation, corruption
+  // must die as a typed WireFormatError (never a crash or a hang), and
+  // no input may make the reader buffer past the 16 MiB message bound.
+  std::vector<std::uint8_t> valid;
+  std::vector<std::size_t> boundaries;  // offset of each message header
+  boundaries.push_back(valid.size());
+  encode_hello({PeerRole::kFrameSubscriber, 0.0, "prop"}, valid);
+  boundaries.push_back(valid.size());
+  encode_subscribe({}, valid);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    boundaries.push_back(valid.size());
+    encode_frame(make_event(static_cast<std::size_t>(i), i * 3 + 1), valid);
+  }
+  boundaries.push_back(valid.size());
+  encode_bye({ByeReason::kEndOfStream, ""}, valid);
+  const auto reference = reparse(valid);
+  ASSERT_EQ(reference.size(), boundaries.size());
+
+  std::size_t largest_body = 0;
+  for (const auto& m : reference) {
+    largest_body = std::max(largest_body, m.body.size());
+  }
+
+  // Randomized fragmentation: 64 seeds, fragment sizes 1..97 bytes.
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    Rng rng(seed);
+    MessageReader reader;
+    std::vector<Message> got;
+    std::size_t at = 0;
+    std::size_t max_buffered = 0;
+    while (at < valid.size()) {
+      const std::size_t step =
+          1 + static_cast<std::size_t>(rng.uniform(0.0, 96.0));
+      const std::size_t take = std::min(step, valid.size() - at);
+      reader.feed(valid.data() + at, take);
+      at += take;
+      max_buffered = std::max(max_buffered, reader.buffered());
+      while (auto message = reader.next()) got.push_back(std::move(*message));
+    }
+    ASSERT_EQ(got.size(), reference.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].type, reference[i].type) << "seed " << seed;
+      EXPECT_EQ(got[i].body, reference[i].body) << "seed " << seed;
+    }
+    // Buffering stays bounded by one in-flight message plus the fragment
+    // that completed it — the reader holds no history.
+    EXPECT_LE(max_buffered, largest_body + 5 + 97) << "seed " << seed;
+  }
+
+  // Interleaved garbage: corrupt the type byte at a random message
+  // boundary. Everything before the corruption parses; the corrupted
+  // header dies with kUnknownType.
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    Rng rng(seed * 101);
+    const std::size_t victim = static_cast<std::size_t>(
+        rng.uniform(0.0, static_cast<double>(boundaries.size()) - 0.001));
+    auto tampered = valid;
+    tampered[boundaries[victim]] = 0x7F;  // no such MsgType
+    MessageReader reader;
+    std::size_t parsed = 0;
+    try {
+      std::size_t at = 0;
+      while (at < tampered.size()) {
+        const std::size_t take = std::min<std::size_t>(
+            1 + static_cast<std::size_t>(rng.uniform(0.0, 30.0)),
+            tampered.size() - at);
+        reader.feed(tampered.data() + at, take);
+        at += take;
+        while (reader.next()) ++parsed;
+      }
+      FAIL() << "corrupted type byte must throw (seed " << seed << ")";
+    } catch (const WireFormatError& e) {
+      EXPECT_EQ(e.code(), WireError::kUnknownType);
+      EXPECT_EQ(parsed, victim) << "messages before the corruption parse";
+    }
+  }
+
+  // Truncated length prefix: a partial header never yields a message and
+  // never over-buffers — the reader just waits for the rest.
+  for (std::size_t cut = 1; cut < 5; ++cut) {
+    MessageReader reader;
+    reader.feed(valid.data(), cut);
+    EXPECT_FALSE(reader.next().has_value());
+    EXPECT_EQ(reader.buffered(), cut);
+  }
+
+  // Hostile length prefixes: anything past kMaxMessageBody dies from the
+  // 5-byte header alone — the reader must never allocate toward the
+  // declared size. Try the whole top range including UINT32_MAX.
+  constexpr std::uint32_t kBound = static_cast<std::uint32_t>(kMaxMessageBody);
+  for (const std::uint32_t declared : {kBound + 1, kBound * 2, 0xFFFFFFFFu}) {
+    const std::uint8_t header[5] = {
+        static_cast<std::uint8_t>(MsgType::kFrame),
+        static_cast<std::uint8_t>(declared & 0xFF),
+        static_cast<std::uint8_t>((declared >> 8) & 0xFF),
+        static_cast<std::uint8_t>((declared >> 16) & 0xFF),
+        static_cast<std::uint8_t>((declared >> 24) & 0xFF)};
+    MessageReader reader;
+    reader.feed(header, sizeof(header));
+    try {
+      reader.next();
+      FAIL() << "length " << declared << " must throw";
+    } catch (const WireFormatError& e) {
+      EXPECT_EQ(e.code(), WireError::kOversized);
+    }
+    EXPECT_LE(reader.buffered(), sizeof(header))
+        << "reader must not allocate toward a hostile length";
+  }
+}
+
 TEST(Wire, SubscribeFilterGatesOnConfidenceRateAndCrc) {
   runtime::FrameEvent event = make_event(0, 2);
   event.confidence = 0.5;
@@ -413,7 +537,10 @@ struct StalledSubscriber {
 
 TEST(FrameServerClient, StalledClientDropsOldestWithoutDelayingHealthy) {
   FrameServerConfig sc;
-  sc.send_queue_messages = 8;
+  // Queue bound sized so a *reading* client has real slack under CI load,
+  // while the stalled client (which reads nothing) still overflows it long
+  // before 512 frames: 64 queued + a few dozen in the 2 KiB kernel buffer.
+  sc.send_queue_messages = 64;
   sc.send_buffer_bytes = 2048;  // tiny SO_SNDBUF: the kernel can't hide it
   sc.slow_consumer = SlowConsumerPolicy::kDropOldest;
   sc.drain_timeout = 2.0;
@@ -452,12 +579,12 @@ TEST(FrameServerClient, StalledClientDropsOldestWithoutDelayingHealthy) {
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < kFrames; ++i) {
     server.publish(make_event(static_cast<std::size_t>(i), i));
-    if (i % 4 == 3) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (i % 2 == 1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   const Seconds publish_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  // Pacing accounts for ~128 ms; anything near drain_timeout would mean
+  // Pacing accounts for ~256 ms; anything near drain_timeout would mean
   // publish() blocked on the stalled client's socket.
   EXPECT_LT(publish_seconds, 2.0) << "publish must not block on the "
                                      "stalled client";
@@ -475,7 +602,7 @@ TEST(FrameServerClient, StalledClientDropsOldestWithoutDelayingHealthy) {
 
 TEST(FrameServerClient, StalledClientIsEvictedUnderEvictPolicy) {
   FrameServerConfig sc;
-  sc.send_queue_messages = 8;
+  sc.send_queue_messages = 64;  // see the kDropOldest test above
   sc.send_buffer_bytes = 2048;
   sc.slow_consumer = SlowConsumerPolicy::kEvict;
   sc.drain_timeout = 5.0;
@@ -507,7 +634,7 @@ TEST(FrameServerClient, StalledClientIsEvictedUnderEvictPolicy) {
   constexpr std::size_t kFrames = 512;
   for (std::uint64_t i = 0; i < kFrames; ++i) {
     server.publish(make_event(static_cast<std::size_t>(i), i));
-    if (i % 4 == 3) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (i % 2 == 1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   server.shutdown(/*drain=*/true);
   tail.join();
@@ -516,6 +643,154 @@ TEST(FrameServerClient, StalledClientIsEvictedUnderEvictPolicy) {
   const auto counters = server.counters();
   EXPECT_EQ(counters.evictions, 1u);
   EXPECT_EQ(counters.queue_drops, 0u);
+}
+
+
+TEST(FrameClient, EvictedClientReconnectsAndResubscribes) {
+  // Deterministic evict→reconnect→resubscribe exercise against a raw
+  // scripted server. (A real overflow eviction writes its Bye into a
+  // jammed socket and usually loses it, so the client sees plain EOF —
+  // both the Bye(kEvicted) path and the EOF path are driven here.) The
+  // wire itself proves the resubscribe: each reconnect handshake must
+  // carry the *current* filter, including one set mid-run.
+  const std::uint64_t resubscribes_before =
+      obs::metrics().counter("net.client_resubscribes").value();
+  const std::uint64_t evictions_before =
+      obs::metrics().counter("net.client_evictions").value();
+
+  TcpListener listener("127.0.0.1", 0);
+
+  FrameClientConfig cc;
+  cc.port = listener.port();
+  cc.reconnect_on_evict = true;
+  FrameClient client(cc);
+  std::atomic<std::size_t> frames_seen{0};
+  std::optional<Bye> final_bye;
+  std::thread tail([&] {
+    FrameClient::Callbacks callbacks;
+    callbacks.on_frame = [&](const runtime::FrameEvent&) { ++frames_seen; };
+    final_bye = client.run(callbacks);
+  });
+
+  const auto accept_one = [&]() -> TcpConnection {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      FdHandle fd = listener.accept();
+      if (fd.valid()) return TcpConnection(std::move(fd));
+      std::vector<PollItem> items{{listener.fd(), true, false}};
+      poll_fds(items, 50);
+    }
+    throw SocketError("client never (re)connected");
+  };
+  const auto read_message = [](TcpConnection& conn,
+                               MessageReader& reader) -> Message {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (auto message = reader.next()) return std::move(*message);
+      std::vector<PollItem> items{{conn.fd(), true, false}};
+      poll_fds(items, 50);
+      std::uint8_t buf[4096];
+      const std::ptrdiff_t n = conn.read_some(buf, sizeof(buf));
+      if (n > 0) reader.feed(buf, static_cast<std::size_t>(n));
+      if (n == 0) throw SocketError("client hung up mid-handshake");
+    }
+    throw SocketError("timed out waiting for a client message");
+  };
+  const auto send = [](TcpConnection& conn,
+                       const std::vector<std::uint8_t>& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const std::ptrdiff_t n =
+          conn.write_some(bytes.data() + sent, bytes.size() - sent);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+      } else if (n == -1) {
+        std::vector<PollItem> items{{conn.fd(), false, true}};
+        poll_fds(items, 50);
+      } else {
+        throw SocketError("client hung up mid-write");
+      }
+    }
+  };
+
+  // --- connection 1: normal handshake, one frame, then a scripted
+  // eviction. The filter changes mid-session; connection 2 must see it.
+  {
+    TcpConnection conn = accept_one();
+    MessageReader reader;
+    Message m = read_message(conn, reader);
+    ASSERT_EQ(m.type, MsgType::kHello);
+    EXPECT_EQ(decode_hello(m.body).role, PeerRole::kFrameSubscriber);
+    m = read_message(conn, reader);
+    ASSERT_EQ(m.type, MsgType::kSubscribe);
+    EXPECT_FALSE(decode_subscribe(m.body).crc_valid_only);
+    std::vector<std::uint8_t> out;
+    encode_ack({0, "hello"}, out);
+    encode_ack({0, "subscribed"}, out);
+    encode_frame(make_event(0, 1), out);
+    send(conn, out);
+
+    SubscribeFilter clean;
+    clean.crc_valid_only = true;
+    client.set_filter(clean);
+    EXPECT_TRUE(client.filter().crc_valid_only);
+
+    out.clear();
+    encode_bye({ByeReason::kEvicted, "scripted eviction"}, out);
+    send(conn, out);
+  }
+
+  // --- connection 2: the evict-path reconnect. The handshake must carry
+  // the filter set mid-run, not the construction-time one.
+  {
+    TcpConnection conn = accept_one();
+    MessageReader reader;
+    Message m = read_message(conn, reader);
+    ASSERT_EQ(m.type, MsgType::kHello);
+    m = read_message(conn, reader);
+    ASSERT_EQ(m.type, MsgType::kSubscribe);
+    EXPECT_TRUE(decode_subscribe(m.body).crc_valid_only)
+        << "evict-path reconnect must re-send the current filter";
+    std::vector<std::uint8_t> out;
+    encode_ack({0, "hello"}, out);
+    encode_ack({0, "subscribed"}, out);
+    encode_frame(make_event(1, 2), out);
+    send(conn, out);
+  }  // abrupt close, no Bye: drives the dead-connection reconnect path
+
+  // --- connection 3: the EOF-path reconnect. Filter must still hold.
+  {
+    TcpConnection conn = accept_one();
+    MessageReader reader;
+    Message m = read_message(conn, reader);
+    ASSERT_EQ(m.type, MsgType::kHello);
+    m = read_message(conn, reader);
+    ASSERT_EQ(m.type, MsgType::kSubscribe);
+    EXPECT_TRUE(decode_subscribe(m.body).crc_valid_only)
+        << "EOF-path reconnect must re-send the current filter";
+    std::vector<std::uint8_t> out;
+    encode_ack({0, "hello"}, out);
+    encode_ack({0, "subscribed"}, out);
+    encode_frame(make_event(2, 3), out);
+    encode_bye({ByeReason::kEndOfStream, "done"}, out);
+    send(conn, out);
+  }
+
+  tail.join();
+  ASSERT_TRUE(final_bye.has_value());
+  EXPECT_EQ(final_bye->reason, ByeReason::kEndOfStream);
+  EXPECT_EQ(frames_seen.load(), 3u);
+  const auto counters = client.counters();
+  EXPECT_EQ(counters.connects, 3u);
+  EXPECT_EQ(counters.evictions, 1u);
+  EXPECT_EQ(counters.resubscribes, 2u);
+  EXPECT_EQ(counters.reconnects, 2u);
+  EXPECT_EQ(obs::metrics().counter("net.client_resubscribes").value(),
+            resubscribes_before + 2);
+  EXPECT_EQ(obs::metrics().counter("net.client_evictions").value(),
+            evictions_before + 1);
 }
 
 TEST(FrameServer, GarbageSpeakerIsClosedAsProtocolError) {

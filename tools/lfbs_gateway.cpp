@@ -1,11 +1,13 @@
 // lfbs_gateway: network frame gateway — decode on one machine, consume on
-// another. One binary, three roles:
+// another. One binary, five roles:
 //
 // Serve (default): decode a source and fan the frames out over TCP (LFBW1)
 //   lfbs_gateway <capture.lfbsiq> [--port N] [--port-file PATH] ...
 //   lfbs_gateway --scenario [--tags N] [--epochs N] ...
 //   lfbs_gateway --iq-listen [--iq-port N] [--iq-port-file PATH] ...
 //     (--iq-listen decodes IQ pushed to it by a remote `--push` process)
+//   Adding --shard HOST:PORT (repeatable) decodes via a pool of remote
+//   shard workers instead of local threads — bit-identical output.
 //
 // Tail: subscribe to a serving gateway and print frames as they arrive
 //   lfbs_gateway --connect HOST:PORT [--min-confidence X] [--crc-only]
@@ -13,6 +15,15 @@
 //
 // Push: stream a capture file into a gateway running --iq-listen
 //   lfbs_gateway --push HOST:PORT <capture.lfbsiq> [--f32]
+//
+// Relay: subscribe to upstream gateways, republish on an own frame port
+//   lfbs_gateway --relay HOST:PORT [--relay HOST:PORT ...] --gateway-id N
+//                [--hop-limit N] [serve options]
+//   Loop-safe: own-origin frames, over-traveled frames (hop limit), and
+//   identity duplicates are dropped, with counters for each.
+//
+// Shard worker: decode windows assigned by a --shard coordinator
+//   lfbs_gateway --shard-worker [--port N] [--port-file PATH]
 //
 // Serve options:
 //   --port N            frame port (default 0 = ephemeral, printed)
@@ -36,15 +47,21 @@
 // Tail: 0 clean end-of-stream with complete delivery, 1 incomplete
 // (evicted, frames missed, or server stopped early), 2 connection error.
 // Push: 0 on a fully acknowledged stream, 2 on any failure.
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/shutdown.h"
+#include "net/federation/relay.h"
+#include "net/federation/shard.h"
+#include "net/federation/shard_worker.h"
 #include "net/frame_client.h"
 #include "net/frame_server.h"
 #include "net/iq_ingest.h"
@@ -69,9 +86,13 @@ void usage() {
       "       lfbs_gateway --connect HOST:PORT [--min-confidence X] "
       "[--crc-only] [--quiet]\n"
       "       lfbs_gateway --push HOST:PORT <capture.lfbsiq> [--f32]\n"
+      "       lfbs_gateway --relay HOST:PORT [--relay HOST:PORT ...]\n"
+      "                    --gateway-id N [--hop-limit N] [serve options]\n"
+      "       lfbs_gateway --shard-worker [--port N] [--port-file PATH]\n"
       "serve options: [--port N] [--port-file PATH] [--wait-subscriber S]\n"
       "               [--queue-frames N] [--evict-slow] [--send-buffer N]\n"
       "               [--workers N] [--crc5] [--payload N] [--windowed MS]\n"
+      "               [--gateway-id N] [--shard HOST:PORT ...]\n"
       "               [--trace-out PATH]\n");
 }
 
@@ -220,6 +241,11 @@ int main(int argc, char** argv) {
   bool f64 = true;
   core::DecoderConfig dc;
   std::string trace_out;
+  std::vector<std::string> relay_specs;
+  std::vector<std::string> shard_specs;
+  std::uint64_t gateway_id = 0;
+  int hop_limit = 4;
+  bool shard_worker_mode = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -267,6 +293,16 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--f32") {
       f64 = false;
+    } else if (arg == "--relay" && i + 1 < argc) {
+      relay_specs.push_back(argv[++i]);
+    } else if (arg == "--shard" && i + 1 < argc) {
+      shard_specs.push_back(argv[++i]);
+    } else if (arg == "--gateway-id" && i + 1 < argc) {
+      gateway_id = static_cast<std::uint64_t>(atoll(argv[++i]));
+    } else if (arg == "--hop-limit" && i + 1 < argc) {
+      hop_limit = atoi(argv[++i]);
+    } else if (arg == "--shard-worker") {
+      shard_worker_mode = true;
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
@@ -289,12 +325,45 @@ int main(int argc, char** argv) {
   }
   const int source_modes = (capture.empty() ? 0 : 1) +
                            (scenario_mode ? 1 : 0) + (iq_listen ? 1 : 0);
-  if (source_modes != 1) {
+  if (!shard_worker_mode && relay_specs.empty() && source_modes != 1) {
     usage();
     return 2;
   }
 
-  // --- serve ---------------------------------------------------------------
+  // --- shard worker: one coordinator session, then exit ------------------
+  if (shard_worker_mode) {
+    try {
+      net::federation::ShardWorkerConfig wc;
+      wc.port = port;
+      net::federation::ShardWorker worker(wc);
+      std::fprintf(stderr, "gateway: shard worker on port %u\n",
+                   worker.port());
+      if (!port_file.empty() && !write_port_file(port_file, worker.port())) {
+        std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                     port_file.c_str());
+        return 2;
+      }
+      install_shutdown_handlers();
+      std::atomic<bool> done{false};
+      std::thread watcher([&] {
+        while (!done.load() && !shutdown_flag().load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        if (!done.load()) worker.stop();
+      });
+      const std::size_t windows = worker.serve();
+      done.store(true);
+      watcher.join();
+      std::fprintf(stderr, "gateway: shard worker decoded %zu windows\n",
+                   windows);
+      return shutdown_exit_code(0);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  // --- serve / relay -------------------------------------------------------
   std::unique_ptr<obs::JsonlWriter> telemetry_writer;
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::EventLog> event_log;
@@ -313,6 +382,95 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 2;
+
+  // --- relay: republish upstream gateways on an own frame port ------------
+  if (!relay_specs.empty()) {
+    try {
+      if (gateway_id == 0) {
+        std::fprintf(stderr, "error: --relay requires --gateway-id N\n");
+        return 2;
+      }
+      net::FrameServerConfig sc;
+      sc.port = port;
+      sc.send_queue_messages = queue_frames;
+      sc.slow_consumer = evict_slow ? net::SlowConsumerPolicy::kEvict
+                                    : net::SlowConsumerPolicy::kDropOldest;
+      sc.send_buffer_bytes = send_buffer;
+      sc.origin_id = gateway_id;
+      net::FrameServer server(sc);
+      std::fprintf(stderr, "gateway: relay %llu serving frames on port %u\n",
+                   static_cast<unsigned long long>(gateway_id),
+                   server.port());
+      if (!port_file.empty() && !write_port_file(port_file, server.port())) {
+        std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                     port_file.c_str());
+        return 2;
+      }
+
+      net::federation::RelayConfig rc;
+      rc.gateway_id = gateway_id;
+      rc.hop_limit = static_cast<std::uint8_t>(
+          std::max(0, std::min(hop_limit, 255)));
+      rc.name = "lfbs_gateway --relay";
+      rc.filter.min_confidence = min_confidence;
+      rc.filter.crc_valid_only = crc_only;
+      for (const auto& spec : relay_specs) {
+        net::federation::RelayUpstream upstream;
+        if (!split_host_port(spec, upstream.host, upstream.port)) {
+          std::fprintf(stderr, "error: --relay wants HOST:PORT, got '%s'\n",
+                       spec.c_str());
+          return 2;
+        }
+        rc.upstreams.push_back(upstream);
+      }
+      net::federation::FrameRelay relay(rc, server);
+
+      install_shutdown_handlers();
+      std::atomic<bool> done{false};
+      std::thread watcher([&] {
+        while (!done.load() && !shutdown_flag().load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        if (!done.load()) relay.stop();
+      });
+      // Wait for a downstream tail BEFORE subscribing upstream: an
+      // upstream holding its decode on --wait-subscriber releases it the
+      // moment we connect, and those frames must not land on an empty
+      // FrameServer.
+      if (wait_subscriber > 0.0 &&
+          !server.wait_for_subscriber(wait_subscriber)) {
+        std::fprintf(stderr,
+                     "gateway: no subscriber within %.1fs, relaying anyway\n",
+                     wait_subscriber);
+      }
+      relay.start();
+      const bool clean = relay.join();
+      done.store(true);
+      watcher.join();
+
+      const auto counters = relay.counters();
+      runtime::RuntimeStats stats;
+      stats.frames_published = counters.relayed;
+      server.publish_stats(stats);
+      server.shutdown(/*drain=*/true);
+      std::fprintf(stderr,
+                   "gateway: relayed %zu frames (%zu dup, %zu loop, %zu hop "
+                   "drops), %zu upstream ends, %zu failures\n",
+                   counters.relayed, counters.dup_drops, counters.loop_drops,
+                   counters.hop_drops, counters.upstream_ends,
+                   counters.upstream_failures);
+      exit_code = clean ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      exit_code = 2;
+    }
+    if (tracer) tracer->flush();
+    if (telemetry_writer) telemetry_writer->flush();
+    obs::set_tracer(nullptr);
+    obs::set_event_log(nullptr);
+    return shutdown_exit_code(exit_code);
+  }
+
   try {
     net::FrameServerConfig sc;
     sc.port = port;
@@ -320,6 +478,7 @@ int main(int argc, char** argv) {
     sc.slow_consumer = evict_slow ? net::SlowConsumerPolicy::kEvict
                                   : net::SlowConsumerPolicy::kDropOldest;
     sc.send_buffer_bytes = send_buffer;
+    sc.origin_id = gateway_id;
     net::FrameServer server(sc);
     std::fprintf(stderr, "gateway: serving frames on port %u\n",
                  server.port());
@@ -369,20 +528,63 @@ int main(int argc, char** argv) {
       source = std::move(remote);
     }
 
-    runtime::DecodeRuntime rt(rc);
-    server.attach(rt.bus());
-    if (wait_subscriber > 0.0 &&
-        !server.wait_for_subscriber(wait_subscriber)) {
+    runtime::RuntimeStats stats;
+    core::DecodeResult decode;
+    if (!shard_specs.empty()) {
+      // Sharded decode: fan windows out to remote worker processes; the
+      // merged result is bit-identical to the local windowed path.
+      net::federation::ShardConfig shc;
+      shc.windowed = rc.windowed;
+      shc.name = "lfbs_gateway --shard";
+      for (const auto& spec : shard_specs) {
+        net::federation::ShardWorkerEndpoint endpoint;
+        if (!split_host_port(spec, endpoint.host, endpoint.port)) {
+          std::fprintf(stderr, "error: --shard wants HOST:PORT, got '%s'\n",
+                       spec.c_str());
+          return 2;
+        }
+        shc.workers.push_back(endpoint);
+      }
+      net::federation::ShardedDecoder sharded(shc);
+      server.attach(sharded.bus());
+      if (wait_subscriber > 0.0 &&
+          !server.wait_for_subscriber(wait_subscriber)) {
+        std::fprintf(stderr,
+                     "gateway: no subscriber within %.1fs, serving anyway\n",
+                     wait_subscriber);
+      }
+      const auto result = sharded.run(*source);
+      server.detach();
+      decode = result.decode;
+      stats.frames_published = result.stats.frames_published;
+      stats.samples_in = result.stats.samples_in;
+      stats.windows_decoded = result.stats.windows_decoded;
+      stats.streams = result.stats.streams;
+      stats.wall_seconds = result.stats.wall_seconds;
+      stats.window_latency_p50_ms = result.stats.shard_latency_p50_ms;
+      stats.window_latency_p99_ms = result.stats.shard_latency_p99_ms;
       std::fprintf(stderr,
-                   "gateway: no subscriber within %.1fs, serving anyway\n",
-                   wait_subscriber);
+                   "gateway: sharded %zu windows over %zu workers "
+                   "(p99 %.2f ms)\n",
+                   result.stats.windows_decoded, shc.workers.size(),
+                   result.stats.shard_latency_p99_ms);
+    } else {
+      runtime::DecodeRuntime rt(rc);
+      server.attach(rt.bus());
+      if (wait_subscriber > 0.0 &&
+          !server.wait_for_subscriber(wait_subscriber)) {
+        std::fprintf(stderr,
+                     "gateway: no subscriber within %.1fs, serving anyway\n",
+                     wait_subscriber);
+      }
+      const runtime::RuntimeResult run = rt.run(*source);
+      server.detach();
+      decode = run.decode;
+      stats = run.stats;
     }
-
-    const runtime::RuntimeResult run = rt.run(*source);
-    server.detach();
     // Final digest first, then a drained Bye(end-of-stream): a tail can
     // check frames_received against frames_published from the stream.
-    server.publish_stats(run.stats);
+    server.publish_stats(stats);
     server.shutdown(/*drain=*/true);
 
     const auto net_counters = server.counters();
@@ -390,13 +592,13 @@ int main(int argc, char** argv) {
         stderr,
         "gateway: %zu frames published, %zu sent over %zu connections "
         "(%zu drops, %zu evictions), health %s%s\n",
-        run.stats.frames_published, net_counters.frames_sent,
+        stats.frames_published, net_counters.frames_sent,
         net_counters.connects, net_counters.queue_drops,
-        net_counters.evictions, runtime::to_string(run.stats.health),
-        run.stats.stopped_early ? ", interrupted" : "");
+        net_counters.evictions, runtime::to_string(stats.health),
+        stats.stopped_early ? ", interrupted" : "");
 
     std::size_t crc_valid = 0;
-    for (const auto& stream : run.decode.streams) {
+    for (const auto& stream : decode.streams) {
       for (const auto& frame : stream.frames) {
         if (frame.valid()) ++crc_valid;
       }

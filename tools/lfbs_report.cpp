@@ -68,6 +68,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> net_log;
   std::size_t net_frames_sent = 0;
   std::size_t net_drops = 0;
+  std::map<std::string, std::size_t> federation_actions;
+  std::vector<std::string> federation_log;
+  std::int64_t relay_max_hops = 0;
   std::size_t snapshots = 0;
   std::size_t lines_total = 0;
   std::size_t lines_bad = 0;
@@ -129,6 +132,27 @@ int main(int argc, char** argv) {
                 static_cast<std::int64_t>(v.member_num("client", 0.0))) +
             " " + action + ": " + std::to_string(frames) +
             " frames sent, " + std::to_string(drops) + " dropped");
+      }
+    } else if (type == "federation") {
+      const std::string action = v.member_str("action", "?");
+      ++federation_actions[action];
+      if (action == "relay") {
+        relay_max_hops =
+            std::max(relay_max_hops,
+                     static_cast<std::int64_t>(v.member_num("hops", 0.0)));
+      } else if (action == "shard-run") {
+        federation_log.push_back(
+            "shard run: " +
+            std::to_string(
+                static_cast<std::int64_t>(v.member_num("windows", 0.0))) +
+            " windows over " +
+            std::to_string(
+                static_cast<std::int64_t>(v.member_num("workers", 0.0))) +
+            " workers, " +
+            std::to_string(
+                static_cast<std::int64_t>(v.member_num("frames", 0.0))) +
+            " frames, p99 " +
+            sim::fmt(v.member_num("latency_p99_ms", 0.0), 2) + " ms");
       }
     } else if (type == "snapshot") {
       ++snapshots;
@@ -202,6 +226,20 @@ int main(int argc, char** argv) {
     std::printf("%zu frames delivered, %zu dropped to slow consumers\n",
                 net_frames_sent, net_drops);
     for (const auto& n : net_log) std::printf("  %s\n", n.c_str());
+  }
+  if (!federation_actions.empty()) {
+    std::printf("\n== federation ==\n");
+    sim::Table table({"event", "count"});
+    for (const auto& [action, count] : federation_actions) {
+      table.add_row({action, std::to_string(count)});
+    }
+    table.print();
+    if (federation_actions.count("relay") > 0) {
+      std::printf("%zu frames relayed, deepest hop count %lld\n",
+                  federation_actions.at("relay"),
+                  static_cast<long long>(relay_max_hops));
+    }
+    for (const auto& f : federation_log) std::printf("  %s\n", f.c_str());
   }
   return 0;
 }

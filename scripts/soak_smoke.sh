@@ -1,0 +1,119 @@
+#!/usr/bin/env sh
+# Soak smoke test: the CI shape of the network chaos layer's acceptance
+# checks, kept to ~a minute so it can ride in tier-1:
+#
+#   1. Fault-free soak: lfbs_soak must deliver every epoch exactly-once
+#      (zero duplicates, closure on every attempt) and exit healthy.
+#   2. Chaos soak: the same topology under a seeded --chaos spec (resets,
+#      truncation, stalls, delays) must still converge to exit 0 — faults
+#      are healed by reconnect/replay/failover, never absorbed silently —
+#      and its telemetry must round-trip through lfbs_report's
+#      "== chaos ==" section.
+#   3. Push abort: killing an --iq-listen gateway mid-push must surface as
+#      the documented typed failure on the pusher — exit code 3 and an
+#      "aborted mid-stream" diagnostic — not a hang or a generic error.
+#
+# Usage: scripts/soak_smoke.sh [build-dir]   (default: build)
+set -e
+
+build="${1:-build}"
+work="$(mktemp -d)"
+pids=""
+cleanup() {
+  for p in $pids; do kill "$p" 2> /dev/null || true; done
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# --- 1. fault-free soak ------------------------------------------------------
+"$build/tools/lfbs_soak" --epochs 4 --duration-ms 40 --workers 2 \
+    2> "$work/clean.err" || {
+  echo "soak_smoke: fault-free soak FAILED" >&2
+  cat "$work/clean.err" >&2
+  exit 1
+}
+grep -q "health healthy" "$work/clean.err" || {
+  echo "soak_smoke: fault-free soak did not end healthy" >&2
+  cat "$work/clean.err" >&2
+  exit 1
+}
+grep "^soak: [0-9]" "$work/clean.err"
+echo "soak_smoke: fault-free soak healthy"
+
+# --- 2. chaos soak + report round-trip ---------------------------------------
+chaos="seed=11,reset=0.02,truncate=0.2,delay=0.15,delay-ms=2,stall=0.04,stall-ms=60"
+"$build/tools/lfbs_soak" --epochs 6 --duration-ms 40 --workers 2 \
+    --chaos "$chaos" --worker-deadline 5 \
+    --trace-out "$work/chaos_trace.jsonl" 2> "$work/chaos.err" || {
+  echo "soak_smoke: chaos soak FAILED" >&2
+  cat "$work/chaos.err" >&2
+  exit 1
+}
+grep "^soak: [0-9]" "$work/chaos.err"
+grep "^soak: chaos injected" "$work/chaos.err"
+
+report="$("$build/tools/lfbs_report" "$work/chaos_trace.jsonl")"
+echo "$report" | grep -q "== chaos ==" || {
+  echo "soak_smoke: lfbs_report produced no chaos section" >&2
+  exit 1
+}
+echo "$report" | grep "faults injected"
+echo "soak_smoke: chaos soak converged"
+
+# --- 3. push abort: gateway dies mid-stream, pusher must exit 3 --------------
+capture="$work/capture.lfbsiq"
+"$build/examples/capture_replay" "$capture" > /dev/null
+
+"$build/tools/lfbs_gateway" --iq-listen --iq-port-file "$work/iq.port" \
+    --quiet 2> "$work/iqgw.err" &
+gw_pid=$!
+pids="$pids $gw_pid"
+tries=0
+while [ ! -s "$work/iq.port" ]; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "soak_smoke: no iq port file" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# A write-side partition spec on the pusher stretches the stream out (reads
+# stay clean, so the handshake is untouched) — the gateway is guaranteed to
+# die while the push is still mid-flight.
+"$build/tools/lfbs_gateway" --push "127.0.0.1:$(cat "$work/iq.port")" \
+    "$capture" --chaos "seed=3,partition-out=0.85,partition-ms=200" \
+    --trace-out "$work/push_trace.jsonl" 2> "$work/push.err" &
+push_pid=$!
+pids="$pids $push_pid"
+
+tries=0
+until grep -q "pusher connected" "$work/iqgw.err" 2> /dev/null; do
+  tries=$((tries + 1))
+  if [ "$tries" -gt 100 ]; then
+    echo "soak_smoke: pusher never connected" >&2
+    cat "$work/iqgw.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+kill -9 "$gw_pid" 2> /dev/null || true
+
+push_rc=0
+wait "$push_pid" || push_rc=$?
+if [ "$push_rc" -ne 3 ]; then
+  echo "soak_smoke: pusher exited $push_rc, expected 3 (push abort)" >&2
+  cat "$work/push.err" >&2
+  exit 1
+fi
+grep -q "aborted mid-stream" "$work/push.err" || {
+  echo "soak_smoke: pusher gave no mid-stream abort diagnostic" >&2
+  cat "$work/push.err" >&2
+  exit 1
+}
+grep -q "push-abort" "$work/push_trace.jsonl" || {
+  echo "soak_smoke: pusher trace holds no push-abort event" >&2
+  exit 1
+}
+echo "soak_smoke: push abort surfaced as exit 3"
+echo "soak_smoke: OK"

@@ -1,0 +1,47 @@
+#include "common/kv_spec.h"
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace lfbs {
+
+std::vector<KvField> parse_kv_spec(const std::string& spec) {
+  std::vector<KvField> fields;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string field = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    LFBS_CHECK_MSG(eq != std::string::npos,
+                   "spec field needs key=value: " + field);
+    fields.push_back({field.substr(0, eq), field.substr(eq + 1)});
+  }
+  return fields;
+}
+
+double kv_number(const KvField& field) {
+  try {
+    return std::stod(field.value);
+  } catch (const std::exception&) {
+    LFBS_CHECK_MSG(false, "spec key '" + field.key +
+                              "' needs a number, got: " + field.value);
+  }
+  return 0.0;  // unreachable
+}
+
+std::uint64_t kv_u64(const KvField& field) {
+  try {
+    return std::stoull(field.value);
+  } catch (const std::exception&) {
+    LFBS_CHECK_MSG(false, "spec key '" + field.key +
+                              "' needs an integer, got: " + field.value);
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace lfbs

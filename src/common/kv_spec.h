@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lfbs {
+
+/// One "key=value" field of a comma-separated spec string.
+struct KvField {
+  std::string key;
+  std::string value;
+};
+
+/// Splits a comma-separated "key=value" spec — the grammar shared by
+/// `--inject-faults` (runtime::parse_fault_plan) and `--chaos`
+/// (net::parse_chaos_config) — into ordered fields. Empty fields between
+/// commas are skipped; a field without '=' throws CheckError so the CLIs
+/// can report it as a usage error. Key interpretation is the caller's job.
+std::vector<KvField> parse_kv_spec(const std::string& spec);
+
+/// std::stod with a typed error naming the offending key (std::stod alone
+/// throws std::invalid_argument with no context).
+double kv_number(const KvField& field);
+
+/// std::stoull with the same typed-error contract as kv_number.
+std::uint64_t kv_u64(const KvField& field);
+
+}  // namespace lfbs

@@ -78,8 +78,10 @@ void FrameRelay::start() {
     cc.port = upstream.port;
     cc.name = config_.name;
     cc.filter = config_.filter;
+    cc.filter.replay_recent = config_.replay_on_reconnect;
     cc.connect_timeout = config_.connect_timeout;
     cc.reconnect_on_evict = true;  // relay links heal themselves
+    cc.reconnect_on_protocol_error = config_.reconnect_on_protocol_error;
     cc.relay_hello = {config_.gateway_id, config_.hop_limit, config_.name};
     link->client = std::make_unique<FrameClient>(std::move(cc));
     Link* raw = link.get();

@@ -56,6 +56,16 @@ struct RelayConfig {
   SubscribeFilter filter;
   std::size_t dedup_capacity = 4096;
   Seconds connect_timeout = 5.0;
+  /// Partition recovery: set replay_recent on every upstream subscription,
+  /// so a (re)connecting link asks for the upstream's recent-frame ring
+  /// (FrameServerConfig::replay_frames) and heals frames missed while the
+  /// link was down. The relay's deduper suppresses the overlap — a healed
+  /// partition costs duplicate transfers, never duplicate deliveries.
+  bool replay_on_reconnect = true;
+  /// Ride out wire corruption on an upstream link by dropping and
+  /// redialing it (FrameClientConfig::reconnect_on_protocol_error) instead
+  /// of abandoning the upstream. Relay links are infrastructure.
+  bool reconnect_on_protocol_error = true;
 };
 
 /// Relay mode: subscribes to one or more upstream gateways and republishes

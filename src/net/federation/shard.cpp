@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -20,16 +21,27 @@ using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kIqChunkSamples = 1 << 16;
 
+/// A dispatched window retained (failover mode) until its result lands, so
+/// a dead worker's in-flight work can be replayed to a survivor.
+struct PendingWindow {
+  bool short_capture = false;
+  std::vector<Complex> samples;
+};
+
 }  // namespace
 
 /// One worker connection plus its in-flight bookkeeping.
 struct ShardedDecoder::WorkerLink {
   TcpConnection conn;
   MessageReader reader;
+  std::size_t index = 0;  ///< position in the pool, for accounting
   bool acked = false;
   bool got_bye = false;
+  bool dead = false;  ///< failed over; conn closed, never touched again
   std::size_t assigned = 0;
   std::map<std::uint64_t, Clock::time_point> dispatched_at;
+  Clock::time_point end_sent_at{};  ///< when kIqEnd went out (bye deadline)
+  bool end_sent = false;
 
   explicit WorkerLink(TcpConnection connection)
       : conn(std::move(connection)) {}
@@ -47,6 +59,10 @@ ShardedDecoder::Result ShardedDecoder::run(runtime::SampleSource& source) {
       obs::metrics().counter("federation.shard_windows");
   static obs::HistogramMetric& latency_hist =
       obs::metrics().histogram("federation.shard_latency_ms");
+  static obs::Counter& workers_lost_counter =
+      obs::metrics().counter("net.failover_workers_lost");
+  static obs::Counter& reassigned_counter =
+      obs::metrics().counter("net.failover_windows_reassigned");
 
   const SampleRate fs = source.sample_rate();
   LFBS_CHECK_MSG(fs > 0.0, "sample source must declare a sample rate");
@@ -61,11 +77,14 @@ ShardedDecoder::Result ShardedDecoder::run(runtime::SampleSource& source) {
   runtime::LatencyRecorder latency;
 
   // --- pool connect + handshake ------------------------------------------
+  // Deliberately strict even in failover mode: a pool that starts broken
+  // is a configuration error, not a runtime fault to ride out.
   std::vector<std::unique_ptr<WorkerLink>> links;
   links.reserve(config_.workers.size());
   for (const auto& endpoint : config_.workers) {
     auto link = std::make_unique<WorkerLink>(TcpConnection::connect(
         endpoint.host, endpoint.port, config_.connect_timeout));
+    link->index = links.size();
     std::vector<std::uint8_t> hello_bytes;
     Hello hello;
     hello.role = PeerRole::kShardCoordinator;
@@ -88,87 +107,170 @@ ShardedDecoder::Result ShardedDecoder::run(runtime::SampleSource& source) {
     links.push_back(std::move(link));
   }
 
+  ShardStats stats;
+  // Failover state: retained in-flight windows, and window indices
+  // harvested from dead links awaiting re-dispatch.
+  std::map<std::uint64_t, PendingWindow> pending;
+  std::deque<std::uint64_t> reassign_queue;
+
+  // Declares a link dead: close it, harvest its outstanding windows into
+  // the reassign queue, count the loss. Never called in strict mode — the
+  // call sites throw instead.
+  const auto fail_link = [&](WorkerLink& link, const char* reason) {
+    if (link.dead) return;
+    link.dead = true;
+    link.conn.close();
+    ++stats.workers_lost;
+    workers_lost_counter.add();
+    for (const auto& [window_index, at] : link.dispatched_at) {
+      (void)at;
+      reassign_queue.push_back(window_index);
+    }
+    if (obs::EventLog* log = obs::event_log()) {
+      log->emit("federation",
+                {obs::Field::str("action", "worker-lost"),
+                 obs::Field::str("reason", reason),
+                 obs::Field::integer("worker",
+                                     static_cast<std::int64_t>(link.index)),
+                 obs::Field::integer("outstanding",
+                                     static_cast<std::int64_t>(
+                                         link.dispatched_at.size()))});
+    }
+    link.dispatched_at.clear();
+  };
+
   // Drains whatever a worker has sent, recording results. Called
   // opportunistically while writing (deadlock avoidance: a worker blocked
   // sending us a result must never stall our IQ send forever) and in the
   // final collection loop.
   const auto drain_incoming = [&](WorkerLink& link) {
+    if (link.dead) return;
     for (;;) {
       std::uint8_t buf[65536];
       const std::ptrdiff_t n = link.conn.read_some(buf, sizeof(buf));
       if (n == -1) return;  // nothing pending
       if (n == 0) {
         if (!link.got_bye) {
-          throw SocketError("shard worker died mid-run");
+          if (!config_.failover) {
+            throw SocketError("shard worker died mid-run");
+          }
+          fail_link(link, "died");
         }
         return;
       }
-      link.reader.feed(buf, static_cast<std::size_t>(n));
-      while (auto message = link.reader.next()) {
-        switch (message->type) {
-          case MsgType::kAck:
-            link.acked = true;
-            break;
-          case MsgType::kShardFrame: {
-            ShardResult result = decode_shard_result(message->body);
-            const auto it = link.dispatched_at.find(result.window_index);
-            if (it != link.dispatched_at.end()) {
-              const double ms =
-                  std::chrono::duration<double, std::milli>(Clock::now() -
-                                                            it->second)
-                      .count();
-              latency_hist.record(ms);
-              latency.record(ms / 1e3);
-              link.dispatched_at.erase(it);
+      try {
+        link.reader.feed(buf, static_cast<std::size_t>(n));
+        while (auto message = link.reader.next()) {
+          switch (message->type) {
+            case MsgType::kAck:
+              link.acked = true;
+              break;
+            case MsgType::kShardFrame: {
+              ShardResult result = decode_shard_result(message->body);
+              const auto it = link.dispatched_at.find(result.window_index);
+              if (it != link.dispatched_at.end()) {
+                const double ms =
+                    std::chrono::duration<double, std::milli>(Clock::now() -
+                                                              it->second)
+                        .count();
+                latency_hist.record(ms);
+                latency.record(ms / 1e3);
+                link.dispatched_at.erase(it);
+              }
+              pending.erase(result.window_index);
+              results.emplace(result.window_index, std::move(result));
+              break;
             }
-            results.emplace(result.window_index, std::move(result));
-            break;
-          }
-          case MsgType::kStats:
-            break;  // informational; workers don't send these today
-          case MsgType::kBye: {
-            const Bye bye = decode_bye(message->body);
-            link.got_bye = true;
-            if (bye.reason != ByeReason::kEndOfStream) {
-              throw SocketError("shard worker closed: " +
-                                std::string(to_string(bye.reason)));
+            case MsgType::kStats:
+              break;  // informational; workers don't send these today
+            case MsgType::kBye: {
+              const Bye bye = decode_bye(message->body);
+              link.got_bye = true;
+              if (bye.reason != ByeReason::kEndOfStream) {
+                if (!config_.failover) {
+                  throw SocketError("shard worker closed: " +
+                                    std::string(to_string(bye.reason)));
+                }
+                fail_link(link, "refused");
+                return;
+              }
+              break;
             }
-            break;
+            default:
+              throw WireFormatError(WireError::kMalformed,
+                                    "unexpected message from shard worker");
           }
-          default:
-            throw WireFormatError(WireError::kMalformed,
-                                  "unexpected message from shard worker");
         }
+      } catch (const WireFormatError&) {
+        // A worker speaking garbage is as lost as a dead one: its results
+        // cannot be trusted past this point.
+        if (!config_.failover) throw;
+        fail_link(link, "garbage");
+        return;
       }
     }
   };
 
+  // Deadline sweep (failover mode): a link whose oldest in-flight window
+  // (or pending Bye) is older than worker_deadline is wedged — fail it so
+  // its work moves to the survivors instead of stalling the run.
+  const auto check_deadlines = [&] {
+    if (!config_.failover) return;
+    const auto now = Clock::now();
+    const auto deadline =
+        std::chrono::duration<double>(config_.worker_deadline);
+    for (auto& link : links) {
+      if (link->dead) continue;
+      bool overdue = false;
+      for (const auto& [window_index, at] : link->dispatched_at) {
+        (void)window_index;
+        if (now - at > deadline) {
+          overdue = true;
+          break;
+        }
+      }
+      if (!overdue && link->end_sent && !link->got_bye &&
+          now - link->end_sent_at > deadline) {
+        overdue = true;
+      }
+      if (overdue) fail_link(*link, "deadline");
+    }
+  };
+
   // Fully writes `bytes` to a worker, draining every link's reads while
-  // the send buffer is full.
+  // the send buffer is full. False when the link died under the write
+  // (failover mode; its outstanding windows are already queued for
+  // reassignment).
   const auto send_all = [&](WorkerLink& link,
-                            const std::vector<std::uint8_t>& bytes) {
+                            const std::vector<std::uint8_t>& bytes) -> bool {
     std::size_t sent = 0;
     while (sent < bytes.size()) {
+      if (link.dead) return false;
       const std::ptrdiff_t n =
           link.conn.write_some(bytes.data() + sent, bytes.size() - sent);
       if (n > 0) {
         sent += static_cast<std::size_t>(n);
         continue;
       }
-      if (n == 0) throw SocketError("shard worker died mid-send");
+      if (n == 0) {
+        if (!config_.failover) {
+          throw SocketError("shard worker died mid-send");
+        }
+        fail_link(link, "died mid-send");
+        return false;
+      }
       std::vector<PollItem> items{{link.conn.fd(), true, true}};
       poll_fds(items, 100);
       for (auto& other : links) drain_incoming(*other);
+      check_deadlines();
     }
+    return true;
   };
 
-  ShardStats stats;
-
-  // Dispatches one window (or the short-capture whole buffer) to a worker.
-  const auto dispatch = [&](std::uint64_t window_index, bool short_capture,
-                            std::vector<Complex> samples) {
-    WorkerLink& link =
-        *links[static_cast<std::size_t>(window_index) % links.size()];
+  // Encodes one assignment (+ its f64 IQ) and writes it to `link`.
+  const auto transmit = [&](WorkerLink& link, std::uint64_t window_index,
+                            bool short_capture,
+                            const std::vector<Complex>& samples) {
     ShardAssign assign;
     assign.window_index = window_index;
     assign.short_capture = short_capture;
@@ -196,12 +298,77 @@ ShardedDecoder::Result ShardedDecoder::run(runtime::SampleSource& source) {
                                static_cast<std::ptrdiff_t>(off + take));
       encode_iq_chunk(chunk, /*f64=*/true, bytes);
     }
+    // Bookkeep before the write: if the link dies mid-send, fail_link
+    // harvests this window into the reassign queue with the rest.
     link.dispatched_at.emplace(window_index, Clock::now());
     ++link.assigned;
+    if (!send_all(link, bytes)) return;
+    drain_incoming(link);
+  };
+
+  // Round-robin over the surviving links, nullptr when none remain.
+  std::size_t rr_cursor = 0;
+  const auto pick_alive = [&]() -> WorkerLink* {
+    for (std::size_t tries = 0; tries < links.size(); ++tries) {
+      WorkerLink* link = links[rr_cursor++ % links.size()].get();
+      if (!link->dead) return link;
+    }
+    return nullptr;
+  };
+
+  // Re-dispatches windows harvested from dead links. Each iteration either
+  // lands a window on a survivor or kills another link, so it terminates;
+  // zero survivors with work outstanding is the loud failure.
+  const auto pump_reassign = [&] {
+    while (!reassign_queue.empty()) {
+      const std::uint64_t window_index = reassign_queue.front();
+      reassign_queue.pop_front();
+      if (results.find(window_index) != results.end()) continue;
+      const auto it = pending.find(window_index);
+      if (it == pending.end()) continue;  // result landed before the death
+      WorkerLink* target = pick_alive();
+      if (target == nullptr) {
+        throw SocketError("shard failover: no workers left (window " +
+                          std::to_string(window_index) + " outstanding)");
+      }
+      ++stats.windows_reassigned;
+      reassigned_counter.add();
+      if (obs::EventLog* log = obs::event_log()) {
+        log->emit("federation",
+                  {obs::Field::str("action", "reassign"),
+                   obs::Field::integer(
+                       "window", static_cast<std::int64_t>(window_index)),
+                   obs::Field::integer(
+                       "worker", static_cast<std::int64_t>(target->index))});
+      }
+      transmit(*target, window_index, it->second.short_capture,
+               it->second.samples);
+    }
+  };
+
+  // Dispatches one window (or the short-capture whole buffer) to a worker.
+  const auto dispatch = [&](std::uint64_t window_index, bool short_capture,
+                            std::vector<Complex> samples) {
     ++stats.windows_assigned;
     windows_counter.add();
-    send_all(link, bytes);
-    drain_incoming(link);
+    WorkerLink* link =
+        links[static_cast<std::size_t>(window_index) % links.size()].get();
+    if (link->dead) link = pick_alive();
+    if (link == nullptr) {
+      throw SocketError("shard failover: no workers left to assign window " +
+                        std::to_string(window_index));
+    }
+    if (config_.failover) {
+      const auto it =
+          pending
+              .emplace(window_index,
+                       PendingWindow{short_capture, std::move(samples)})
+              .first;
+      transmit(*link, window_index, short_capture, it->second.samples);
+    } else {
+      transmit(*link, window_index, short_capture, samples);
+    }
+    pump_reassign();
   };
 
   // --- IqSharder: the runtime assembler's slicing, verbatim --------------
@@ -291,22 +458,48 @@ ShardedDecoder::Result ShardedDecoder::run(runtime::SampleSource& source) {
     expected_windows = next_window_index;
   }
 
-  // --- end of input: close every link and collect stragglers -------------
-  for (auto& link : links) {
-    std::vector<std::uint8_t> end_bytes;
-    encode_iq_end({0, false}, end_bytes);
-    send_all(*link, end_bytes);
-  }
-  while (std::any_of(links.begin(), links.end(),
-                     [](const auto& l) { return !l->got_bye; })) {
+  // --- end of input: collect every window, then close the links ----------
+  // iq_end is deferred until every result is in hand: a survivor may still
+  // be needed to take over a dead worker's outstanding windows.
+  pump_reassign();
+  while (results.size() < expected_windows) {
     std::vector<PollItem> items;
     for (const auto& link : links) {
-      if (!link->got_bye) items.push_back({link->conn.fd(), true, false});
+      if (!link->dead) items.push_back({link->conn.fd(), true, false});
+    }
+    if (items.empty()) {
+      throw SocketError(
+          "shard failover: no workers left with " +
+          std::to_string(expected_windows - results.size()) +
+          " window(s) outstanding");
+    }
+    poll_fds(items, 250);
+    for (auto& link : links) drain_incoming(*link);
+    check_deadlines();
+    pump_reassign();
+  }
+  for (auto& link : links) {
+    if (link->dead) continue;
+    std::vector<std::uint8_t> end_bytes;
+    encode_iq_end({0, false}, end_bytes);
+    link->end_sent = true;
+    link->end_sent_at = Clock::now();
+    send_all(*link, end_bytes);
+  }
+  while (std::any_of(links.begin(), links.end(), [](const auto& l) {
+    return !l->dead && !l->got_bye;
+  })) {
+    std::vector<PollItem> items;
+    for (const auto& link : links) {
+      if (!link->dead && !link->got_bye) {
+        items.push_back({link->conn.fd(), true, false});
+      }
     }
     poll_fds(items, 250);
     for (auto& link : links) {
-      if (!link->got_bye) drain_incoming(*link);
+      if (!link->dead && !link->got_bye) drain_incoming(*link);
     }
+    check_deadlines();
   }
 
   // Strict completeness: every window must have come back.

@@ -24,6 +24,21 @@ struct ShardConfig {
   Seconds connect_timeout = 5.0;
   /// Epoch stamped on published frames, like RuntimeConfig::epoch_index.
   std::uint64_t epoch_index = 0;
+  /// Worker failover (default on): a link that dies mid-run, speaks
+  /// garbage, or blows worker_deadline is closed and its outstanding
+  /// windows are reassigned to surviving workers — the run completes
+  /// bit-identical to serial WindowedDecoder (window seeds are index-
+  /// mixed, so *which* worker decodes a window cannot change its bits).
+  /// The run still fails loudly when zero workers remain, and the initial
+  /// pool connect stays strict either way (a pool that starts broken is a
+  /// configuration error, not a fault to ride out). false restores the
+  /// pre-failover stance: any mid-run death throws SocketError.
+  bool failover = true;
+  /// Per-link stall deadline: a worker whose *oldest* outstanding window
+  /// has been in flight this long is declared dead (failover mode only).
+  /// Also bounds the post-run wait for a worker's Bye. Generous default —
+  /// a window decode is milliseconds; 30 s means genuinely wedged.
+  Seconds worker_deadline = 30.0;
 };
 
 struct ShardStats {
@@ -36,6 +51,10 @@ struct ShardStats {
   /// Dispatch-to-result latency per window, aggregated across workers.
   double shard_latency_p50_ms = 0.0;
   double shard_latency_p99_ms = 0.0;
+  /// Failover accounting: links declared dead mid-run and the outstanding
+  /// windows re-dispatched to survivors (0/0 on a healthy pool).
+  std::size_t workers_lost = 0;
+  std::size_t windows_reassigned = 0;
 };
 
 /// Cross-process sharded decode: the IqSharder half slices a sample source
@@ -54,10 +73,15 @@ struct ShardStats {
 /// DecodeResult bit-identical to core::WindowedDecoder::decode on the same
 /// capture — the tests enforce it across real processes.
 ///
-/// Failure stance: strict. A worker that dies mid-run fails the run with
-/// SocketError (no silent holes in the capture); reassignment/retry is a
-/// deliberate non-goal at this layer — the caller re-runs against a
-/// healthy pool.
+/// Failure stance: strict about *results*, resilient about *workers*. With
+/// ShardConfig::failover (the default) a worker that dies, stalls past
+/// worker_deadline, or speaks garbage mid-run is dropped and its
+/// outstanding windows are re-dispatched to the survivors; the completed
+/// run is still bit-identical to the serial decode, and ShardStats records
+/// workers_lost / windows_reassigned. Only zero surviving workers (or a
+/// pool that fails its initial connect — that is a configuration error)
+/// fails the run with SocketError. failover=false restores the strict
+/// stance: any mid-run death throws, no silent holes, caller re-runs.
 class ShardedDecoder {
  public:
   struct Result {

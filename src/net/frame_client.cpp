@@ -1,5 +1,6 @@
 #include "net/frame_client.h"
 
+#include <chrono>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -14,7 +15,28 @@ struct SessionEnd {
   Bye bye;
 };
 
+/// Per-client auto seed: the name hash mixed with a process-wide
+/// construction counter. Deterministic for a given construction order,
+/// distinct across the N tailers a process builds — which is exactly what
+/// de-lockstepping their backoff schedules needs.
+std::uint64_t auto_backoff_seed(const std::string& name) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  return std::hash<std::string>{}(name) ^
+         (0x9e3779b97f4a7c15ull * (n + 1));
+}
+
 }  // namespace
+
+Seconds backoff_jitter_delay(Rng& rng, Seconds cap) {
+  return rng.uniform(0.0, cap);
+}
+
+FrameClient::FrameClient(FrameClientConfig config)
+    : config_(std::move(config)),
+      backoff_rng_(config_.backoff_seed != 0
+                       ? config_.backoff_seed
+                       : auto_backoff_seed(config_.name)) {}
 
 void FrameClient::set_filter(const SubscribeFilter& filter) {
   std::lock_guard lock(filter_mutex_);
@@ -27,7 +49,7 @@ SubscribeFilter FrameClient::filter() const {
 }
 
 TcpConnection FrameClient::connect_with_backoff() {
-  Seconds backoff = config_.backoff_initial;
+  Seconds cap = config_.backoff_initial;
   std::size_t attempt = 0;
   for (;;) {
     try {
@@ -36,8 +58,11 @@ TcpConnection FrameClient::connect_with_backoff() {
     } catch (const SocketError&) {
       if (attempt >= config_.max_connect_attempts) throw;
       ++attempt;
-      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      backoff = std::min(backoff * 2.0, config_.backoff_max);
+      const Seconds wait = config_.backoff_jitter
+                               ? backoff_jitter_delay(backoff_rng_, cap)
+                               : cap;
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      cap = std::min(cap * 2.0, config_.backoff_max);
     }
   }
 }
@@ -85,8 +110,22 @@ Bye FrameClient::run(const Callbacks& callbacks) {
     bool connection_alive = sent == handshake.size();
     // hello ack + subscribe ack (+ relay-hello ack when announcing)
     std::size_t acks_pending = is_relay ? 3 : 2;
+    const auto session_start = std::chrono::steady_clock::now();
+    const auto handshake_deadline =
+        session_start +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(config_.connect_timeout));
     while (connection_alive && !end.got_bye &&
            !stop_.load(std::memory_order_relaxed)) {
+      // A server that accepted the dial but never answers the handshake
+      // (e.g. a dying gateway whose backlog completed our connect) is a
+      // dead connection, not a quiet one — without this a client could
+      // poll a silent socket forever.
+      if (acks_pending > 0 &&
+          std::chrono::steady_clock::now() > handshake_deadline) {
+        connection_alive = false;
+        break;
+      }
       std::vector<PollItem> items{{conn.fd(), true, false}};
       poll_fds(items, 100);
       if (!items[0].readable && !items[0].error) continue;
@@ -97,46 +136,56 @@ Bye FrameClient::run(const Callbacks& callbacks) {
         connection_alive = false;
         break;
       }
-      reader.feed(buf, static_cast<std::size_t>(n));
-      while (auto message = reader.next()) {
-        switch (message->type) {
-          case MsgType::kAck: {
-            const Ack ack = decode_ack(message->body);
-            if (ack.status != 0) {
-              throw WireFormatError(WireError::kMalformed,
-                                    "server refused: " + ack.text);
-            }
-            if (acks_pending > 0 && --acks_pending == 0) {
-              ++counters_.connects;
-              if (ever_connected) {
-                ++counters_.reconnects;
-                obs::metrics().counter("net.client_reconnects").add();
+      try {
+        reader.feed(buf, static_cast<std::size_t>(n));
+        while (auto message = reader.next()) {
+          switch (message->type) {
+            case MsgType::kAck: {
+              const Ack ack = decode_ack(message->body);
+              if (ack.status != 0) {
+                throw WireFormatError(WireError::kMalformed,
+                                      "server refused: " + ack.text);
               }
-              ever_connected = true;
+              if (acks_pending > 0 && --acks_pending == 0) {
+                ++counters_.connects;
+                if (ever_connected) {
+                  ++counters_.reconnects;
+                  obs::metrics().counter("net.client_reconnects").add();
+                }
+                ever_connected = true;
+              }
+              break;
             }
-            break;
+            case MsgType::kFrame: {
+              const runtime::FrameEvent event = decode_frame(message->body);
+              ++counters_.frames_received;
+              if (callbacks.on_frame) callbacks.on_frame(event);
+              break;
+            }
+            case MsgType::kStats: {
+              const WireStats stats = decode_stats(message->body);
+              ++counters_.stats_received;
+              if (callbacks.on_stats) callbacks.on_stats(stats);
+              break;
+            }
+            case MsgType::kBye:
+              end.got_bye = true;
+              end.bye = decode_bye(message->body);
+              break;
+            default:
+              throw WireFormatError(WireError::kMalformed,
+                                    "unexpected message from server");
           }
-          case MsgType::kFrame: {
-            const runtime::FrameEvent event = decode_frame(message->body);
-            ++counters_.frames_received;
-            if (callbacks.on_frame) callbacks.on_frame(event);
-            break;
-          }
-          case MsgType::kStats: {
-            const WireStats stats = decode_stats(message->body);
-            ++counters_.stats_received;
-            if (callbacks.on_stats) callbacks.on_stats(stats);
-            break;
-          }
-          case MsgType::kBye:
-            end.got_bye = true;
-            end.bye = decode_bye(message->body);
-            break;
-          default:
-            throw WireFormatError(WireError::kMalformed,
-                                  "unexpected message from server");
+          if (end.got_bye) break;
         }
-        if (end.got_bye) break;
+      } catch (const WireFormatError&) {
+        // Corrupted bytes (or a hostile peer). Under the reconnect flag a
+        // garbled stream is just another dead connection: drop it and let
+        // the reconnect path below rebuild the subscription from scratch.
+        if (!config_.reconnect_on_protocol_error) throw;
+        ++counters_.protocol_resets;
+        obs::metrics().counter("net.client_protocol_resets").add();
+        connection_alive = false;
       }
     }
     if (end.got_bye) {

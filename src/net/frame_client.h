@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "net/socket.h"
 #include "net/wire.h"
@@ -19,6 +20,9 @@ struct FrameClientConfig {
   std::uint16_t port = 0;
   std::string name = "lfbs-client";
   SubscribeFilter filter;
+  /// Bounds each dial AND the handshake that follows it: a server that
+  /// accepts the connection but never acks within this window counts as a
+  /// dead connection (reconnect path, not a hang).
   Seconds connect_timeout = 5.0;
   /// Reconnect policy. The defaults are literally the Supervisor's source
   /// retry policy — a lost gateway link is the same kind of transient fault
@@ -27,6 +31,22 @@ struct FrameClientConfig {
       runtime::SupervisorConfig{}.max_source_retries;
   Seconds backoff_initial = runtime::SupervisorConfig{}.retry_backoff_initial;
   Seconds backoff_max = runtime::SupervisorConfig{}.retry_backoff_max;
+  /// Full-jitter backoff (sleep = U[0, cap), cap doubling up to
+  /// backoff_max). Without jitter every client evicted by the same server
+  /// death retries on the same deterministic schedule — a thundering herd
+  /// that re-arrives in lockstep forever. Seeded, so a given client's
+  /// schedule is still reproducible.
+  bool backoff_jitter = true;
+  /// Seed for the jitter Rng; 0 (default) derives a per-client seed from
+  /// the client name and a process-wide construction counter, so N tailers
+  /// built in one process spread out deterministically but differently.
+  std::uint64_t backoff_seed = 0;
+  /// Treat a WireFormatError mid-stream (corrupted bytes, a peer speaking
+  /// garbage) like a dead connection: drop it, reconnect, resubscribe —
+  /// counted in protocol_resets. Default off: a plain tail should fail
+  /// loudly on a malformed server rather than retry it forever. The relay
+  /// and the soak harness turn it on to ride out wire corruption.
+  bool reconnect_on_protocol_error = false;
   /// Treat Bye(kEvicted) like a dead connection: reconnect (and
   /// resubscribe, with the current filter) instead of returning. What the
   /// federation relay wants — an evicted relay link should heal itself —
@@ -44,11 +64,13 @@ struct FrameClientConfig {
 /// budget is spent (SocketError / WireFormatError propagate).
 ///
 /// A connection that dies *without* a Bye — server crash, network cut — is
-/// treated as transient: the client reconnects with exponential backoff and
-/// resubscribes, counting the reconnect. Frames already delivered are never
-/// replayed (the server has no history), so a reconnect can miss frames;
-/// consumers that need exactly-the-full-stream check the final WireStats
-/// frame count, which the gateway publishes before Bye(kEndOfStream).
+/// treated as transient: the client reconnects with full-jitter exponential
+/// backoff and resubscribes, counting the reconnect. A reconnect can miss
+/// frames published while disconnected; subscribers that set
+/// SubscribeFilter::replay_recent against a server with a replay ring heal
+/// the gap (deduping the overlap by frame identity), and consumers that
+/// need exactly-the-full-stream check the final WireStats frame count,
+/// which the gateway publishes before Bye(kEndOfStream).
 class FrameClient {
  public:
   struct Counters {
@@ -56,6 +78,7 @@ class FrameClient {
     std::size_t reconnects = 0;  ///< recoveries after a dead connection
     std::size_t resubscribes = 0;  ///< filters re-applied on reconnect
     std::size_t evictions = 0;   ///< Bye(kEvicted) received
+    std::size_t protocol_resets = 0;  ///< reconnects after WireFormatError
     std::size_t frames_received = 0;
     std::size_t stats_received = 0;
   };
@@ -65,7 +88,7 @@ class FrameClient {
     std::function<void(const WireStats&)> on_stats;
   };
 
-  explicit FrameClient(FrameClientConfig config) : config_(std::move(config)) {}
+  explicit FrameClient(FrameClientConfig config);
 
   /// Blocks until the server closes the subscription. Returns the Bye that
   /// ended it, or a synthesized Bye(kShuttingDown) after stop().
@@ -88,8 +111,14 @@ class FrameClient {
 
   FrameClientConfig config_;
   Counters counters_;
+  Rng backoff_rng_;
   std::atomic<bool> stop_{false};
   mutable std::mutex filter_mutex_;
 };
+
+/// One full-jitter draw: uniform in [0, cap). The exact primitive
+/// FrameClient sleeps on between connect attempts, exposed so tests can
+/// prove the schedule's spread and per-seed determinism directly.
+Seconds backoff_jitter_delay(Rng& rng, Seconds cap);
 
 }  // namespace lfbs::net

@@ -21,6 +21,7 @@ struct NetCounters {
   obs::Counter& bytes_sent = obs::metrics().counter("net.bytes_sent");
   obs::Counter& protocol_errors =
       obs::metrics().counter("net.protocol_errors");
+  obs::Counter& replays_sent = obs::metrics().counter("net.replays_sent");
 };
 
 NetCounters& net_metrics() {
@@ -122,6 +123,12 @@ void FrameServer::publish(const runtime::FrameEvent& event) {
   bool encoded = false;
   {
     std::lock_guard lock(mutex_);
+    if (config_.replay_frames > 0) {
+      replay_ring_.push_back(*out);
+      while (replay_ring_.size() > config_.replay_frames) {
+        replay_ring_.pop_front();
+      }
+    }
     for (const auto& client : clients_) {
       if (client->dead || client->closing || client->evict) continue;
       if (!client->subscribed || !client->filter.accepts(*out)) continue;
@@ -176,6 +183,13 @@ void FrameServer::shutdown(bool drain) {
   {
     std::lock_guard lock(mutex_);
     accepting_ = false;
+    // Close the listener, not just stop polling it: a half-open backlog
+    // would keep completing TCP handshakes for clients redialing a dying
+    // server, and those clients would then wait forever for an ack no one
+    // will send. Closed, their dials fail fast and their retry budgets
+    // bound them. (The loop thread only touches the listener under this
+    // mutex, so closing here is safe; port() stays valid, it is cached.)
+    impl_->listener.close();
     draining_ = true;
     if (!drain) {
       // Skip the queue flush: clients get a best-effort Bye and the
@@ -290,6 +304,24 @@ void FrameServer::handle_incoming(Client& client) {
           encode_ack({0, "subscribed"}, ack);
           client.queue.push_back({std::move(ack), false});
           emit_event("subscribe", client.id);
+          if (client.filter.replay_recent && !replay_ring_.empty()) {
+            // Heal a resubscriber's partition gap from the ring, oldest
+            // first, through the same filter and slow-consumer policy as
+            // live traffic. The overlap with frames it already saw is the
+            // consumer's to dedup (by frame identity).
+            std::size_t replayed = 0;
+            for (const runtime::FrameEvent& past : replay_ring_) {
+              if (client.evict) break;
+              if (!client.filter.accepts(past)) continue;
+              std::vector<std::uint8_t> bytes;
+              encode_frame(past, bytes);
+              enqueue_locked(client, bytes, /*is_frame=*/true);
+              ++replayed;
+            }
+            counters_.replays_sent += replayed;
+            net_metrics().replays_sent.add(replayed);
+            emit_event("replay", client.id, replayed);
+          }
           cv_.notify_all();
         } else if (message->type == MsgType::kBye) {
           close_client_locked(client, "disconnect");

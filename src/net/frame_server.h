@@ -50,6 +50,14 @@ struct FrameServerConfig {
   /// frames coming back around a cycle. 0 = not federated; frames go out
   /// unstamped, exactly the pre-federation wire behaviour.
   std::uint64_t origin_id = 0;
+  /// Bounded ring of the most recently published frames (post origin
+  /// stamping), replayed — oldest first, through the subscriber's filter
+  /// and slow-consumer policy — to any client whose subscribe sets
+  /// SubscribeFilter::replay_recent. Partition recovery for relays and
+  /// tailers: a resubscriber heals frames it missed while disconnected
+  /// and dedups the overlap by frame identity. 0 (default) keeps no
+  /// history and replays nothing.
+  std::size_t replay_frames = 0;
 };
 
 /// TCP fan-out of decoded frames: bridges a runtime::FrameBus (or direct
@@ -76,6 +84,7 @@ class FrameServer {
     std::size_t protocol_errors = 0;  ///< clients that sent garbage
     std::size_t subscribers = 0;      ///< currently subscribed clients
     std::size_t relays = 0;           ///< peers that announced a RelayHello
+    std::size_t replays_sent = 0;     ///< ring frames queued to resubscribers
   };
 
   /// Binds and starts the event loop. Throws SocketError when the port
@@ -133,6 +142,7 @@ class FrameServer {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::deque<runtime::FrameEvent> replay_ring_;
   Counters counters_;
   bool stop_ = false;
   bool accepting_ = true;

@@ -1,5 +1,6 @@
 #include "net/iq_ingest.h"
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace lfbs::net {
@@ -185,15 +186,29 @@ std::uint64_t push_iq(const std::string& host, std::uint16_t port,
   }
 
   std::uint64_t total = 0;
-  while (auto chunk = source.next_chunk()) {
+  try {
+    while (auto chunk = source.next_chunk()) {
+      bytes.clear();
+      encode_iq_chunk(*chunk, f64, bytes);
+      write_all(conn, bytes);
+      total += chunk->samples.size();
+    }
     bytes.clear();
-    encode_iq_chunk(*chunk, f64, bytes);
+    encode_iq_end({total, false}, bytes);
     write_all(conn, bytes);
-    total += chunk->samples.size();
+  } catch (const SocketError& error) {
+    // Past the ack the receiver owns part of the stream; surface the death
+    // as the typed mid-stream abort so callers can tell it from a failed
+    // dial (and count it — dashboards watch this during soaks).
+    obs::metrics().counter("net.push_aborts").add();
+    if (obs::EventLog* log = obs::event_log()) {
+      log->emit("net", {obs::Field::str("action", "push-abort"),
+                        obs::Field::integer(
+                            "samples", static_cast<std::int64_t>(total))});
+    }
+    throw PushAborted(std::string("iq push aborted mid-stream after ") +
+                      std::to_string(total) + " samples: " + error.what());
   }
-  bytes.clear();
-  encode_iq_end({total, false}, bytes);
-  write_all(conn, bytes);
   obs::metrics().counter("net.iq_samples_out").add(total);
   return total;
 }

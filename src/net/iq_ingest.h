@@ -65,11 +65,23 @@ class RemoteIqSource : public runtime::SampleSource {
   bool truncated_ = false;
 };
 
+/// The receiver died *mid-stream* — after it acknowledged the handshake
+/// and the pusher started streaming chunks. Distinct from a connect or
+/// handshake failure (plain SocketError) because the caller's stance
+/// differs: the stream is partially delivered and simply redialing would
+/// replay samples the receiver may have half-decoded. push_iq counts every
+/// one under the `net.push_aborts` metric; `lfbs_gateway --push` maps it
+/// to its own exit code.
+struct PushAborted : SocketError {
+  using SocketError::SocketError;
+};
+
 /// Capture-side helper: connect to a RemoteIqSource, declare `rate`, stream
 /// every chunk of `source`, finish with IqEnd. `f64` sends full doubles so
 /// the remote decode is bit-identical to a local one; false quantizes to
 /// float32 (half the bytes, LFBSIQ1 precision). Returns samples pushed.
-/// Throws SocketError / WireFormatError on connection or handshake failure.
+/// Throws SocketError / WireFormatError on connection or handshake failure,
+/// PushAborted when the receiver dies after the stream started.
 std::uint64_t push_iq(const std::string& host, std::uint16_t port,
                       runtime::SampleSource& source, bool f64,
                       Seconds connect_timeout = 5.0,

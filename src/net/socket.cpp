@@ -1,5 +1,6 @@
 #include "net/socket.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
@@ -9,7 +10,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
+
+#include "net/chaos/chaos.h"
 
 namespace lfbs::net {
 
@@ -41,7 +45,10 @@ sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
 }  // namespace
 
 void FdHandle::reset() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    if (ChaosEngine* chaos = chaos_engine()) chaos->untrack(fd_);
+    ::close(fd_);
+  }
   fd_ = -1;
 }
 
@@ -79,6 +86,9 @@ FdHandle TcpListener::accept() {
   const int one = 1;
   // Frames are small and latency-sensitive; never wait for Nagle.
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (ChaosEngine* chaos = chaos_engine()) {
+    if (chaos->config().on_accept) chaos->track(fd);
+  }
   return handle;
 }
 
@@ -86,6 +96,13 @@ TcpConnection::TcpConnection(FdHandle fd) : fd_(std::move(fd)) {}
 
 TcpConnection TcpConnection::connect(const std::string& host,
                                      std::uint16_t port, Seconds timeout) {
+  ChaosEngine* chaos = chaos_engine();
+  if (chaos && chaos->config().on_connect) {
+    const std::string where = host + ":" + std::to_string(port);
+    if (chaos->connect_refused(where)) {
+      throw SocketError("connect " + where + ": refused (chaos)");
+    }
+  }
   FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket");
   set_nonblocking(fd.get());
@@ -121,13 +138,33 @@ TcpConnection TcpConnection::connect(const std::string& host,
   }
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (chaos && chaos->config().on_connect) chaos->track(fd.get());
   return TcpConnection(std::move(fd));
 }
 
 std::ptrdiff_t TcpConnection::read_some(std::uint8_t* buf, std::size_t n) {
+  if (ChaosEngine* chaos = chaos_engine()) {
+    // May cap n (truncation): the real read below then returns a prefix,
+    // keeping the byte stream itself intact.
+    switch (chaos->before_read(fd_.get(), n)) {
+      case ChaosEngine::Verdict::kDead:
+        return 0;  // injected reset reads as EOF, like the real thing
+      case ChaosEngine::Verdict::kBlocked:
+        return -1;  // stall / inbound partition: nothing arrived
+      case ChaosEngine::Verdict::kPass:
+        break;
+    }
+  }
   for (;;) {
     const ssize_t rc = ::recv(fd_.get(), buf, n, 0);
-    if (rc >= 0) return rc;
+    if (rc >= 0) {
+      if (rc > 0) {
+        if (ChaosEngine* chaos = chaos_engine()) {
+          chaos->after_read(fd_.get(), buf, static_cast<std::size_t>(rc));
+        }
+      }
+      return rc;
+    }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
     return 0;  // connection reset and friends read as EOF
@@ -136,6 +173,16 @@ std::ptrdiff_t TcpConnection::read_some(std::uint8_t* buf, std::size_t n) {
 
 std::ptrdiff_t TcpConnection::write_some(const std::uint8_t* buf,
                                          std::size_t n) {
+  if (ChaosEngine* chaos = chaos_engine()) {
+    switch (chaos->before_write(fd_.get(), n)) {
+      case ChaosEngine::Verdict::kDead:
+        return 0;  // injected reset: dead connection, like a broken pipe
+      case ChaosEngine::Verdict::kBlocked:
+        return -1;  // stall / outbound partition: send buffer "full"
+      case ChaosEngine::Verdict::kPass:
+        break;
+    }
+  }
   for (;;) {
     const ssize_t rc = ::send(fd_.get(), buf, n, MSG_NOSIGNAL);
     if (rc >= 0) return rc;
@@ -191,6 +238,25 @@ int poll_fds(std::vector<PollItem>& items, int timeout_ms) {
     items[i].readable = (re & (POLLIN | POLLHUP)) != 0;
     items[i].writable = (re & POLLOUT) != 0;
     items[i].error = (re & (POLLERR | POLLNVAL)) != 0;
+  }
+  if (ChaosEngine* chaos = chaos_engine()) {
+    // Hide readiness on fds inside a stall/partition window, else event
+    // loops would spin on a readable fd whose read_some keeps refusing.
+    bool masked = false;
+    for (PollItem& item : items) {
+      if (item.readable || item.writable) {
+        if (chaos->mask_poll(item.fd, item.readable, item.writable)) {
+          masked = true;
+          if (!item.readable && !item.writable && !item.error) --ready;
+        }
+      }
+    }
+    if (masked && ready <= 0) {
+      // Everything ready was masked: nap briefly so the caller's retry
+      // loop idles instead of hot-spinning while the window runs down.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ready = std::max(ready, 0);
+    }
   }
   return ready;
 }

@@ -63,6 +63,11 @@ class TcpListener {
   /// Non-blocking accept: invalid handle when no connection is pending.
   FdHandle accept();
 
+  /// Stops listening for good: the kernel backlog is gone, so concurrent
+  /// dials fail fast (ECONNREFUSED) instead of completing a TCP handshake
+  /// no accept() will ever service. port() keeps reporting the old port.
+  void close() { fd_.reset(); }
+
  private:
   FdHandle fd_;
   std::uint16_t port_ = 0;

@@ -107,6 +107,7 @@ void encode_subscribe(const SubscribeFilter& filter,
   put_f64(out, filter.min_rate);
   put_f64(out, filter.max_rate);
   put_u8(out, filter.crc_valid_only ? 1 : 0);
+  put_u8(out, filter.replay_recent ? 1 : 0);
   end_message(out, at);
 }
 
@@ -117,6 +118,7 @@ SubscribeFilter decode_subscribe(std::span<const std::uint8_t> body) {
   filter.min_rate = c.get_f64();
   filter.max_rate = c.get_f64();
   filter.crc_valid_only = (c.get_u8() & 1) != 0;
+  filter.replay_recent = (c.get_u8() & 1) != 0;
   return filter;
 }
 

@@ -31,9 +31,11 @@ constexpr char kWireMagic[6] = {'L', 'F', 'B', 'W', '1', '\0'};
 /// Version 2: kFrame grew identity coordinates and the relay header
 /// (epoch/window/frame indices, origin gateway, hop count), and the
 /// federation messages (kRelayHello, kShardAssign, kShardFrame) joined
-/// the protocol. Both changes are incompatible with v1 peers, and the
+/// the protocol. Version 3: kSubscribe grew the replay_recent flag
+/// (partition recovery — resubscribers may ask for the server's recent
+/// frame ring). Each change is incompatible with older peers, and the
 /// hello check rejects them before any frame is parsed.
-constexpr std::uint16_t kWireVersion = 2;
+constexpr std::uint16_t kWireVersion = 3;
 
 /// Upper bound on one message body. Protects the receiver from a garbled
 /// (or hostile) length prefix triggering a huge allocation — the same
@@ -115,6 +117,12 @@ struct SubscribeFilter {
   BitRate min_rate = 0.0;       ///< drop streams slower than this (0 = off)
   BitRate max_rate = 0.0;       ///< drop streams faster than this (0 = off)
   bool crc_valid_only = false;  ///< deliver only CRC-clean frames
+  /// Ask the server to replay its recent-frame ring (FrameServerConfig::
+  /// replay_frames, newest last, filtered like live traffic) right after
+  /// the subscribe ack. Partition recovery: a resubscribing consumer heals
+  /// the frames it missed while disconnected and dedups the overlap by
+  /// frame identity. Servers with no ring ack and replay nothing.
+  bool replay_recent = false;
 
   bool accepts(const runtime::FrameEvent& event) const;
 };

@@ -8,41 +8,31 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/kv_spec.h"
 
 namespace lfbs::runtime {
 
 FaultPlan parse_fault_plan(const std::string& spec) {
   FaultPlan plan;
-  std::size_t begin = 0;
-  while (begin < spec.size()) {
-    std::size_t end = spec.find(',', begin);
-    if (end == std::string::npos) end = spec.size();
-    const std::string field = spec.substr(begin, end - begin);
-    begin = end + 1;
-    if (field.empty()) continue;
-    const std::size_t eq = field.find('=');
-    LFBS_CHECK_MSG(eq != std::string::npos,
-                   "fault spec field needs key=value: " + field);
-    const std::string key = field.substr(0, eq);
-    const std::string value = field.substr(eq + 1);
-    if (key == "seed") {
-      plan.seed = std::stoull(value);
-    } else if (key == "drop") {
-      plan.drop_chunk = std::stod(value);
-    } else if (key == "truncate") {
-      plan.truncate_chunk = std::stod(value);
-    } else if (key == "corrupt") {
-      plan.corrupt_sample = std::stod(value);
-    } else if (key == "stall") {
-      plan.stall = std::stod(value);
-    } else if (key == "stall-ms") {
-      plan.stall_duration = std::stod(value) * 1e-3;
-    } else if (key == "error") {
-      plan.transient_error = std::stod(value);
-    } else if (key == "eof") {
-      plan.premature_eof = std::stod(value);
+  for (const KvField& field : parse_kv_spec(spec)) {
+    if (field.key == "seed") {
+      plan.seed = kv_u64(field);
+    } else if (field.key == "drop") {
+      plan.drop_chunk = kv_number(field);
+    } else if (field.key == "truncate") {
+      plan.truncate_chunk = kv_number(field);
+    } else if (field.key == "corrupt") {
+      plan.corrupt_sample = kv_number(field);
+    } else if (field.key == "stall") {
+      plan.stall = kv_number(field);
+    } else if (field.key == "stall-ms") {
+      plan.stall_duration = kv_number(field) * 1e-3;
+    } else if (field.key == "error") {
+      plan.transient_error = kv_number(field);
+    } else if (field.key == "eof") {
+      plan.premature_eof = kv_number(field);
     } else {
-      LFBS_CHECK_MSG(false, "unknown fault spec key: " + key);
+      LFBS_CHECK_MSG(false, "unknown fault spec key: " + field.key);
     }
   }
   return plan;

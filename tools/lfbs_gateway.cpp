@@ -46,7 +46,17 @@
 // 2 usage/IO error; 130/143 after SIGINT/SIGTERM (graceful drain first).
 // Tail: 0 clean end-of-stream with complete delivery, 1 incomplete
 // (evicted, frames missed, or server stopped early), 2 connection error.
-// Push: 0 on a fully acknowledged stream, 2 on any failure.
+// Push: 0 on a fully acknowledged stream, 3 when the receiver died
+// mid-stream (after the handshake; counted under net.push_aborts),
+// 2 on any other failure (bad dial, refused handshake, usage).
+//
+// Robustness knobs:
+//   --replay N   serve/relay: keep the last N published frames and replay
+//                them to subscribers that ask (filter replay_recent) — the
+//                partition-recovery ring relay links heal from
+//   --chaos SPEC deterministic socket fault injection for this process
+//                (key=value[,key=value...]; see docs/DESIGN.md §4g). Test
+//                instrumentation only — faults are injected, not real.
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -59,6 +69,7 @@
 
 #include "common/rng.h"
 #include "common/shutdown.h"
+#include "net/chaos/chaos.h"
 #include "net/federation/relay.h"
 #include "net/federation/shard.h"
 #include "net/federation/shard_worker.h"
@@ -92,8 +103,8 @@ void usage() {
       "serve options: [--port N] [--port-file PATH] [--wait-subscriber S]\n"
       "               [--queue-frames N] [--evict-slow] [--send-buffer N]\n"
       "               [--workers N] [--crc5] [--payload N] [--windowed MS]\n"
-      "               [--gateway-id N] [--shard HOST:PORT ...]\n"
-      "               [--trace-out PATH]\n");
+      "               [--gateway-id N] [--shard HOST:PORT ...] [--replay N]\n"
+      "               [--trace-out PATH] [--chaos SPEC]\n");
 }
 
 bool split_host_port(const std::string& spec, std::string& host,
@@ -194,6 +205,11 @@ int run_push(const std::string& spec, const std::string& capture, bool f64) {
                  static_cast<unsigned long long>(pushed),
                  source.sample_rate() / 1e6, f64 ? "f64" : "f32");
     return 0;
+  } catch (const net::PushAborted& e) {
+    // Typed: the receiver acknowledged the stream then died under it.
+    // Scripts can tell this (3) from a dead/refusing receiver (2).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
@@ -246,6 +262,8 @@ int main(int argc, char** argv) {
   std::uint64_t gateway_id = 0;
   int hop_limit = 4;
   bool shard_worker_mode = false;
+  std::size_t replay_frames = 0;
+  std::string chaos_spec;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -303,6 +321,10 @@ int main(int argc, char** argv) {
       hop_limit = atoi(argv[++i]);
     } else if (arg == "--shard-worker") {
       shard_worker_mode = true;
+    } else if (arg == "--replay" && i + 1 < argc) {
+      replay_frames = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      chaos_spec = argv[++i];
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (!arg.empty() && arg[0] != '-') {
@@ -313,15 +335,59 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!connect_spec.empty()) {
-    return run_tail(connect_spec, min_confidence, crc_only, quiet);
-  }
-  if (!push_spec.empty()) {
-    if (capture.empty()) {
-      std::fprintf(stderr, "error: --push needs a capture file\n");
+  // Chaos install covers every role — tail, push, relay, serve, worker —
+  // so soak scripts can point the same --chaos spec at any process.
+  std::unique_ptr<net::ChaosEngine> chaos_engine;
+  std::optional<net::ChaosScope> chaos_scope;
+  if (!chaos_spec.empty()) {
+    try {
+      chaos_engine =
+          std::make_unique<net::ChaosEngine>(net::parse_chaos_config(chaos_spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: bad --chaos spec: %s\n", e.what());
       return 2;
     }
-    return run_push(push_spec, capture, f64);
+    chaos_scope.emplace(*chaos_engine);
+  }
+
+  // Telemetry likewise: every role can --trace-out its net.* / chaos
+  // events (the soak scripts read the pusher's abort event from here).
+  std::unique_ptr<obs::JsonlWriter> telemetry_writer;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::EventLog> event_log;
+  if (!trace_out.empty()) {
+    telemetry_writer = std::make_unique<obs::JsonlWriter>(trace_out);
+    if (!telemetry_writer->ok()) {
+      std::fprintf(stderr, "error: cannot open --trace-out %s\n",
+                   trace_out.c_str());
+      return 2;
+    }
+    tracer = std::make_unique<obs::Tracer>();
+    tracer->set_sink(telemetry_writer.get());
+    obs::set_tracer(tracer.get());
+    event_log = std::make_unique<obs::EventLog>(*telemetry_writer);
+    obs::set_event_log(event_log.get());
+  }
+  const auto flush_telemetry = [&] {
+    if (tracer) tracer->flush();
+    if (telemetry_writer) telemetry_writer->flush();
+    obs::set_tracer(nullptr);
+    obs::set_event_log(nullptr);
+  };
+
+  // --- client roles: tail / push ------------------------------------------
+  if (!connect_spec.empty() || !push_spec.empty()) {
+    int code;
+    if (!connect_spec.empty()) {
+      code = run_tail(connect_spec, min_confidence, crc_only, quiet);
+    } else if (capture.empty()) {
+      std::fprintf(stderr, "error: --push needs a capture file\n");
+      code = 2;
+    } else {
+      code = run_push(push_spec, capture, f64);
+    }
+    flush_telemetry();
+    return code;
   }
   const int source_modes = (capture.empty() ? 0 : 1) +
                            (scenario_mode ? 1 : 0) + (iq_listen ? 1 : 0);
@@ -356,31 +422,16 @@ int main(int argc, char** argv) {
       watcher.join();
       std::fprintf(stderr, "gateway: shard worker decoded %zu windows\n",
                    windows);
+      flush_telemetry();
       return shutdown_exit_code(0);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
+      flush_telemetry();
       return 2;
     }
   }
 
   // --- serve / relay -------------------------------------------------------
-  std::unique_ptr<obs::JsonlWriter> telemetry_writer;
-  std::unique_ptr<obs::Tracer> tracer;
-  std::unique_ptr<obs::EventLog> event_log;
-  if (!trace_out.empty()) {
-    telemetry_writer = std::make_unique<obs::JsonlWriter>(trace_out);
-    if (!telemetry_writer->ok()) {
-      std::fprintf(stderr, "error: cannot open --trace-out %s\n",
-                   trace_out.c_str());
-      return 2;
-    }
-    tracer = std::make_unique<obs::Tracer>();
-    tracer->set_sink(telemetry_writer.get());
-    obs::set_tracer(tracer.get());
-    event_log = std::make_unique<obs::EventLog>(*telemetry_writer);
-    obs::set_event_log(event_log.get());
-  }
-
   int exit_code = 2;
 
   // --- relay: republish upstream gateways on an own frame port ------------
@@ -397,6 +448,7 @@ int main(int argc, char** argv) {
                                     : net::SlowConsumerPolicy::kDropOldest;
       sc.send_buffer_bytes = send_buffer;
       sc.origin_id = gateway_id;
+      sc.replay_frames = replay_frames;
       net::FrameServer server(sc);
       std::fprintf(stderr, "gateway: relay %llu serving frames on port %u\n",
                    static_cast<unsigned long long>(gateway_id),
@@ -464,10 +516,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       exit_code = 2;
     }
-    if (tracer) tracer->flush();
-    if (telemetry_writer) telemetry_writer->flush();
-    obs::set_tracer(nullptr);
-    obs::set_event_log(nullptr);
+    flush_telemetry();
     return shutdown_exit_code(exit_code);
   }
 
@@ -479,6 +528,7 @@ int main(int argc, char** argv) {
                                   : net::SlowConsumerPolicy::kDropOldest;
     sc.send_buffer_bytes = send_buffer;
     sc.origin_id = gateway_id;
+    sc.replay_frames = replay_frames;
     net::FrameServer server(sc);
     std::fprintf(stderr, "gateway: serving frames on port %u\n",
                  server.port());
@@ -609,9 +659,6 @@ int main(int argc, char** argv) {
     exit_code = 2;
   }
 
-  if (tracer) tracer->flush();
-  if (telemetry_writer) telemetry_writer->flush();
-  obs::set_tracer(nullptr);
-  obs::set_event_log(nullptr);
+  flush_telemetry();
   return shutdown_exit_code(exit_code);
 }

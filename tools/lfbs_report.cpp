@@ -15,6 +15,8 @@
 //   net      → gateway activity: connects, subscribes, per-client
 //              disconnect accounting (frames sent / queue drops),
 //              evictions, protocol errors
+//   chaos    → injected-fault breakdown per fault class, when the run
+//              carried a --chaos spec
 //   snapshot → count only (periodic metric snapshots)
 //
 // Exit status: 0 on a parseable stream (even an empty one); 2 when the
@@ -70,6 +72,7 @@ int main(int argc, char** argv) {
   std::size_t net_drops = 0;
   std::map<std::string, std::size_t> federation_actions;
   std::vector<std::string> federation_log;
+  std::map<std::string, std::size_t> chaos_faults;
   std::int64_t relay_max_hops = 0;
   std::size_t snapshots = 0;
   std::size_t lines_total = 0;
@@ -154,6 +157,8 @@ int main(int argc, char** argv) {
             " frames, p99 " +
             sim::fmt(v.member_num("latency_p99_ms", 0.0), 2) + " ms");
       }
+    } else if (type == "chaos") {
+      ++chaos_faults[std::string(v.member_str("fault", "?"))];
     } else if (type == "snapshot") {
       ++snapshots;
     }
@@ -240,6 +245,17 @@ int main(int argc, char** argv) {
                   static_cast<long long>(relay_max_hops));
     }
     for (const auto& f : federation_log) std::printf("  %s\n", f.c_str());
+  }
+  if (!chaos_faults.empty()) {
+    std::printf("\n== chaos ==\n");
+    sim::Table table({"fault", "count"});
+    std::size_t total = 0;
+    for (const auto& [fault, count] : chaos_faults) {
+      table.add_row({fault, std::to_string(count)});
+      total += count;
+    }
+    table.print();
+    std::printf("%zu faults injected\n", total);
   }
   return 0;
 }

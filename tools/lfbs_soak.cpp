@@ -1,0 +1,503 @@
+// lfbs_soak: chaos soak of the network plane, all on loopback in one
+// process. Every epoch runs the full distributed topology end to end:
+//
+//   shard worker pool (threads, real TCP)
+//        ^ kShardAssign / kShardFrame
+//   ShardedDecoder coordinator ── FrameBus ──> FrameServer A (origin 1)
+//        FrameRelay (gateway 2) <─ subscribe ─┘
+//             └─> FrameServer B ──> tail FrameClient
+//
+// and replays the same pre-built capture under a fresh epoch_index, so
+// every published frame has a unique identity for exactly-once accounting.
+// With --chaos SPEC the socket layer injects deterministic faults into
+// every connect-side link (coordinator→worker, relay→A, tail→B); the run
+// must then *heal* — shard failover, replay-ring partition recovery,
+// full-jitter reconnect — or the attempt is counted failed and retried.
+//
+// Per successful attempt the harness asserts:
+//   - closure: the tail's unique frame identities == the identities the
+//     coordinator published (nothing lost, nothing invented);
+//   - exactly-once: duplicates at the tail only ever come from replay
+//     healing (zero without chaos), never from double publishes;
+//   - bit-stability: the published frame count matches the serial
+//     WindowedDecoder reference on the same capture.
+// Across the run it asserts bounded memory (VmRSS may not grow more than
+// --rss-limit-mb over its post-warmup baseline) and walks a health ladder
+// (healthy → degraded on any failed attempt → failed past
+// --max-consecutive-failures), printing every transition.
+//
+// Exit status: 0 soak completed healthy or degraded-but-recovered, 1 any
+// soak assertion failed, 2 usage error. 130/143 after SIGINT/SIGTERM.
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "common/rng.h"
+#include "common/shutdown.h"
+#include "core/windowed_decoder.h"
+#include "net/chaos/chaos.h"
+#include "net/federation/relay.h"
+#include "net/federation/shard.h"
+#include "net/federation/shard_worker.h"
+#include "net/frame_client.h"
+#include "net/frame_server.h"
+#include "obs/events.h"
+#include "obs/trace.h"
+#include "protocol/frame.h"
+#include "reader/receiver.h"
+#include "runtime/frame_bus.h"
+#include "runtime/sample_source.h"
+#include "runtime/stats.h"
+#include "tag/tag.h"
+
+using namespace lfbs;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: lfbs_soak [--epochs N] [--tags N] [--duration-ms MS]\n"
+      "                 [--workers N] [--chaos SPEC] [--replay N]\n"
+      "                 [--seed N] [--rss-limit-mb N]\n"
+      "                 [--worker-deadline S] [--max-consecutive-failures N]\n"
+      "                 [--report-every N] [--trace-out PATH]\n");
+}
+
+/// Current resident set in bytes, from /proc/self/status (0 if unreadable).
+std::size_t rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<std::size_t>(atoll(line.c_str() + 6)) * 1024;
+    }
+  }
+  return 0;
+}
+
+/// The federation tests' capture shape: `tags` tags stream frames for
+/// `duration` through the full channel model — a real multi-window decode.
+signal::SampleBuffer make_capture(std::size_t num_tags, Seconds duration,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  reader::ReceiverConfig rc;
+  rc.sample_rate = 5.0 * kMsps;
+  rc.noise_power = 1e-5;
+  channel::ChannelModel ch;
+  std::vector<tag::Tag> tags;
+  protocol::FrameConfig fc;
+  for (std::size_t i = 0; i < num_tags; ++i) {
+    ch.add_tag(std::polar(rng.uniform(0.08, 0.2), rng.uniform(0.0, 6.2831)));
+    tag::TagConfig tc;
+    tc.clock.drift_ppm = 40.0;
+    tc.incoming_energy = rng.uniform(0.7, 1.3);
+    tags.emplace_back(tc, rng);
+  }
+  std::vector<signal::StateTimeline> timelines;
+  for (auto& t : tags) {
+    std::vector<std::vector<bool>> frames;
+    const auto n = static_cast<std::size_t>((duration - 1e-3) *
+                                            (100.0 * kKbps) / 113.0);
+    for (std::size_t f = 0; f < n; ++f) {
+      frames.push_back(protocol::build_frame(rng.bits(96), fc));
+    }
+    timelines.push_back(t.transmit_epoch(frames, duration, rng).timeline);
+  }
+  reader::Receiver receiver(rc, ch);
+  return receiver.receive_epoch(timelines, duration, rng);
+}
+
+struct SoakOptions {
+  std::size_t epochs = 50;
+  std::size_t tags = 2;
+  double duration_ms = 50.0;
+  std::size_t workers = 2;
+  std::string chaos_spec;
+  std::size_t replay = 256;
+  std::uint64_t seed = 11;
+  std::size_t rss_limit_mb = 64;
+  double worker_deadline = 5.0;
+  std::size_t max_consecutive_failures = 20;
+  std::size_t report_every = 10;
+  std::string trace_out;
+};
+
+struct AttemptOutcome {
+  bool ok = false;
+  std::string error;          ///< first failure cause, empty when ok
+  std::size_t published = 0;  ///< frames the coordinator put on the bus
+  std::size_t delivered = 0;  ///< unique identities that reached the tail
+  std::size_t duplicates = 0; ///< replay-healed re-deliveries at the tail
+  std::size_t workers_lost = 0;
+  std::size_t windows_reassigned = 0;
+  std::size_t tail_reconnects = 0;
+};
+
+/// One end-to-end epoch: coordinator → server A → relay → server B → tail.
+AttemptOutcome run_attempt(const signal::SampleBuffer& capture,
+                           const core::WindowedDecoderConfig& wc,
+                           const std::vector<net::federation::ShardWorkerEndpoint>& pool,
+                           std::uint64_t epoch_index,
+                           const SoakOptions& opt) {
+  AttemptOutcome out;
+
+  net::federation::ShardConfig shc;
+  shc.windowed = wc;
+  shc.workers = pool;
+  shc.name = "lfbs-soak-coordinator";
+  shc.epoch_index = epoch_index;
+  shc.worker_deadline = opt.worker_deadline;
+  net::federation::ShardedDecoder sharded(shc);
+
+  std::mutex published_mutex;
+  std::set<std::uint64_t> published_keys;
+  const auto sub = sharded.bus().subscribe([&](const runtime::FrameEvent& e) {
+    std::lock_guard lock(published_mutex);
+    published_keys.insert(runtime::frame_identity(e).key());
+  });
+
+  net::FrameServerConfig sa;
+  sa.origin_id = 1;
+  sa.replay_frames = opt.replay;
+  net::FrameServer server_a(sa);
+  server_a.attach(sharded.bus());
+
+  net::FrameServerConfig sb;
+  sb.origin_id = 2;
+  sb.replay_frames = opt.replay;
+  net::FrameServer server_b(sb);
+
+  net::federation::RelayConfig rc;
+  rc.gateway_id = 2;
+  rc.name = "lfbs-soak-relay";
+  rc.upstreams = {{"127.0.0.1", server_a.port()}};
+  net::federation::FrameRelay relay(rc, server_b);
+
+  // Tail: replay-healing, self-reconnecting, exactly-once bookkeeping.
+  net::FrameClientConfig cc;
+  cc.port = server_b.port();
+  cc.name = "lfbs-soak-tail";
+  cc.filter.replay_recent = true;
+  cc.reconnect_on_evict = true;
+  cc.reconnect_on_protocol_error = true;
+  net::FrameClient tail(cc);
+  std::mutex tail_mutex;
+  std::set<std::uint64_t> tail_keys;
+  std::size_t tail_duplicates = 0;
+  std::string tail_error;
+  std::thread tail_thread([&] {
+    net::FrameClient::Callbacks callbacks;
+    callbacks.on_frame = [&](const runtime::FrameEvent& e) {
+      std::lock_guard lock(tail_mutex);
+      if (!tail_keys.insert(runtime::frame_identity(e).key()).second) {
+        ++tail_duplicates;
+      }
+    };
+    try {
+      tail.run(callbacks);
+    } catch (const std::exception& e) {
+      std::lock_guard lock(tail_mutex);
+      tail_error = e.what();
+    }
+  });
+
+  // Deterministic spin-up: tail on B, then the relay link on A, then decode.
+  server_b.wait_for_subscriber(5.0);
+  relay.start();
+  server_a.wait_for_subscriber(5.0);
+
+  std::string run_error;
+  runtime::RuntimeStats stats;
+  try {
+    runtime::MemorySource source(capture, 1 << 14);
+    const auto result = sharded.run(source);
+    stats.frames_published = result.stats.frames_published;
+    out.workers_lost = result.stats.workers_lost;
+    out.windows_reassigned = result.stats.windows_reassigned;
+  } catch (const std::exception& e) {
+    run_error = e.what();
+  }
+
+  // Teardown in stream order so every hop sees a drained Bye.
+  server_a.detach();
+  server_a.publish_stats(stats);
+  server_a.shutdown(/*drain=*/true);
+  relay.join();
+  relay.stop();
+  runtime::RuntimeStats relay_stats;
+  relay_stats.frames_published = relay.counters().relayed;
+  server_b.publish_stats(relay_stats);
+  server_b.shutdown(/*drain=*/true);
+  // No tail.stop(): the drained shutdown guarantees a Bye is in flight, and
+  // stopping early would race the tail out of its last queued frames. If
+  // the tail instead died and is redialing, the closed listener bounds its
+  // retries.
+  tail_thread.join();
+  sharded.bus().unsubscribe(sub);
+
+  std::lock_guard lock(tail_mutex);
+  out.published = published_keys.size();
+  out.delivered = tail_keys.size();
+  out.duplicates = tail_duplicates;
+  out.tail_reconnects = tail.counters().reconnects;
+  if (!run_error.empty()) {
+    out.error = "coordinator: " + run_error;
+  } else if (out.published == 0) {
+    out.error = "decode published no frames";
+  } else if (tail_keys != published_keys) {
+    out.error = "closure: tail saw " + std::to_string(out.delivered) +
+                " unique frames of " + std::to_string(out.published) +
+                " published";
+    if (!tail_error.empty()) out.error += " (tail: " + tail_error + ")";
+  }
+  out.ok = out.error.empty();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SoakOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--epochs" && i + 1 < argc) {
+      opt.epochs = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--tags" && i + 1 < argc) {
+      opt.tags = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--duration-ms" && i + 1 < argc) {
+      opt.duration_ms = atof(argv[++i]);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      opt.workers = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      opt.chaos_spec = argv[++i];
+    } else if (arg == "--replay" && i + 1 < argc) {
+      opt.replay = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opt.seed = static_cast<std::uint64_t>(atoll(argv[++i]));
+    } else if (arg == "--rss-limit-mb" && i + 1 < argc) {
+      opt.rss_limit_mb = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--worker-deadline" && i + 1 < argc) {
+      opt.worker_deadline = atof(argv[++i]);
+    } else if (arg == "--max-consecutive-failures" && i + 1 < argc) {
+      opt.max_consecutive_failures =
+          static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--report-every" && i + 1 < argc) {
+      opt.report_every = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      opt.trace_out = argv[++i];
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (opt.epochs == 0 || opt.workers == 0) {
+    usage();
+    return 2;
+  }
+
+  std::unique_ptr<obs::JsonlWriter> telemetry_writer;
+  std::unique_ptr<obs::EventLog> event_log;
+  if (!opt.trace_out.empty()) {
+    telemetry_writer = std::make_unique<obs::JsonlWriter>(opt.trace_out);
+    if (!telemetry_writer->ok()) {
+      std::fprintf(stderr, "error: cannot open --trace-out %s\n",
+                   opt.trace_out.c_str());
+      return 2;
+    }
+    event_log = std::make_unique<obs::EventLog>(*telemetry_writer);
+    obs::set_event_log(event_log.get());
+  }
+
+  std::unique_ptr<net::ChaosEngine> chaos_engine;
+  std::optional<net::ChaosScope> chaos_scope;
+  if (!opt.chaos_spec.empty()) {
+    try {
+      chaos_engine = std::make_unique<net::ChaosEngine>(
+          net::parse_chaos_config(opt.chaos_spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: bad --chaos spec: %s\n", e.what());
+      return 2;
+    }
+    chaos_scope.emplace(*chaos_engine);
+  }
+
+  // --- capture + serial reference (once; every epoch replays it) ---------
+  const signal::SampleBuffer capture =
+      make_capture(opt.tags, opt.duration_ms * 1e-3, opt.seed);
+  core::WindowedDecoderConfig wc;
+  const core::DecodeResult reference =
+      core::WindowedDecoder(wc).decode(capture);
+  std::size_t reference_frames = 0;
+  for (const auto& stream : reference.streams) {
+    reference_frames += stream.frames.size();
+  }
+  if (reference_frames == 0) {
+    std::fprintf(stderr, "error: soak capture decodes to no frames "
+                         "(raise --tags / --duration-ms)\n");
+    return 2;
+  }
+  std::fprintf(stderr,
+               "soak: capture %.1f ms, %zu tags, %zu reference frames, "
+               "%zu workers, chaos %s\n",
+               opt.duration_ms, opt.tags, reference_frames, opt.workers,
+               opt.chaos_spec.empty() ? "off" : opt.chaos_spec.c_str());
+
+  // --- persistent worker pool (threads; sessions come and go) ------------
+  std::atomic<bool> pool_stop{false};
+  std::vector<std::unique_ptr<net::federation::ShardWorker>> workers;
+  std::vector<std::thread> worker_threads;
+  std::vector<net::federation::ShardWorkerEndpoint> pool;
+  for (std::size_t i = 0; i < opt.workers; ++i) {
+    workers.push_back(std::make_unique<net::federation::ShardWorker>(
+        net::federation::ShardWorkerConfig{
+            "127.0.0.1", 0, "soak-worker-" + std::to_string(i)}));
+    pool.push_back({"127.0.0.1", workers.back()->port()});
+  }
+  for (auto& worker : workers) {
+    worker_threads.emplace_back([&pool_stop, &worker] {
+      while (!pool_stop.load(std::memory_order_relaxed)) {
+        try {
+          worker->serve();  // one coordinator session (or a chaos casualty)
+        } catch (const std::exception&) {
+          // A chaos'd coordinator link can die mid-session; the worker is
+          // stateless, so just go back to accepting.
+        }
+      }
+    });
+  }
+
+  install_shutdown_handlers();
+
+  // --- the epoch loop ----------------------------------------------------
+  using runtime::HealthState;
+  HealthState health = HealthState::kHealthy;
+  const auto transition = [&](HealthState to, const std::string& why) {
+    if (to <= health) return;
+    std::fprintf(stderr, "soak: health %s -> %s (%s)\n",
+                 runtime::to_string(health), runtime::to_string(to),
+                 why.c_str());
+    if (obs::EventLog* log = obs::event_log()) {
+      log->emit("soak", {obs::Field::str("action", "health"),
+                         obs::Field::str("to", runtime::to_string(to)),
+                         obs::Field::str("why", why)});
+    }
+    health = to;
+  };
+
+  std::size_t completed = 0, attempts = 0, failures = 0, consecutive = 0;
+  std::size_t delivered_total = 0, duplicates_total = 0;
+  std::size_t workers_lost_total = 0, reassigned_total = 0;
+  std::size_t rss_baseline = 0;
+  bool interrupted = false;
+  while (completed < opt.epochs) {
+    if (shutdown_flag().load()) {
+      interrupted = true;
+      break;
+    }
+    const std::uint64_t epoch_index = attempts++;  // monotonic per attempt
+    const AttemptOutcome outcome =
+        run_attempt(capture, wc, pool, epoch_index, opt);
+    delivered_total += outcome.delivered;
+    duplicates_total += outcome.duplicates;
+    workers_lost_total += outcome.workers_lost;
+    reassigned_total += outcome.windows_reassigned;
+    if (outcome.ok && outcome.published != reference_frames) {
+      // Sharded + relayed output must stay pinned to the serial reference.
+      transition(HealthState::kFailed,
+                 "epoch " + std::to_string(epoch_index) + " published " +
+                     std::to_string(outcome.published) + " frames, serial "
+                     "reference has " + std::to_string(reference_frames));
+      break;
+    }
+    if (outcome.ok) {
+      ++completed;
+      consecutive = 0;
+      if (rss_baseline == 0) rss_baseline = rss_bytes();  // post-warmup
+      if (opt.report_every > 0 && completed % opt.report_every == 0) {
+        std::fprintf(stderr,
+                     "soak: %zu/%zu epochs, %zu attempts, %zu dup replays, "
+                     "%zu workers lost, %zu windows reassigned, rss %.1f MB\n",
+                     completed, opt.epochs, attempts, duplicates_total,
+                     workers_lost_total, reassigned_total,
+                     rss_bytes() / 1048576.0);
+      }
+    } else {
+      ++failures;
+      ++consecutive;
+      transition(HealthState::kDegraded,
+                 "attempt " + std::to_string(epoch_index) + " failed: " +
+                     outcome.error);
+      if (consecutive > opt.max_consecutive_failures) {
+        transition(HealthState::kFailed,
+                   std::to_string(consecutive) +
+                       " consecutive failed attempts");
+        break;
+      }
+    }
+  }
+
+  pool_stop.store(true);
+  for (auto& worker : workers) worker->stop();
+  for (auto& thread : worker_threads) thread.join();
+
+  // --- final assertions + summary ----------------------------------------
+  const std::size_t rss_final = rss_bytes();
+  if (rss_baseline > 0 &&
+      rss_final > rss_baseline + opt.rss_limit_mb * 1048576) {
+    transition(HealthState::kFailed,
+               "rss grew from " + std::to_string(rss_baseline / 1048576) +
+                   " MB to " + std::to_string(rss_final / 1048576) + " MB");
+  }
+  if (opt.chaos_spec.empty() && duplicates_total > 0) {
+    // Without chaos nothing reconnects, so nothing may ever replay.
+    transition(HealthState::kFailed,
+               std::to_string(duplicates_total) +
+                   " duplicate deliveries on a fault-free run");
+  }
+  if (!interrupted && completed < opt.epochs) {
+    transition(HealthState::kFailed, "soak aborted before all epochs ran");
+  }
+
+  std::fprintf(stderr,
+               "soak: %zu/%zu epochs over %zu attempts (%zu failed), "
+               "%zu frames delivered exactly-once, %zu dup replays healed, "
+               "%zu workers lost, %zu windows reassigned, "
+               "rss %.1f -> %.1f MB, health %s\n",
+               completed, opt.epochs, attempts, failures, delivered_total,
+               duplicates_total, workers_lost_total, reassigned_total,
+               rss_baseline / 1048576.0, rss_final / 1048576.0,
+               runtime::to_string(health));
+  if (chaos_engine) {
+    const net::ChaosStats cs = chaos_engine->stats();
+    std::fprintf(stderr,
+                 "soak: chaos injected %llu faults (%llu refused, %llu "
+                 "resets, %llu stalls, %llu partitions, %llu truncations, "
+                 "%llu corruptions, %llu delays) across %llu sockets\n",
+                 static_cast<unsigned long long>(cs.faults()),
+                 static_cast<unsigned long long>(cs.connects_refused),
+                 static_cast<unsigned long long>(cs.resets),
+                 static_cast<unsigned long long>(cs.stalls),
+                 static_cast<unsigned long long>(cs.partitions),
+                 static_cast<unsigned long long>(cs.truncations),
+                 static_cast<unsigned long long>(cs.corruptions),
+                 static_cast<unsigned long long>(cs.delays),
+                 static_cast<unsigned long long>(cs.fds_tracked));
+  }
+
+  if (telemetry_writer) telemetry_writer->flush();
+  obs::set_event_log(nullptr);
+  return shutdown_exit_code(health == HealthState::kFailed ? 1 : 0);
+}

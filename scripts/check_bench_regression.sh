@@ -5,7 +5,14 @@
 #   - effective decode throughput (serial_msps, samples/sec) may not drop
 #     more than 15% below the baseline;
 #   - window-latency p99 (window_latency_p99_ms) may not rise more than
-#     15% above the baseline.
+#     15% above the baseline;
+#   - gateway publish rate (publish_kfps, frames/sec through
+#     FrameServer::publish with admission on) may not drop more than 15%
+#     below the baseline;
+#   - publish-path admission overhead (publish_admission_overhead_pct,
+#     admission on vs off) is capped absolutely at 2% — overload
+#     protection must cost the stitcher thread almost nothing when
+#     nothing is shed.
 #
 # The bench is run fresh (--json) and its numbers are compared with awk;
 # a baseline that lacks a metric skips that check with a notice instead of
@@ -13,12 +20,14 @@
 #
 # Usage: scripts/check_bench_regression.sh [build-dir] [baseline.json]
 #   build-dir defaults to build; baseline defaults to BENCH_summary.json.
-# Env: LFBS_BENCH_TOLERANCE_PCT overrides the 15% threshold.
+# Env: LFBS_BENCH_TOLERANCE_PCT overrides the 15% threshold;
+#      LFBS_PUBLISH_OVERHEAD_CAP_PCT overrides the 2% publish cap.
 set -e
 
 build="${1:-build}"
 baseline="${2:-BENCH_summary.json}"
 tolerance="${LFBS_BENCH_TOLERANCE_PCT:-15}"
+publish_cap="${LFBS_PUBLISH_OVERHEAD_CAP_PCT:-2}"
 
 bench="$build/bench/bench_runtime_throughput"
 if [ ! -x "$bench" ]; then
@@ -82,6 +91,26 @@ check serial_msps \
 check window_latency_p99_ms \
       "$(extract "$fresh" window_latency_p99_ms)" \
       "$(extract "$baseline" window_latency_p99_ms)" max
+check publish_kfps \
+      "$(extract "$fresh" publish_kfps)" \
+      "$(extract "$baseline" publish_kfps)" min
+
+# Absolute cap, not baseline-relative: admission overhead on the publish
+# path is a contract (≤2%), not a trend.
+overhead="$(extract "$fresh" publish_admission_overhead_pct)"
+if [ -z "$overhead" ]; then
+  echo "check_bench_regression: FAIL — bench emitted no" \
+       "publish_admission_overhead_pct" >&2
+  failures=$((failures + 1))
+else
+  verdict=$(awk -v o="$overhead" -v cap="$publish_cap" \
+                'BEGIN { print (o <= cap) ? "OK" : "FAIL" }')
+  echo "check_bench_regression: publish_admission_overhead_pct" \
+       "fresh=$overhead cap=$publish_cap -> $verdict"
+  if [ "$verdict" = "FAIL" ]; then
+    failures=$((failures + 1))
+  fi
+fi
 
 if [ "$failures" -gt 0 ]; then
   echo "check_bench_regression: $failures metric(s) regressed >$tolerance%" >&2

@@ -1,0 +1,118 @@
+#include "net/admission.h"
+
+#include <cstdlib>
+
+namespace lfbs::net {
+
+const char* to_string(QuotaError code) {
+  switch (code) {
+    case QuotaError::kEmpty:
+      return "empty clause";
+    case QuotaError::kBadKey:
+      return "unknown key";
+    case QuotaError::kBadValue:
+      return "bad value";
+  }
+  return "?";
+}
+
+namespace {
+
+double parse_number(const std::string& key, const std::string& value) {
+  if (value.empty()) {
+    throw QuotaParseError(QuotaError::kBadValue,
+                          "quota clause '" + key + "' has no value");
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || parsed < 0.0) {
+    throw QuotaParseError(QuotaError::kBadValue,
+                          "quota clause '" + key + "=" + value +
+                              "' wants a non-negative number");
+  }
+  return parsed;
+}
+
+}  // namespace
+
+AdmissionConfig parse_quota_spec(const std::string& spec) {
+  if (spec.empty()) {
+    throw QuotaParseError(QuotaError::kEmpty, "empty quota spec");
+  }
+  AdmissionConfig config;
+  config.enabled = true;
+  std::size_t at = 0;
+  while (at <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', at), spec.size());
+    const std::string clause = spec.substr(at, comma - at);
+    at = comma + 1;
+    if (clause.empty()) {
+      throw QuotaParseError(QuotaError::kEmpty,
+                            "empty clause in quota spec '" + spec + "'");
+    }
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos) {
+      throw QuotaParseError(QuotaError::kBadValue,
+                            "quota clause '" + clause + "' is not key=value");
+    }
+    const std::string key = clause.substr(0, eq);
+    const std::string value = clause.substr(eq + 1);
+    const double parsed = parse_number(key, value);
+    if (key == "conns") {
+      config.max_connections = static_cast<std::size_t>(parsed);
+    } else if (key == "retry-after") {
+      config.retry_after = parsed;
+    } else if (key == "be-clients") {
+      config.best_effort.max_clients = static_cast<std::size_t>(parsed);
+    } else if (key == "be-fps") {
+      config.best_effort.max_frames_per_sec = parsed;
+    } else if (key == "be-queue-kb") {
+      config.best_effort.max_queue_bytes =
+          static_cast<std::size_t>(parsed) * 1024;
+    } else if (key == "prio-clients") {
+      config.priority.max_clients = static_cast<std::size_t>(parsed);
+    } else if (key == "prio-fps") {
+      config.priority.max_frames_per_sec = parsed;
+    } else if (key == "prio-queue-kb") {
+      config.priority.max_queue_bytes =
+          static_cast<std::size_t>(parsed) * 1024;
+    } else {
+      throw QuotaParseError(QuotaError::kBadKey,
+                            "unknown quota key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+AdmissionDecision AdmissionController::admit_connection(
+    std::size_t active_connections) const {
+  if (!config_.enabled) return {};
+  if (config_.max_connections > 0 &&
+      active_connections >= config_.max_connections) {
+    return {false, config_.retry_after, "connection budget exhausted"};
+  }
+  return {};
+}
+
+AdmissionDecision AdmissionController::admit_class(ClientClass cls) {
+  if (!config_.enabled) return {};
+  const ClassQuota& quota = config_.quota(cls);
+  std::size_t& count =
+      cls == ClientClass::kPriority ? priority_ : best_effort_;
+  if (quota.max_clients > 0 && count >= quota.max_clients) {
+    return {false, config_.retry_after,
+            cls == ClientClass::kPriority
+                ? "priority subscriber budget exhausted"
+                : "best-effort subscriber budget exhausted"};
+  }
+  ++count;
+  return {};
+}
+
+void AdmissionController::release_class(ClientClass cls) {
+  std::size_t& count =
+      cls == ClientClass::kPriority ? priority_ : best_effort_;
+  if (count > 0) --count;
+}
+
+}  // namespace lfbs::net

@@ -83,6 +83,10 @@ void FrameRelay::start() {
     cc.reconnect_on_evict = true;  // relay links heal themselves
     cc.reconnect_on_protocol_error = config_.reconnect_on_protocol_error;
     cc.relay_hello = {config_.gateway_id, config_.hop_limit, config_.name};
+    // Federation links are infrastructure: an overloaded upstream sheds
+    // best-effort tailers and backpressures its decoder before it drops a
+    // single frame destined for another gateway.
+    cc.client_class = ClientClass::kPriority;
     link->client = std::make_unique<FrameClient>(std::move(cc));
     Link* raw = link.get();
     link->thread = std::thread([this, raw] {

@@ -63,6 +63,8 @@ ShardedDecoder::Result ShardedDecoder::run(runtime::SampleSource& source) {
       obs::metrics().counter("net.failover_workers_lost");
   static obs::Counter& reassigned_counter =
       obs::metrics().counter("net.failover_windows_reassigned");
+  static obs::Counter& budget_throttles_counter =
+      obs::metrics().counter("net.shard_budget_throttles");
 
   const SampleRate fs = source.sample_rate();
   LFBS_CHECK_MSG(fs > 0.0, "sample source must declare a sample rate");
@@ -112,6 +114,26 @@ ShardedDecoder::Result ShardedDecoder::run(runtime::SampleSource& source) {
   // harvested from dead links awaiting re-dispatch.
   std::map<std::uint64_t, PendingWindow> pending;
   std::deque<std::uint64_t> reassign_queue;
+
+  // Budget accounting (failover mode): every retained window's sample
+  // bytes are charged against the shared pool while the window is in
+  // flight and released when its result lands. The guard squares the
+  // books on every exit path — including the throws below — so a failed
+  // run never leaks its in-flight bytes into the gateway's pool.
+  const auto pending_bytes = [](const PendingWindow& w) {
+    return w.samples.size() * sizeof(Complex);
+  };
+  struct PendingBudgetGuard {
+    ResourceBudget* budget;
+    const std::map<std::uint64_t, PendingWindow>& pending;
+    ~PendingBudgetGuard() {
+      if (budget == nullptr) return;
+      for (const auto& [index, w] : pending) {
+        (void)index;
+        budget->release(w.samples.size() * sizeof(Complex));
+      }
+    }
+  } budget_guard{config_.failover ? config_.budget : nullptr, pending};
 
   // Declares a link dead: close it, harvest its outstanding windows into
   // the reassign queue, count the loss. Never called in strict mode — the
@@ -177,7 +199,13 @@ ShardedDecoder::Result ShardedDecoder::run(runtime::SampleSource& source) {
                 latency.record(ms / 1e3);
                 link.dispatched_at.erase(it);
               }
-              pending.erase(result.window_index);
+              const auto pit = pending.find(result.window_index);
+              if (pit != pending.end()) {
+                if (config_.budget != nullptr) {
+                  config_.budget->release(pending_bytes(pit->second));
+                }
+                pending.erase(pit);
+              }
               results.emplace(result.window_index, std::move(result));
               break;
             }
@@ -359,6 +387,33 @@ ShardedDecoder::Result ShardedDecoder::run(runtime::SampleSource& source) {
                         std::to_string(window_index));
     }
     if (config_.failover) {
+      const std::size_t bytes = samples.size() * sizeof(Complex);
+      if (config_.budget != nullptr && bytes > 0) {
+        // Bounded saturation throttle: while the shared pool is full,
+        // drain results (a landing result frees its window's bytes)
+        // instead of growing the overshoot. Past the deadline charge
+        // unconditionally — dispatch must make progress even when the
+        // gateway's subscribers hold the pool at its limit, and the
+        // overshoot is bounded by one window.
+        bool charged = config_.budget->try_charge(bytes);
+        if (!charged) {
+          budget_throttles_counter.add();
+          const auto throttle_deadline =
+              Clock::now() + std::chrono::seconds(2);
+          while (!charged && Clock::now() < throttle_deadline) {
+            std::vector<PollItem> items;
+            for (const auto& l : links) {
+              if (!l->dead) items.push_back({l->conn.fd(), true, false});
+            }
+            if (items.empty()) break;
+            poll_fds(items, 50);
+            for (auto& l : links) drain_incoming(*l);
+            check_deadlines();
+            charged = config_.budget->try_charge(bytes);
+          }
+          if (!charged) config_.budget->charge(bytes);
+        }
+      }
       const auto it =
           pending
               .emplace(window_index,

@@ -69,6 +69,7 @@ TcpConnection FrameClient::connect_with_backoff() {
 
 Bye FrameClient::run(const Callbacks& callbacks) {
   bool ever_connected = false;
+  std::size_t admission_retries_left = config_.max_admission_retries;
   for (;;) {
     if (stop_.load(std::memory_order_relaxed)) {
       return {ByeReason::kShuttingDown, "client stopped"};
@@ -83,6 +84,7 @@ Bye FrameClient::run(const Callbacks& callbacks) {
     Hello hello;
     hello.role = PeerRole::kFrameSubscriber;
     hello.name = config_.name;
+    hello.client_class = config_.client_class;
     encode_hello(hello, handshake);
     const bool is_relay = config_.relay_hello.gateway_id != 0;
     if (is_relay) encode_relay_hello(config_.relay_hello, handshake);
@@ -146,6 +148,12 @@ Bye FrameClient::run(const Callbacks& callbacks) {
                 throw WireFormatError(WireError::kMalformed,
                                       "server refused: " + ack.text);
               }
+              if (ack.replay_shortfall > 0) {
+                counters_.replay_shortfall += ack.replay_shortfall;
+                obs::metrics()
+                    .counter("net.client_replay_shortfall")
+                    .add(ack.replay_shortfall);
+              }
               if (acks_pending > 0 && --acks_pending == 0) {
                 ++counters_.connects;
                 if (ever_connected) {
@@ -189,6 +197,34 @@ Bye FrameClient::run(const Callbacks& callbacks) {
       }
     }
     if (end.got_bye) {
+      if (end.bye.reason == ByeReason::kAdmissionDenied) {
+        ++counters_.admission_denies;
+        obs::metrics().counter("net.client_admission_denies").add();
+        if (admission_retries_left > 0 &&
+            !stop_.load(std::memory_order_relaxed)) {
+          // The server is overloaded, not broken: honor its retry-after
+          // hint (capped by our backoff ceiling, floored at the backoff
+          // initial when the server sent none), then redial. Sleep in
+          // slices so stop() stays responsive.
+          --admission_retries_left;
+          ++counters_.retry_after_waits;
+          obs::metrics().counter("net.client_retry_after_waits").add();
+          Seconds wait = end.bye.retry_after > 0.0
+                             ? end.bye.retry_after
+                             : config_.backoff_initial;
+          wait = std::min(wait, config_.backoff_max);
+          const auto deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(wait));
+          while (std::chrono::steady_clock::now() < deadline &&
+                 !stop_.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          }
+          continue;
+        }
+      }
       if (end.bye.reason == ByeReason::kEvicted) {
         ++counters_.evictions;
         obs::metrics().counter("net.client_evictions").add();

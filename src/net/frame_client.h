@@ -56,6 +56,15 @@ struct FrameClientConfig {
   /// a kRelayHello follows the hello on every (re)connect, so the upstream
   /// can log/count its downstream relays.
   RelayHello relay_hello;
+  /// Service class announced in the hello. Priority subscribers are never
+  /// shed by an overloaded server (it backpressures its decode pipeline
+  /// instead); best-effort ones are the first to lose frames. The relay
+  /// always announces priority — federation links are infrastructure.
+  ClientClass client_class = ClientClass::kBestEffort;
+  /// How many typed admission denies (Bye(kAdmissionDenied)) to absorb by
+  /// waiting out the server's retry-after hint and redialing before run()
+  /// gives up and returns the deny. 0 = return on the first deny.
+  std::size_t max_admission_retries = 4;
 };
 
 /// Reconnecting LFBW1 frame subscriber. run() owns the calling thread:
@@ -81,6 +90,13 @@ class FrameClient {
     std::size_t protocol_resets = 0;  ///< reconnects after WireFormatError
     std::size_t frames_received = 0;
     std::size_t stats_received = 0;
+    std::size_t admission_denies = 0;  ///< Bye(kAdmissionDenied) received
+    std::size_t retry_after_waits = 0;  ///< denies absorbed by waiting the
+                                        ///< server's retry-after hint
+    /// Sum of the replay shortfalls the server acked: frames of configured
+    /// replay history it had already shed before this client resubscribed
+    /// (0 = every replay healed the full configured window).
+    std::uint64_t replay_shortfall = 0;
   };
 
   struct Callbacks {

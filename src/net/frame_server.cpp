@@ -22,11 +22,33 @@ struct NetCounters {
   obs::Counter& protocol_errors =
       obs::metrics().counter("net.protocol_errors");
   obs::Counter& replays_sent = obs::metrics().counter("net.replays_sent");
+  obs::Counter& admission_denies =
+      obs::metrics().counter("net.admission_denies");
+  obs::Counter& quota_sheds = obs::metrics().counter("net.quota_sheds");
+  obs::Counter& budget_sheds = obs::metrics().counter("net.budget_sheds");
+  obs::Counter& budget_refusals =
+      obs::metrics().counter("net.budget_refusals");
+  obs::Counter& ring_sheds = obs::metrics().counter("net.ring_sheds");
+  obs::Counter& replay_truncated =
+      obs::metrics().counter("net.replay_truncated");
+  obs::Counter& frames_discarded =
+      obs::metrics().counter("net.frames_discarded");
+  obs::Counter& priority_clients =
+      obs::metrics().counter("net.priority_clients");
+  obs::Gauge& queue_bytes_total =
+      obs::metrics().gauge("net.queue_bytes_total");
 };
 
 NetCounters& net_metrics() {
   static NetCounters counters;
   return counters;
+}
+
+/// Monotonic seconds for the per-client token buckets.
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -46,8 +68,15 @@ struct FrameServer::Client {
   bool greeted = false;
   bool subscribed = false;
   std::uint64_t relay_id = 0;  ///< non-zero once the peer sent a RelayHello
+  ClientClass cls = ClientClass::kBestEffort;
+  bool class_counted = false;  ///< admission counted it; release at close
   SubscribeFilter filter;
   std::deque<QueuedMessage> queue;
+  std::size_t queued_frames = 0;  ///< frame messages currently in `queue`
+  std::size_t queue_bytes = 0;    ///< bytes in `queue` plus unfinished outbuf
+  std::size_t budget_bytes = 0;   ///< frame bytes charged to the budget
+  TokenBucket bucket;             ///< per-client frames/sec quota
+  obs::Gauge* depth_gauge = nullptr;
   std::vector<std::uint8_t> outbuf;
   std::size_t out_off = 0;
   bool out_is_frame = false;
@@ -64,13 +93,20 @@ struct FrameServer::Impl {
   TcpListener listener;
   WakePipe wake;
 
-  Impl(const std::string& address, std::uint16_t port)
-      : listener(address, port) {}
+  Impl(const std::string& address, std::uint16_t port, int backlog)
+      : listener(address, port, backlog) {}
 };
 
 FrameServer::FrameServer(FrameServerConfig config)
     : config_(std::move(config)),
-      impl_(std::make_unique<Impl>(config_.bind_address, config_.port)) {
+      admission_(config_.admission),
+      impl_(std::make_unique<Impl>(
+          config_.bind_address, config_.port,
+          // A storm of dials must reach the typed deny path, not rot in
+          // SYN retries, so admission widens the kernel backlog.
+          config_.admission.enabled
+              ? std::max(config_.listen_backlog, 128)
+              : config_.listen_backlog)) {
   if (obs::EventLog* log = obs::event_log()) {
     log->emit("net",
               {obs::Field::str("action", "listen"),
@@ -85,10 +121,18 @@ FrameServer::~FrameServer() {
   {
     std::lock_guard lock(mutex_);
     stop_ = true;
+    if (config_.budget != nullptr) {
+      config_.budget->release(ring_bytes_);
+      ring_bytes_ = 0;
+      replay_ring_.clear();
+    }
   }
   impl_->wake.wake();
   if (thread_.joinable()) thread_.join();
   detach();
+  // Never leave a decode pipeline throttled by a server that no longer
+  // exists.
+  if (config_.backpressure != nullptr) config_.backpressure->release();
 }
 
 std::uint16_t FrameServer::port() const { return impl_->listener.port(); }
@@ -124,9 +168,31 @@ void FrameServer::publish(const runtime::FrameEvent& event) {
   {
     std::lock_guard lock(mutex_);
     if (config_.replay_frames > 0) {
-      replay_ring_.push_back(*out);
-      while (replay_ring_.size() > config_.replay_frames) {
-        replay_ring_.pop_front();
+      encode_frame(*out, bytes);
+      encoded = true;
+      ++ring_frames_total_;
+      const std::size_t need = bytes.size();
+      // The ring is the lowest shedding tier: it gives up its own history
+      // before it competes with live queues for budget.
+      bool charged =
+          config_.budget == nullptr || config_.budget->try_charge(need);
+      while (!charged && !replay_ring_.empty()) {
+        drop_ring_front_locked();
+        ++counters_.ring_sheds;
+        net_metrics().ring_sheds.add();
+        charged = config_.budget->try_charge(need);
+      }
+      if (charged) {
+        ring_bytes_ += need;
+        replay_ring_.push_back({*out, need});
+        while (replay_ring_.size() > config_.replay_frames) {
+          // Normal rotation at the configured cap — not a shed.
+          drop_ring_front_locked();
+        }
+      } else {
+        // Budget would not even hold this one frame of history.
+        ++counters_.ring_sheds;
+        net_metrics().ring_sheds.add();
       }
     }
     for (const auto& client : clients_) {
@@ -140,6 +206,7 @@ void FrameServer::publish(const runtime::FrameEvent& event) {
     }
   }
   if (encoded) impl_->wake.wake();
+  signal_backpressure();
 }
 
 void FrameServer::publish_stats(const runtime::RuntimeStats& stats) {
@@ -156,20 +223,181 @@ void FrameServer::publish_stats(const runtime::RuntimeStats& stats) {
   impl_->wake.wake();
 }
 
+void FrameServer::note_queue_bytes_locked(Client& client,
+                                          std::ptrdiff_t delta) {
+  client.queue_bytes = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(client.queue_bytes) + delta);
+  queue_bytes_total_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(queue_bytes_total_) + delta);
+  counters_.queue_bytes_peak = std::max(counters_.queue_bytes_peak,
+                                        queue_bytes_total_ + ring_bytes_);
+  net_metrics().queue_bytes_total.set(
+      static_cast<double>(queue_bytes_total_ + ring_bytes_));
+  if (client.depth_gauge != nullptr) {
+    client.depth_gauge->set(static_cast<double>(
+        client.queue.size() + (client.outbuf.empty() ? 0 : 1)));
+  }
+}
+
+void FrameServer::drop_ring_front_locked() {
+  if (replay_ring_.empty()) return;
+  const std::size_t bytes = replay_ring_.front().bytes;
+  replay_ring_.pop_front();
+  ring_bytes_ -= bytes;
+  if (config_.budget != nullptr) config_.budget->release(bytes);
+}
+
+bool FrameServer::shed_one_best_effort_locked() {
+  Client* worst = nullptr;
+  for (const auto& client : clients_) {
+    if (client->dead || client->cls == ClientClass::kPriority) continue;
+    if (client->queued_frames == 0) continue;
+    if (worst == nullptr || client->queue_bytes > worst->queue_bytes) {
+      worst = client.get();
+    }
+  }
+  if (worst == nullptr) return false;
+  for (auto it = worst->queue.begin(); it != worst->queue.end(); ++it) {
+    if (!it->frame) continue;
+    const std::size_t bytes = it->bytes.size();
+    worst->queue.erase(it);
+    --worst->queued_frames;
+    note_queue_bytes_locked(*worst, -static_cast<std::ptrdiff_t>(bytes));
+    if (config_.budget != nullptr) {
+      config_.budget->release(bytes);
+      worst->budget_bytes -= bytes;
+    }
+    ++worst->drops;
+    ++counters_.budget_sheds;
+    net_metrics().budget_sheds.add();
+    return true;
+  }
+  return false;
+}
+
+bool FrameServer::shed_for_budget_locked(std::size_t need) {
+  ResourceBudget& budget = *config_.budget;
+  // Tier 1: replay history — it only exists to heal partitions, live
+  // traffic outranks it.
+  while (!replay_ring_.empty()) {
+    if (budget.try_charge(need)) return true;
+    drop_ring_front_locked();
+    ++counters_.ring_sheds;
+    net_metrics().ring_sheds.add();
+  }
+  if (budget.try_charge(need)) return true;
+  // Tier 2: the oldest queued best-effort frames, deepest queue first.
+  // Priority queues are never touched.
+  while (shed_one_best_effort_locked()) {
+    if (budget.try_charge(need)) return true;
+  }
+  return budget.try_charge(need);
+}
+
 void FrameServer::enqueue_locked(Client& client,
                                  const std::vector<std::uint8_t>& bytes,
                                  bool is_frame) {
-  if (client.queue.size() >= config_.send_queue_messages) {
-    if (config_.slow_consumer == SlowConsumerPolicy::kEvict) {
-      client.evict = true;
-      return;
+  const std::size_t need = bytes.size();
+  // Priority protection needs an overload layer to bound the overshoot;
+  // without admission or a budget a priority hello is informational only
+  // and the pre-overload per-queue policy applies to everyone.
+  const bool protect_priority =
+      admission_.enabled() || config_.budget != nullptr;
+  const bool priority =
+      client.cls == ClientClass::kPriority && protect_priority;
+  const ClassQuota& quota = admission_.config().quota(client.cls);
+  if (is_frame && admission_.enabled() && quota.max_frames_per_sec > 0.0 &&
+      !client.bucket.try_take_burst() &&
+      !client.bucket.try_take(mono_seconds())) {
+    // Shed by rate quota before the frame costs any queue memory.
+    ++counters_.quota_sheds;
+    net_metrics().quota_sheds.add();
+    return;
+  }
+  if (is_frame) {
+    if (priority) {
+      // A priority consumer must never silently miss a frame: over its
+      // byte quota it is evicted (typed) instead of dropped from.
+      if (quota.max_queue_bytes > 0 &&
+          client.queue_bytes + need > quota.max_queue_bytes) {
+        client.evict = true;
+        return;
+      }
+    } else {
+      const bool over_messages =
+          client.queue.size() >= config_.send_queue_messages;
+      const bool over_bytes =
+          admission_.enabled() && quota.max_queue_bytes > 0 &&
+          client.queue_bytes + need > quota.max_queue_bytes;
+      if (over_messages || over_bytes) {
+        if (config_.slow_consumer == SlowConsumerPolicy::kEvict) {
+          client.evict = true;
+          return;
+        }
+        // Drop the oldest queued *frame*: control messages (acks, byes)
+        // are part of the protocol and must survive the squeeze.
+        bool dropped = false;
+        for (auto it = client.queue.begin(); it != client.queue.end();
+             ++it) {
+          if (!it->frame) continue;
+          const std::size_t old_bytes = it->bytes.size();
+          client.queue.erase(it);
+          --client.queued_frames;
+          note_queue_bytes_locked(
+              client, -static_cast<std::ptrdiff_t>(old_bytes));
+          if (config_.budget != nullptr) {
+            config_.budget->release(old_bytes);
+            client.budget_bytes -= old_bytes;
+          }
+          ++client.drops;
+          ++counters_.queue_drops;
+          net_metrics().queue_drops.add();
+          dropped = true;
+          break;
+        }
+        if (!dropped) {
+          // Nothing sheddable (a control-only queue the peer is not
+          // draining): that is a stalled consumer, evict it.
+          client.evict = true;
+          return;
+        }
+      }
     }
-    client.queue.pop_front();
-    ++client.drops;
-    ++counters_.queue_drops;
-    net_metrics().queue_drops.add();
+  }
+  // Global budget. Only frames are charged — control messages (acks,
+  // byes) are tiny, bounded, and unsheddable, so charging them would just
+  // push the budget past its limit and trigger a spurious tier-2 shed.
+  // Frames shed in tiers, and a priority frame that still cannot fit
+  // charges anyway — the BackpressureGate is what bounds that overshoot,
+  // never a dropped priority frame.
+  if (config_.budget != nullptr && is_frame) {
+    if (!config_.budget->try_charge(need) &&
+        !shed_for_budget_locked(need)) {
+      if (priority) {
+        config_.budget->charge(need);
+      } else {
+        ++counters_.budget_refusals;
+        net_metrics().budget_refusals.add();
+        return;
+      }
+    }
+    client.budget_bytes += need;
   }
   client.queue.push_back({bytes, is_frame});
+  if (is_frame) {
+    ++client.queued_frames;
+    ++counters_.frames_enqueued;
+  }
+  note_queue_bytes_locked(client, static_cast<std::ptrdiff_t>(need));
+}
+
+void FrameServer::signal_backpressure() {
+  if (config_.backpressure == nullptr || config_.budget == nullptr) return;
+  if (config_.budget->saturated()) {
+    config_.backpressure->engage();
+  } else if (config_.budget->below_low_water()) {
+    config_.backpressure->release();
+  }
 }
 
 bool FrameServer::wait_for_subscriber(Seconds timeout) {
@@ -193,11 +421,9 @@ void FrameServer::shutdown(bool drain) {
     draining_ = true;
     if (!drain) {
       // Skip the queue flush: clients get a best-effort Bye and the
-      // connection closes regardless of what was still queued.
+      // connection closes regardless of what was still queued (the close
+      // accounts every discarded frame).
       for (auto& client : clients_) {
-        client->queue.clear();
-        client->outbuf.clear();
-        client->out_off = 0;
         if (!client->dead) {
           std::vector<std::uint8_t> bye;
           encode_bye({ByeReason::kShuttingDown, "server stopping"}, bye);
@@ -215,6 +441,7 @@ void FrameServer::shutdown(bool drain) {
                         std::all_of(clients_.begin(), clients_.end(),
                                     [](const auto& c) { return c->dead; });
                });
+  emit_overload_summary_locked();
 }
 
 FrameServer::Counters FrameServer::counters() const {
@@ -234,10 +461,98 @@ void FrameServer::emit_event(const char* action, std::uint64_t client_id,
   }
 }
 
+void FrameServer::emit_overload_summary_locked() {
+  if (overload_summary_emitted_) return;
+  const bool active =
+      admission_.enabled() || config_.budget != nullptr ||
+      counters_.admission_denies + counters_.quota_sheds +
+              counters_.budget_sheds + counters_.budget_refusals +
+              counters_.ring_sheds + counters_.replay_truncated >
+          0;
+  if (!active) return;
+  overload_summary_emitted_ = true;
+  if (obs::EventLog* log = obs::event_log()) {
+    const auto n = [](std::size_t v) {
+      return static_cast<std::int64_t>(v);
+    };
+    log->emit(
+        "net",
+        {obs::Field::str("action", "overload"),
+         obs::Field::integer("denies", n(counters_.admission_denies)),
+         obs::Field::integer("quota_sheds", n(counters_.quota_sheds)),
+         obs::Field::integer("budget_sheds", n(counters_.budget_sheds)),
+         obs::Field::integer("budget_refusals",
+                             n(counters_.budget_refusals)),
+         obs::Field::integer("ring_sheds", n(counters_.ring_sheds)),
+         obs::Field::integer("queue_drops", n(counters_.queue_drops)),
+         obs::Field::integer("enqueued", n(counters_.frames_enqueued)),
+         obs::Field::integer("sent", n(counters_.frames_sent)),
+         obs::Field::integer("discarded", n(counters_.frames_discarded)),
+         obs::Field::integer("replay_truncated",
+                             n(counters_.replay_truncated)),
+         obs::Field::integer("peak_queue_bytes",
+                             n(counters_.queue_bytes_peak)),
+         obs::Field::num("retry_after", admission_.config().retry_after)});
+  }
+}
+
+std::size_t FrameServer::alive_clients_locked() const {
+  std::size_t alive = 0;
+  for (const auto& client : clients_) {
+    if (!client->dead) ++alive;
+  }
+  return alive;
+}
+
+void FrameServer::deny_locked(Client& client,
+                              const AdmissionDecision& decision) {
+  ++counters_.admission_denies;
+  net_metrics().admission_denies.add();
+  if (obs::EventLog* log = obs::event_log()) {
+    log->emit("net",
+              {obs::Field::str("action", "admission-deny"),
+               obs::Field::integer("client",
+                                   static_cast<std::int64_t>(client.id)),
+               obs::Field::str("reason", decision.reason),
+               obs::Field::num("retry_after", decision.retry_after)});
+  }
+  std::vector<std::uint8_t> bye;
+  encode_bye({ByeReason::kAdmissionDenied, decision.reason,
+              decision.retry_after},
+             bye);
+  enqueue_locked(client, bye, /*is_frame=*/false);
+  client.closing = true;
+}
+
 void FrameServer::close_client_locked(Client& client, const char* cause) {
   if (client.dead) return;
   client.dead = true;
   client.conn.close();
+  // Whatever was still queued for this client dies with it; the ledger
+  // records every frame (frames_enqueued ends up fully partitioned into
+  // sent / dropped / shed / discarded).
+  const std::size_t discarded_frames =
+      client.queued_frames +
+      ((!client.outbuf.empty() && client.out_is_frame) ? 1 : 0);
+  if (discarded_frames > 0) {
+    counters_.frames_discarded += discarded_frames;
+    net_metrics().frames_discarded.add(discarded_frames);
+  }
+  if (config_.budget != nullptr && client.budget_bytes > 0) {
+    config_.budget->release(client.budget_bytes);
+    client.budget_bytes = 0;
+  }
+  note_queue_bytes_locked(client,
+                          -static_cast<std::ptrdiff_t>(client.queue_bytes));
+  client.queue.clear();
+  client.queued_frames = 0;
+  client.outbuf.clear();
+  client.out_off = 0;
+  if (client.class_counted) {
+    admission_.release_class(client.cls);
+    client.class_counted = false;
+  }
+  if (client.depth_gauge != nullptr) client.depth_gauge->set(0.0);
   ++counters_.disconnects;
   net_metrics().disconnects.add();
   if (client.subscribed) {
@@ -250,6 +565,7 @@ void FrameServer::close_client_locked(Client& client, const char* cause) {
 void FrameServer::handle_incoming(Client& client) {
   std::uint8_t buf[4096];
   for (;;) {
+    if (client.closing || client.dead) return;
     const std::ptrdiff_t n = client.conn.read_some(buf, sizeof(buf));
     if (n == -1) break;  // drained
     if (n == 0) {
@@ -259,6 +575,7 @@ void FrameServer::handle_incoming(Client& client) {
     try {
       client.reader.feed(buf, static_cast<std::size_t>(n));
       while (auto message = client.reader.next()) {
+        if (client.closing) break;  // deny already queued; ignore the rest
         if (!client.greeted) {
           if (message->type != MsgType::kHello) {
             throw WireFormatError(WireError::kMalformed,
@@ -271,9 +588,26 @@ void FrameServer::handle_incoming(Client& client) {
           }
           client.greeted = true;
           client.name = hello.name;
+          client.cls = hello.client_class;
+          if (client.cls == ClientClass::kPriority) {
+            ++counters_.priority_clients;
+            net_metrics().priority_clients.add();
+          }
+          if (admission_.enabled()) {
+            const AdmissionDecision decision =
+                admission_.admit_class(client.cls);
+            if (!decision.admitted) {
+              deny_locked(client, decision);
+              continue;
+            }
+            client.class_counted = true;
+            const double fps =
+                admission_.config().quota(client.cls).max_frames_per_sec;
+            if (fps > 0.0) client.bucket = TokenBucket(fps, mono_seconds());
+          }
           std::vector<std::uint8_t> ack;
           encode_ack({0, "lfbs-gateway"}, ack);
-          client.queue.push_back({std::move(ack), false});
+          enqueue_locked(client, ack, /*is_frame=*/false);
           emit_event("hello", client.id);
         } else if (message->type == MsgType::kRelayHello) {
           const RelayHello relay = decode_relay_hello(message->body);
@@ -281,7 +615,7 @@ void FrameServer::handle_incoming(Client& client) {
           client.relay_id = relay.gateway_id;
           std::vector<std::uint8_t> ack;
           encode_ack({0, "relay"}, ack);
-          client.queue.push_back({std::move(ack), false});
+          enqueue_locked(client, ack, /*is_frame=*/false);
           if (obs::EventLog* log = obs::event_log()) {
             log->emit("net",
                       {obs::Field::str("action", "relay-hello"),
@@ -300,21 +634,57 @@ void FrameServer::handle_incoming(Client& client) {
             client.subscribed = true;
             ++counters_.subscribers;
           }
+          Ack subscribed{0, "subscribed"};
+          // Snapshot the surviving history before anything is enqueued:
+          // charging the budget for each replayed copy can itself shed
+          // ring entries (tier 1), so both the acked shortfall and the
+          // frames delivered must reflect the ring as it stood when the
+          // subscribe arrived. (Enqueuing while iterating the live ring
+          // would also invalidate the iterator when a shed pops it.)
+          std::vector<std::vector<std::uint8_t>> replay;
+          if (client.filter.replay_recent && config_.replay_frames > 0) {
+            for (const ReplayEntry& past : replay_ring_) {
+              if (!client.filter.accepts(past.event)) continue;
+              replay.emplace_back();
+              encode_frame(past.event, replay.back());
+            }
+            // How much of the configured history the budget has already
+            // shed out from under this resubscriber. The old behaviour
+            // was to replay fewer frames silently; now the gap is typed,
+            // counted, and in the ack.
+            const std::uint64_t retained_target = std::min<std::uint64_t>(
+                ring_frames_total_, config_.replay_frames);
+            const std::uint64_t shortfall =
+                retained_target - replay_ring_.size();
+            if (shortfall > 0) {
+              subscribed.replay_shortfall = shortfall;
+              ++counters_.replay_truncated;
+              net_metrics().replay_truncated.add();
+              if (obs::EventLog* log = obs::event_log()) {
+                log->emit(
+                    "net",
+                    {obs::Field::str("action", "replay-truncated"),
+                     obs::Field::integer(
+                         "client", static_cast<std::int64_t>(client.id)),
+                     obs::Field::integer(
+                         "shortfall",
+                         static_cast<std::int64_t>(shortfall))});
+              }
+            }
+          }
           std::vector<std::uint8_t> ack;
-          encode_ack({0, "subscribed"}, ack);
-          client.queue.push_back({std::move(ack), false});
+          encode_ack(subscribed, ack);
+          enqueue_locked(client, ack, /*is_frame=*/false);
           emit_event("subscribe", client.id);
-          if (client.filter.replay_recent && !replay_ring_.empty()) {
-            // Heal a resubscriber's partition gap from the ring, oldest
-            // first, through the same filter and slow-consumer policy as
-            // live traffic. The overlap with frames it already saw is the
-            // consumer's to dedup (by frame identity).
+          if (!replay.empty()) {
+            // Heal a resubscriber's partition gap from the snapshot,
+            // oldest first, through the subscriber's filter (applied
+            // above) and the same slow-consumer policy as live traffic.
+            // The overlap with frames it already saw is the consumer's
+            // to dedup (by frame identity).
             std::size_t replayed = 0;
-            for (const runtime::FrameEvent& past : replay_ring_) {
+            for (const std::vector<std::uint8_t>& bytes : replay) {
               if (client.evict) break;
-              if (!client.filter.accepts(past)) continue;
-              std::vector<std::uint8_t> bytes;
-              encode_frame(past, bytes);
               enqueue_locked(client, bytes, /*is_frame=*/true);
               ++replayed;
             }
@@ -352,6 +722,7 @@ void FrameServer::pump_writes(Client& client) {
       client.outbuf = std::move(message.bytes);
       client.out_off = 0;
       client.out_is_frame = message.frame;
+      if (client.out_is_frame) --client.queued_frames;
     }
     const std::ptrdiff_t n =
         client.conn.write_some(client.outbuf.data() + client.out_off,
@@ -364,13 +735,23 @@ void FrameServer::pump_writes(Client& client) {
     client.out_off += static_cast<std::size_t>(n);
     net_metrics().bytes_sent.add(static_cast<std::uint64_t>(n));
     if (client.out_off == client.outbuf.size()) {
+      const std::size_t done = client.outbuf.size();
       if (client.out_is_frame) {
         ++client.frames_sent;
         ++counters_.frames_sent;
         net_metrics().frames_sent.add();
+        // Only frames were charged; control messages never touched the
+        // budget.
+        if (config_.budget != nullptr) {
+          config_.budget->release(done);
+          client.budget_bytes -= done;
+        }
       }
+      note_queue_bytes_locked(client,
+                              -static_cast<std::ptrdiff_t>(done));
       client.outbuf.clear();
       client.out_off = 0;
+      client.out_is_frame = false;
     }
   }
   if (client.closing && client.queue.empty() && client.outbuf.empty()) {
@@ -388,6 +769,9 @@ void FrameServer::loop() {
     {
       std::lock_guard lock(mutex_);
       if (stop_) break;
+      // max_clients is the fd bound; with admission on, the connection
+      // budget (max_connections < max_clients) refuses typed long before
+      // the fd bound stops the accept loop.
       accepting = accepting_ && clients_.size() < config_.max_clients;
       items.push_back({impl_->wake.read_fd(), true, false});
       if (accepting) {
@@ -406,78 +790,97 @@ void FrameServer::loop() {
     }
     poll_fds(items, 250);
 
-    std::lock_guard lock(mutex_);
-    std::size_t at = 0;
-    if (items[at].readable) impl_->wake.drain();
-    ++at;
-    if (accepting) {
-      if (items[at].readable) {
-        for (;;) {
-          FdHandle fd = impl_->listener.accept();
-          if (!fd.valid()) break;
-          TcpConnection conn(std::move(fd));
-          if (config_.send_buffer_bytes > 0) {
-            conn.set_send_buffer(config_.send_buffer_bytes);
+    {
+      std::lock_guard lock(mutex_);
+      std::size_t at = 0;
+      if (items[at].readable) impl_->wake.drain();
+      ++at;
+      if (accepting) {
+        if (items[at].readable) {
+          for (;;) {
+            FdHandle fd = impl_->listener.accept();
+            if (!fd.valid()) break;
+            TcpConnection conn(std::move(fd));
+            if (config_.send_buffer_bytes > 0) {
+              conn.set_send_buffer(config_.send_buffer_bytes);
+            }
+            const AdmissionDecision decision =
+                admission_.admit_connection(alive_clients_locked());
+            auto client = std::make_unique<Client>(std::move(conn));
+            // Shared across every FrameServer in the process (each loop
+            // runs under its own instance mutex), so the counter must be
+            // atomic.
+            static std::atomic<std::uint64_t> next_id{1};
+            client->id = next_id.fetch_add(1, std::memory_order_relaxed);
+            client->depth_gauge = &obs::metrics().gauge(
+                "net.client_queue_depth." + std::to_string(client->id));
+            ++counters_.connects;
+            net_metrics().connects.add();
+            emit_event("connect", client->id);
+            if (!decision.admitted) {
+              // Typed refusal: the dial completed, the deny (with its
+              // retry-after hint) flushes, and the connection closes —
+              // instead of the old behaviour of parking the dial in the
+              // kernel backlog until the client's timeout.
+              deny_locked(*client, decision);
+            }
+            clients_.push_back(std::move(client));
+            if (clients_.size() >= config_.max_clients) break;
           }
-          auto client = std::make_unique<Client>(std::move(conn));
-          // Shared across every FrameServer in the process (each loop runs
-          // under its own instance mutex), so the counter must be atomic.
-          static std::atomic<std::uint64_t> next_id{1};
-          client->id = next_id.fetch_add(1, std::memory_order_relaxed);
-          ++counters_.connects;
-          net_metrics().connects.add();
-          emit_event("connect", client->id);
-          clients_.push_back(std::move(client));
-          if (clients_.size() >= config_.max_clients) break;
+        }
+        ++at;
+      }
+      for (std::size_t i = 0; i < polled.size(); ++i, ++at) {
+        Client& client = *polled[i];
+        if (client.dead) continue;
+        if (items[at].error) {
+          close_client_locked(client, "disconnect");
+          continue;
+        }
+        if (items[at].readable) handle_incoming(client);
+        if (client.dead) continue;
+        if (items[at].writable || !client.outbuf.empty() ||
+            !client.queue.empty()) {
+          pump_writes(client);
         }
       }
-      ++at;
-    }
-    for (std::size_t i = 0; i < polled.size(); ++i, ++at) {
-      Client& client = *polled[i];
-      if (client.dead) continue;
-      if (items[at].error) {
-        close_client_locked(client, "disconnect");
-        continue;
-      }
-      if (items[at].readable) handle_incoming(client);
-      if (client.dead) continue;
-      if (items[at].writable || !client.outbuf.empty() ||
-          !client.queue.empty()) {
-        pump_writes(client);
-      }
-    }
-    // Evictions decided by the publisher: the client's socket is already
-    // jammed, so the Bye is a single best-effort write, never a drain.
-    for (auto& client : clients_) {
-      if (client->evict && !client->dead) {
-        ++counters_.evictions;
-        net_metrics().evictions.add();
-        std::vector<std::uint8_t> bye;
-        encode_bye({ByeReason::kEvicted, "send queue overflow"}, bye);
-        client->conn.write_some(bye.data(), bye.size());
-        close_client_locked(*client, "evict");
-      }
-    }
-    if (draining_) {
+      // Evictions decided by the publisher: the client's socket is
+      // already jammed, so the Bye is a single best-effort write, never a
+      // drain.
       for (auto& client : clients_) {
-        if (client->dead || client->closing) continue;
-        std::vector<std::uint8_t> bye;
-        encode_bye({ByeReason::kEndOfStream, "stream complete"}, bye);
-        client->queue.push_back({std::move(bye), false});
-        client->closing = true;
+        if (client->evict && !client->dead) {
+          ++counters_.evictions;
+          net_metrics().evictions.add();
+          std::vector<std::uint8_t> bye;
+          encode_bye({ByeReason::kEvicted, "send queue overflow"}, bye);
+          client->conn.write_some(bye.data(), bye.size());
+          close_client_locked(*client, "evict");
+        }
       }
-      // Unsubscribed stragglers flush instantly; subscribed ones close
-      // when pump_writes finishes their queue.
-      for (auto& client : clients_) {
-        if (!client->dead) pump_writes(*client);
+      if (draining_) {
+        for (auto& client : clients_) {
+          if (client->dead || client->closing) continue;
+          std::vector<std::uint8_t> bye;
+          encode_bye({ByeReason::kEndOfStream, "stream complete"}, bye);
+          enqueue_locked(*client, bye, /*is_frame=*/false);
+          client->closing = true;
+        }
+        // Unsubscribed stragglers flush instantly; subscribed ones close
+        // when pump_writes finishes their queue.
+        for (auto& client : clients_) {
+          if (!client->dead) pump_writes(*client);
+        }
       }
+      // Sweep the dead every iteration (not only while draining): under a
+      // connection storm the denied-and-closed would otherwise accumulate
+      // for the life of the server.
+      clients_.erase(
+          std::remove_if(clients_.begin(), clients_.end(),
+                         [](const auto& c) { return c->dead; }),
+          clients_.end());
+      if (draining_ && clients_.empty()) cv_.notify_all();
     }
-    const bool all_dead =
-        std::all_of(clients_.begin(), clients_.end(),
-                    [](const auto& c) { return c->dead; });
-    if (all_dead && !clients_.empty() && draining_) clients_.clear();
-    if (draining_ && clients_.empty()) cv_.notify_all();
+    signal_backpressure();
   }
 }
 

@@ -4,8 +4,10 @@
 #include <string>
 
 #include "common/units.h"
+#include "net/admission.h"
 #include "net/wire.h"
 #include "runtime/frame_bus.h"
+#include "runtime/ring_buffer.h"
 #include "runtime/stats.h"
 
 #include <condition_variable>
@@ -58,6 +60,28 @@ struct FrameServerConfig {
   /// and dedups the overlap by frame identity. 0 (default) keeps no
   /// history and replays nothing.
   std::size_t replay_frames = 0;
+  /// Kernel listen backlog. Raised automatically when admission is on so
+  /// a connection storm reaches the typed deny path instead of timing out
+  /// in SYN retries.
+  int listen_backlog = 16;
+  /// Admission control: connection budget, per-class subscriber counts
+  /// and quotas, typed Bye(kAdmissionDenied) with a retry-after hint.
+  /// Disabled (default) keeps the pre-admission behaviour: the server
+  /// simply stops accepting at max_clients.
+  AdmissionConfig admission;
+  /// Global byte budget over every per-client send queue plus the replay
+  /// ring (callers may share the same budget with a shard coordinator's
+  /// in-flight windows). When a frame cannot be charged the server sheds
+  /// in tiers — replay-ring history first, then the oldest best-effort
+  /// queued frames — and priority subscribers are never shed; their
+  /// overshoot is what `backpressure` bounds. nullptr = unbounded
+  /// (pre-budget behaviour). Caller-owned; must outlive the server.
+  ResourceBudget* budget = nullptr;
+  /// Engaged while `budget` is saturated, released once it drains below
+  /// the low-water mark. Hand the same gate to RuntimeConfig::backpressure
+  /// and the decode pipeline throttles chunk admission instead of letting
+  /// queues grow. Caller-owned; optional.
+  runtime::BackpressureGate* backpressure = nullptr;
 };
 
 /// TCP fan-out of decoded frames: bridges a runtime::FrameBus (or direct
@@ -85,6 +109,27 @@ class FrameServer {
     std::size_t subscribers = 0;      ///< currently subscribed clients
     std::size_t relays = 0;           ///< peers that announced a RelayHello
     std::size_t replays_sent = 0;     ///< ring frames queued to resubscribers
+    // Overload protection. The frame ledger closes exactly after a
+    // drained shutdown:
+    //   frames_enqueued == frames_sent + queue_drops
+    //                      + budget_sheds + frames_discarded
+    std::size_t admission_denies = 0;  ///< typed Bye(kAdmissionDenied) sent
+    std::size_t quota_sheds = 0;    ///< frames shed by a per-client fps quota
+    std::size_t budget_sheds = 0;   ///< best-effort queued frames shed when
+                                    ///< the global budget saturated
+    std::size_t budget_refusals = 0;  ///< best-effort frames refused at
+                                      ///< enqueue (budget still saturated
+                                      ///< after shedding) — never counted
+                                      ///< in frames_enqueued
+    std::size_t ring_sheds = 0;     ///< replay-ring frames trimmed early by
+                                    ///< the budget (beyond normal rotation)
+    std::size_t frames_enqueued = 0;   ///< frames admitted to client queues
+    std::size_t frames_discarded = 0;  ///< queued frames dropped when their
+                                       ///< client closed before delivery
+    std::size_t replay_truncated = 0;  ///< resubscribes whose replay fell
+                                       ///< short of the configured ring
+    std::size_t priority_clients = 0;  ///< hellos that announced kPriority
+    std::size_t queue_bytes_peak = 0;  ///< deepest queues+ring byte total
   };
 
   /// Binds and starts the event loop. Throws SocketError when the port
@@ -134,6 +179,26 @@ class FrameServer {
   void close_client_locked(Client& client, const char* cause);
   void emit_event(const char* action, std::uint64_t client_id,
                   std::size_t a = 0, std::size_t b = 0);
+  /// Queues a typed admission deny and marks the client to close once the
+  /// bye flushes.
+  void deny_locked(Client& client, const AdmissionDecision& decision);
+  /// Frees `need` bytes of budget headroom by shedding, in tier order:
+  /// replay-ring history first, then the oldest queued best-effort frames
+  /// (deepest queue first). Returns true once try_charge(need) succeeds.
+  bool shed_for_budget_locked(std::size_t need);
+  /// Drops the oldest queued frame of the best-effort client currently
+  /// holding the most queued bytes. False when no best-effort frame is
+  /// queued anywhere (only priority traffic remains — never shed).
+  bool shed_one_best_effort_locked();
+  void note_queue_bytes_locked(Client& client, std::ptrdiff_t delta);
+  void drop_ring_front_locked();
+  /// Engages the backpressure gate while the budget is saturated and
+  /// releases it below the low-water mark.
+  void signal_backpressure();
+  std::size_t alive_clients_locked() const;
+  /// Emits the one typed "overload" summary event whose numbers
+  /// lfbs_report's == overload == section renders. Called at shutdown.
+  void emit_overload_summary_locked();
 
   FrameServerConfig config_;
   runtime::FrameBus* bus_ = nullptr;
@@ -142,8 +207,19 @@ class FrameServer {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::vector<std::unique_ptr<Client>> clients_;
-  std::deque<runtime::FrameEvent> replay_ring_;
+  /// Replay history plus each entry's approximate wire size, so the
+  /// budget can account for it without re-encoding.
+  struct ReplayEntry {
+    runtime::FrameEvent event;
+    std::size_t bytes = 0;
+  };
+  std::deque<ReplayEntry> replay_ring_;
+  std::uint64_t ring_frames_total_ = 0;  ///< frames ever pushed to the ring
+  std::size_t ring_bytes_ = 0;
+  std::size_t queue_bytes_total_ = 0;  ///< all client queues + outbufs
+  AdmissionController admission_;
   Counters counters_;
+  bool overload_summary_emitted_ = false;
   bool stop_ = false;
   bool accepting_ = true;
   bool draining_ = false;

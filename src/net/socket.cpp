@@ -53,7 +53,7 @@ void FdHandle::reset() {
 }
 
 TcpListener::TcpListener(const std::string& bind_address,
-                         std::uint16_t port) {
+                         std::uint16_t port, int backlog) {
   FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket");
   const int one = 1;
@@ -66,7 +66,7 @@ TcpListener::TcpListener(const std::string& bind_address,
       0) {
     throw_errno("bind " + bind_address + ":" + std::to_string(port));
   }
-  if (::listen(fd.get(), 16) < 0) throw_errno("listen");
+  if (::listen(fd.get(), backlog) < 0) throw_errno("listen");
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) <

@@ -55,7 +55,12 @@ class FdHandle {
 /// tests and the gateway's --port-file run without port coordination.
 class TcpListener {
  public:
-  TcpListener(const std::string& bind_address, std::uint16_t port);
+  /// `backlog` sizes the kernel's pending-connection queue. The default
+  /// suits a handful of steady subscribers; a gateway expecting connection
+  /// storms (admission control turned on) raises it so a burst of dials
+  /// reaches the typed deny path instead of timing out in SYN retries.
+  TcpListener(const std::string& bind_address, std::uint16_t port,
+              int backlog = 16);
 
   std::uint16_t port() const { return port_; }
   int fd() const { return fd_.get(); }

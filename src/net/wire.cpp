@@ -38,6 +38,18 @@ const char* to_string(ByeReason reason) {
       return "protocol-error";
     case ByeReason::kShuttingDown:
       return "shutting-down";
+    case ByeReason::kAdmissionDenied:
+      return "admission-denied";
+  }
+  return "?";
+}
+
+const char* to_string(ClientClass cls) {
+  switch (cls) {
+    case ClientClass::kBestEffort:
+      return "best-effort";
+    case ClientClass::kPriority:
+      return "priority";
   }
   return "?";
 }
@@ -72,6 +84,7 @@ void encode_hello(const Hello& hello, std::vector<std::uint8_t>& out) {
   put_u8(out, static_cast<std::uint8_t>(hello.role));
   put_f64(out, hello.sample_rate);
   put_string(out, hello.name);
+  put_u8(out, static_cast<std::uint8_t>(hello.client_class));
   end_message(out, at);
 }
 
@@ -97,6 +110,11 @@ Hello decode_hello(std::span<const std::uint8_t> body) {
   hello.role = static_cast<PeerRole>(role);
   hello.sample_rate = c.get_f64();
   hello.name = c.get_string();
+  const std::uint8_t cls = c.get_u8();
+  if (cls > static_cast<std::uint8_t>(ClientClass::kPriority)) {
+    throw WireFormatError(WireError::kMalformed, "unknown client class");
+  }
+  hello.client_class = static_cast<ClientClass>(cls);
   return hello;
 }
 
@@ -126,6 +144,7 @@ void encode_ack(const Ack& ack, std::vector<std::uint8_t>& out) {
   const std::size_t at = begin_message(out, MsgType::kAck);
   put_u8(out, ack.status);
   put_string(out, ack.text);
+  put_u64(out, ack.replay_shortfall);
   end_message(out, at);
 }
 
@@ -134,6 +153,7 @@ Ack decode_ack(std::span<const std::uint8_t> body) {
   Ack ack;
   ack.status = c.get_u8();
   ack.text = c.get_string();
+  ack.replay_shortfall = c.get_u64();
   return ack;
 }
 
@@ -287,6 +307,7 @@ void encode_bye(const Bye& bye, std::vector<std::uint8_t>& out) {
   const std::size_t at = begin_message(out, MsgType::kBye);
   put_u8(out, static_cast<std::uint8_t>(bye.reason));
   put_string(out, bye.text);
+  put_f64(out, bye.retry_after);
   end_message(out, at);
 }
 
@@ -294,11 +315,12 @@ Bye decode_bye(std::span<const std::uint8_t> body) {
   Cursor c(body);
   Bye bye;
   const std::uint8_t reason = c.get_u8();
-  if (reason > static_cast<std::uint8_t>(ByeReason::kShuttingDown)) {
+  if (reason > static_cast<std::uint8_t>(ByeReason::kAdmissionDenied)) {
     throw WireFormatError(WireError::kMalformed, "unknown bye reason");
   }
   bye.reason = static_cast<ByeReason>(reason);
   bye.text = c.get_string();
+  bye.retry_after = c.get_f64();
   return bye;
 }
 

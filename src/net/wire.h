@@ -33,9 +33,14 @@ constexpr char kWireMagic[6] = {'L', 'F', 'B', 'W', '1', '\0'};
 /// federation messages (kRelayHello, kShardAssign, kShardFrame) joined
 /// the protocol. Version 3: kSubscribe grew the replay_recent flag
 /// (partition recovery — resubscribers may ask for the server's recent
-/// frame ring). Each change is incompatible with older peers, and the
-/// hello check rejects them before any frame is parsed.
-constexpr std::uint16_t kWireVersion = 3;
+/// frame ring). Version 4 (overload protection): kHello grew the client
+/// class (best-effort vs priority), kBye grew a retry-after hint
+/// (admission denies tell the client when to redial), and kAck grew the
+/// replay shortfall (how many ring frames the server had already shed
+/// when a resubscriber asked for replay). Each change is incompatible
+/// with older peers, and the hello check rejects them before any frame
+/// is parsed.
+constexpr std::uint16_t kWireVersion = 4;
 
 /// Upper bound on one message body. Protects the receiver from a garbled
 /// (or hostile) length prefix triggering a huge allocation — the same
@@ -93,11 +98,27 @@ enum class PeerRole : std::uint8_t {
   kShardWorker = 5,      ///< decode worker accepting shard assignments
 };
 
+/// Service class a subscriber announces in its hello. The overload layer
+/// treats the two very differently: best-effort traffic is the first to
+/// be shed when the gateway's ResourceBudget saturates, while priority
+/// subscribers (relays, downstream federated gateways, operators' own
+/// consumers) are never shed — the server backpressures its own decode
+/// pipeline before it drops a priority frame.
+enum class ClientClass : std::uint8_t {
+  kBestEffort = 0,  ///< sheddable under overload (default)
+  kPriority = 1,    ///< never shed; protected by admission + backpressure
+};
+
+const char* to_string(ClientClass cls);
+
 struct Hello {
   PeerRole role = PeerRole::kFrameSubscriber;
   /// IQ pushers declare their capture rate here; 0 for frame peers.
   SampleRate sample_rate = 0.0;
   std::string name;  ///< free-form peer name for logs
+  /// Service class under overload (v4). Trailing member so the many
+  /// positional aggregate initializers predating v4 keep compiling.
+  ClientClass client_class = ClientClass::kBestEffort;
 };
 
 /// Sent by a relay right after its hello, before kSubscribe: announces the
@@ -130,6 +151,12 @@ struct SubscribeFilter {
 struct Ack {
   std::uint8_t status = 0;  ///< 0 = ok, anything else = refused
   std::string text;
+  /// On a subscribe ack with replay_recent set (v4): how many frames the
+  /// server's replay ring had already shed beyond what it could replay —
+  /// 0 means the resubscriber healed everything the ring was configured
+  /// to retain. Silent truncation was the old behaviour; now the consumer
+  /// knows exactly how large its unhealable gap is.
+  std::uint64_t replay_shortfall = 0;
 };
 
 enum class ByeReason : std::uint8_t {
@@ -137,6 +164,7 @@ enum class ByeReason : std::uint8_t {
   kEvicted = 1,        ///< slow-consumer policy closed the connection
   kProtocolError = 2,  ///< peer sent something unparseable
   kShuttingDown = 3,   ///< server stopping without a full drain
+  kAdmissionDenied = 4,  ///< over connection/class budget; retry later
 };
 
 const char* to_string(ByeReason reason);
@@ -144,6 +172,10 @@ const char* to_string(ByeReason reason);
 struct Bye {
   ByeReason reason = ByeReason::kEndOfStream;
   std::string text;
+  /// Hint accompanying kAdmissionDenied (v4): how long the refused client
+  /// should wait before redialing. FrameClient honors it (capped by its
+  /// backoff_max) instead of hammering an overloaded gateway.
+  Seconds retry_after = 0.0;
 };
 
 /// RuntimeStats digest small enough to push periodically. The gateway

@@ -298,6 +298,8 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
             config_.stop_flag->load(std::memory_order_relaxed));
   };
   bool stopped_early = false;
+  std::size_t backpressure_waits = 0;
+  Seconds backpressure_seconds = 0.0;
   for (;;) {
     if (stop_requested()) {
       stopped_early = true;
@@ -306,6 +308,21 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
     auto chunk = supervisor.next_chunk(source);
     if (!chunk) break;
     supervisor.scrub(*chunk);
+    // Downstream backpressure: when the serving side's budget saturates,
+    // pause (bounded) before admitting the chunk. A delay, never a drop —
+    // the chunk goes into the ring either way.
+    if (config_.backpressure != nullptr &&
+        config_.backpressure->engaged()) {
+      const auto wait_start = std::chrono::steady_clock::now();
+      if (config_.backpressure->wait(std::chrono::duration<double>(
+              config_.backpressure_max_wait))) {
+        ++backpressure_waits;
+        backpressure_seconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wait_start)
+                .count();
+      }
+    }
     if (config_.drop_when_full) {
       ring.offer(std::move(*chunk));
     } else {
@@ -333,6 +350,8 @@ RuntimeResult DecodeRuntime::run(SampleSource& source) {
   out.stats.ring_high_watermark = ring.high_watermark();
   out.stats.samples_in = samples_in;
   out.stats.samples_gap = samples_gap;
+  out.stats.backpressure_waits = backpressure_waits;
+  out.stats.backpressure_seconds = backpressure_seconds;
   out.stats.windows_dispatched = windows_dispatched.load();
   out.stats.windows_decoded = windows_decoded.load();
   out.stats.streams = out.decode.streams.size();

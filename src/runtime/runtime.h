@@ -5,6 +5,7 @@
 
 #include "core/windowed_decoder.h"
 #include "runtime/frame_bus.h"
+#include "runtime/ring_buffer.h"
 #include "runtime/sample_source.h"
 #include "runtime/stats.h"
 #include "runtime/supervisor.h"
@@ -66,6 +67,17 @@ struct RuntimeConfig {
   /// frames from different runs stay distinguishable across the
   /// federation's dedup.
   std::uint64_t epoch_index = 0;
+  /// Optional downstream throttle (gateway overload protection). When the
+  /// serving side's ResourceBudget saturates it engages this gate and the
+  /// ingest loop pauses — at most backpressure_max_wait per chunk — before
+  /// admitting the next chunk to the ring, so queue memory stays flat
+  /// instead of growing until eviction. Bounded by construction: a dead
+  /// releasing side slows ingest, it can never deadlock the pipeline, and
+  /// no chunk is ever dropped by the gate — fault-free runs stay
+  /// bit-identical to the serial decoder. The gate is only read here;
+  /// the caller owns it and must outlive run().
+  BackpressureGate* backpressure = nullptr;
+  Seconds backpressure_max_wait = 0.05;
 };
 
 struct RuntimeResult {

@@ -30,12 +30,32 @@
 //   --port-file PATH    write the bound frame port to PATH (for scripts)
 //   --wait-subscriber S wait up to S seconds for a subscriber before
 //                       decoding starts (so a tail sees the whole stream)
-//   --queue-frames N    per-client send queue bound (default 256)
-//   --evict-slow        evict slow consumers instead of dropping oldest
+//   --client-queue N    per-client send queue bound, messages (default 256;
+//                       --queue-frames is the older spelling, same knob)
+//   --slow-policy P     drop | evict: what a slow consumer loses (drop =
+//                       oldest queued frame, evict = the connection; the
+//                       old --evict-slow flag is shorthand for evict)
 //   --send-buffer N     kernel send-buffer bytes per client (testing)
 //   --workers N         decode worker threads (default 4)
 //   --crc5 / --payload N / --windowed MS   decoder knobs (as lfbs_decode)
 //   --trace-out PATH    JSONL telemetry incl. net.* events ("-" = stdout)
+//
+// Overload protection (serve/relay; see docs/DESIGN.md §4h):
+//   --quota SPEC        admission control: comma-separated key=value —
+//                       conns=N, retry-after=S, be-clients=N, be-fps=X,
+//                       be-queue-kb=N, prio-clients=N, prio-fps=X,
+//                       prio-queue-kb=N. Over-budget dials get a typed
+//                       Bye(admission-denied) with a retry-after hint.
+//   --queue-budget-kb N global byte budget across every per-client send
+//                       queue, the replay ring, and the shard
+//                       coordinator's in-flight windows. Saturation sheds
+//                       best-effort traffic in tiers (ring history first)
+//                       and backpressures the decode pipeline; priority
+//                       subscribers are never shed.
+//   --retry-after S     override the deny retry hint (default 0.5)
+//   --max-clients N     accepted-fd bound (default: admission conns + 64
+//                       headroom so over-budget dials reach the deny path)
+//   --priority          tail only: announce ClientClass::kPriority
 //
 // The server publishes a final stats message (frames_published et al.)
 // before closing each subscriber with Bye(end-of-stream), so a tailing
@@ -101,10 +121,12 @@ void usage() {
       "                    --gateway-id N [--hop-limit N] [serve options]\n"
       "       lfbs_gateway --shard-worker [--port N] [--port-file PATH]\n"
       "serve options: [--port N] [--port-file PATH] [--wait-subscriber S]\n"
-      "               [--queue-frames N] [--evict-slow] [--send-buffer N]\n"
-      "               [--workers N] [--crc5] [--payload N] [--windowed MS]\n"
-      "               [--gateway-id N] [--shard HOST:PORT ...] [--replay N]\n"
-      "               [--trace-out PATH] [--chaos SPEC]\n");
+      "               [--client-queue N] [--slow-policy drop|evict]\n"
+      "               [--send-buffer N] [--workers N] [--crc5] [--payload N]\n"
+      "               [--windowed MS] [--gateway-id N] [--shard HOST:PORT]\n"
+      "               [--replay N] [--trace-out PATH] [--chaos SPEC]\n"
+      "overload:      [--quota SPEC] [--queue-budget-kb N] [--retry-after S]\n"
+      "               [--max-clients N]   (tail: [--priority])\n");
 }
 
 bool split_host_port(const std::string& spec, std::string& host,
@@ -131,7 +153,7 @@ std::string bits_hex(const std::vector<bool>& bits) {
 }
 
 int run_tail(const std::string& spec, double min_confidence, bool crc_only,
-             bool quiet) {
+             bool quiet, bool priority) {
   net::FrameClientConfig cc;
   if (!split_host_port(spec, cc.host, cc.port)) {
     std::fprintf(stderr, "error: --connect wants HOST:PORT, got '%s'\n",
@@ -141,6 +163,7 @@ int run_tail(const std::string& spec, double min_confidence, bool crc_only,
   cc.name = "lfbs_gateway --connect";
   cc.filter.min_confidence = min_confidence;
   cc.filter.crc_valid_only = crc_only;
+  if (priority) cc.client_class = net::ClientClass::kPriority;
 
   net::FrameClient client(cc);
   install_shutdown_handlers();
@@ -264,6 +287,11 @@ int main(int argc, char** argv) {
   bool shard_worker_mode = false;
   std::size_t replay_frames = 0;
   std::string chaos_spec;
+  std::string quota_spec;
+  std::size_t queue_budget_kb = 0;
+  double retry_after = -1.0;  // <0 = keep the spec/default hint
+  std::size_t max_clients = 0;
+  bool tail_priority = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -289,10 +317,33 @@ int main(int argc, char** argv) {
       iq_port_file = argv[++i];
     } else if (arg == "--wait-subscriber" && i + 1 < argc) {
       wait_subscriber = atof(argv[++i]);
-    } else if (arg == "--queue-frames" && i + 1 < argc) {
+    } else if ((arg == "--queue-frames" || arg == "--client-queue") &&
+               i + 1 < argc) {
       queue_frames = static_cast<std::size_t>(atoi(argv[++i]));
     } else if (arg == "--evict-slow") {
       evict_slow = true;
+    } else if (arg == "--slow-policy" && i + 1 < argc) {
+      const std::string policy = argv[++i];
+      if (policy == "drop") {
+        evict_slow = false;
+      } else if (policy == "evict") {
+        evict_slow = true;
+      } else {
+        std::fprintf(stderr,
+                     "error: --slow-policy wants drop or evict, got '%s'\n",
+                     policy.c_str());
+        return 2;
+      }
+    } else if (arg == "--quota" && i + 1 < argc) {
+      quota_spec = argv[++i];
+    } else if (arg == "--queue-budget-kb" && i + 1 < argc) {
+      queue_budget_kb = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--retry-after" && i + 1 < argc) {
+      retry_after = atof(argv[++i]);
+    } else if (arg == "--max-clients" && i + 1 < argc) {
+      max_clients = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--priority") {
+      tail_priority = true;
     } else if (arg == "--send-buffer" && i + 1 < argc) {
       send_buffer = static_cast<std::size_t>(atoi(argv[++i]));
     } else if (arg == "--workers" && i + 1 < argc) {
@@ -334,6 +385,41 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Overload protection: parse --quota up front so a malformed spec is a
+  // typed usage error, not a mid-serve surprise. The budget and gate live
+  // here — main's scope — because the FrameServer, the DecodeRuntime, and
+  // a shard coordinator all borrow them and must not outlive them.
+  net::AdmissionConfig admission;
+  if (!quota_spec.empty()) {
+    try {
+      admission = net::parse_quota_spec(quota_spec);
+    } catch (const net::QuotaParseError& e) {
+      std::fprintf(stderr, "error: bad --quota spec (%s): %s\n",
+                   net::to_string(e.code()), e.what());
+      return 2;
+    }
+  }
+  if (retry_after >= 0.0) admission.retry_after = retry_after;
+  std::optional<net::ResourceBudget> budget;
+  std::optional<runtime::BackpressureGate> gate;
+  if (queue_budget_kb > 0) {
+    budget.emplace(queue_budget_kb * 1024);
+    gate.emplace();
+  }
+  const auto configure_overload = [&](net::FrameServerConfig& sc) {
+    sc.admission = admission;
+    if (budget.has_value()) sc.budget = &*budget;
+    if (gate.has_value()) sc.backpressure = &*gate;
+    if (max_clients > 0) {
+      sc.max_clients = max_clients;
+    } else if (admission.enabled && admission.max_connections > 0) {
+      // Admission owns the connection count; the fd bound only needs
+      // headroom so every over-budget dial reaches the typed deny path
+      // instead of parking in the kernel backlog.
+      sc.max_clients = admission.max_connections + 64;
+    }
+  };
 
   // Chaos install covers every role — tail, push, relay, serve, worker —
   // so soak scripts can point the same --chaos spec at any process.
@@ -379,7 +465,8 @@ int main(int argc, char** argv) {
   if (!connect_spec.empty() || !push_spec.empty()) {
     int code;
     if (!connect_spec.empty()) {
-      code = run_tail(connect_spec, min_confidence, crc_only, quiet);
+      code = run_tail(connect_spec, min_confidence, crc_only, quiet,
+                      tail_priority);
     } else if (capture.empty()) {
       std::fprintf(stderr, "error: --push needs a capture file\n");
       code = 2;
@@ -449,6 +536,7 @@ int main(int argc, char** argv) {
       sc.send_buffer_bytes = send_buffer;
       sc.origin_id = gateway_id;
       sc.replay_frames = replay_frames;
+      configure_overload(sc);
       net::FrameServer server(sc);
       std::fprintf(stderr, "gateway: relay %llu serving frames on port %u\n",
                    static_cast<unsigned long long>(gateway_id),
@@ -529,6 +617,7 @@ int main(int argc, char** argv) {
     sc.send_buffer_bytes = send_buffer;
     sc.origin_id = gateway_id;
     sc.replay_frames = replay_frames;
+    configure_overload(sc);
     net::FrameServer server(sc);
     std::fprintf(stderr, "gateway: serving frames on port %u\n",
                  server.port());
@@ -544,6 +633,7 @@ int main(int argc, char** argv) {
     if (window_ms > 0.0) rc.windowed.window = window_ms * 1e-3;
     rc.workers = workers;
     rc.stop_flag = &shutdown_flag();
+    if (gate.has_value()) rc.backpressure = &*gate;
 
     // Build the source last: --iq-listen blocks here for a pusher.
     Rng rng(2025);
@@ -586,6 +676,7 @@ int main(int argc, char** argv) {
       net::federation::ShardConfig shc;
       shc.windowed = rc.windowed;
       shc.name = "lfbs_gateway --shard";
+      if (budget.has_value()) shc.budget = &*budget;
       for (const auto& spec : shard_specs) {
         net::federation::ShardWorkerEndpoint endpoint;
         if (!split_host_port(spec, endpoint.host, endpoint.port)) {

@@ -14,7 +14,10 @@
 //   rate     → rate-control decisions
 //   net      → gateway activity: connects, subscribes, per-client
 //              disconnect accounting (frames sent / queue drops),
-//              evictions, protocol errors
+//              evictions, protocol errors; "overload" summary events
+//              render an extra section with the typed shed ledger
+//              (admission denies, quota/budget/ring sheds, replay
+//              truncation) and check that the frame ledger closes
 //   chaos    → injected-fault breakdown per fault class, when the run
 //              carried a --chaos spec
 //   snapshot → count only (periodic metric snapshots)
@@ -70,6 +73,17 @@ int main(int argc, char** argv) {
   std::vector<std::string> net_log;
   std::size_t net_frames_sent = 0;
   std::size_t net_drops = 0;
+  // Overload-protection summary: one "overload" event per server at
+  // shutdown carries its lifetime shed/admission ledger; aggregated here
+  // across every server in the stream.
+  struct OverloadTotals {
+    bool seen = false;
+    std::size_t denies = 0, quota_sheds = 0, budget_sheds = 0,
+                budget_refusals = 0, ring_sheds = 0, queue_drops = 0,
+                enqueued = 0, sent = 0, discarded = 0, replay_truncated = 0,
+                peak_queue_bytes = 0;
+  } overload;
+  std::size_t replay_shortfall_frames = 0;
   std::map<std::string, std::size_t> federation_actions;
   std::vector<std::string> federation_log;
   std::map<std::string, std::size_t> chaos_faults;
@@ -135,6 +149,26 @@ int main(int argc, char** argv) {
                 static_cast<std::int64_t>(v.member_num("client", 0.0))) +
             " " + action + ": " + std::to_string(frames) +
             " frames sent, " + std::to_string(drops) + " dropped");
+      } else if (action == "overload") {
+        const auto u = [&](const char* key) {
+          return static_cast<std::size_t>(v.member_num(key, 0.0));
+        };
+        overload.seen = true;
+        overload.denies += u("denies");
+        overload.quota_sheds += u("quota_sheds");
+        overload.budget_sheds += u("budget_sheds");
+        overload.budget_refusals += u("budget_refusals");
+        overload.ring_sheds += u("ring_sheds");
+        overload.queue_drops += u("queue_drops");
+        overload.enqueued += u("enqueued");
+        overload.sent += u("sent");
+        overload.discarded += u("discarded");
+        overload.replay_truncated += u("replay_truncated");
+        overload.peak_queue_bytes =
+            std::max(overload.peak_queue_bytes, u("peak_queue_bytes"));
+      } else if (action == "replay-truncated") {
+        replay_shortfall_frames +=
+            static_cast<std::size_t>(v.member_num("shortfall", 0.0));
       }
     } else if (type == "federation") {
       const std::string action = v.member_str("action", "?");
@@ -231,6 +265,46 @@ int main(int argc, char** argv) {
     std::printf("%zu frames delivered, %zu dropped to slow consumers\n",
                 net_frames_sent, net_drops);
     for (const auto& n : net_log) std::printf("  %s\n", n.c_str());
+  }
+  if (overload.seen) {
+    std::printf("\n== overload ==\n");
+    sim::Table table({"metric", "count"});
+    table.add_row({"admission denies", std::to_string(overload.denies)});
+    table.add_row({"quota sheds (fps)", std::to_string(overload.quota_sheds)});
+    table.add_row({"budget sheds (queued)",
+                   std::to_string(overload.budget_sheds)});
+    table.add_row({"budget refusals (incoming)",
+                   std::to_string(overload.budget_refusals)});
+    table.add_row({"ring sheds (history)",
+                   std::to_string(overload.ring_sheds)});
+    table.add_row({"slow-consumer drops",
+                   std::to_string(overload.queue_drops)});
+    table.add_row({"replay truncations",
+                   std::to_string(overload.replay_truncated)});
+    table.add_row({"peak queue+ring bytes",
+                   std::to_string(overload.peak_queue_bytes)});
+    table.print();
+    // The frame ledger from the overload summary events: every enqueued
+    // frame is either sent or accounted to a typed loss.
+    const std::size_t accounted = overload.sent + overload.queue_drops +
+                                  overload.budget_sheds + overload.discarded;
+    if (overload.enqueued == accounted) {
+      std::printf(
+          "frame ledger closes: %zu enqueued == %zu sent + %zu dropped + "
+          "%zu shed + %zu discarded\n",
+          overload.enqueued, overload.sent, overload.queue_drops,
+          overload.budget_sheds, overload.discarded);
+    } else {
+      std::printf(
+          "frame ledger MISMATCH: %zu enqueued vs %zu accounted "
+          "(%zu sent + %zu dropped + %zu shed + %zu discarded)\n",
+          overload.enqueued, accounted, overload.sent, overload.queue_drops,
+          overload.budget_sheds, overload.discarded);
+    }
+    if (replay_shortfall_frames > 0) {
+      std::printf("replay shortfall acked to resubscribers: %zu frames\n",
+                  replay_shortfall_frames);
+    }
   }
   if (!federation_actions.empty()) {
     std::printf("\n== federation ==\n");

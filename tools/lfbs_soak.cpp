@@ -26,9 +26,21 @@
 // (healthy → degraded on any failed attempt → failed past
 // --max-consecutive-failures), printing every transition.
 //
+// With --overload the topology changes to the admission-control drill:
+// one DecodeRuntime gateway under a global byte budget and backpressure
+// gate, a 32-connection dial storm (each expecting a typed admission
+// deny with a retry-after hint), 4 deliberately slow best-effort
+// consumers, and 1 priority subscriber. Per epoch the drill asserts the
+// priority subscriber saw every published frame (bit-identity to the
+// serial reference), every denied dial got Bye(admission-denied) with a
+// positive retry hint, the server's typed shed ledger closes exactly
+// (enqueued == sent + drops + sheds + discarded), and the budget drains
+// back to zero bytes; across the run RSS stays bounded as usual.
+//
 // Exit status: 0 soak completed healthy or degraded-but-recovered, 1 any
 // soak assertion failed, 2 usage error. 130/143 after SIGINT/SIGTERM.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -55,6 +67,7 @@
 #include "protocol/frame.h"
 #include "reader/receiver.h"
 #include "runtime/frame_bus.h"
+#include "runtime/runtime.h"
 #include "runtime/sample_source.h"
 #include "runtime/stats.h"
 #include "tag/tag.h"
@@ -70,7 +83,9 @@ void usage() {
       "                 [--workers N] [--chaos SPEC] [--replay N]\n"
       "                 [--seed N] [--rss-limit-mb N]\n"
       "                 [--worker-deadline S] [--max-consecutive-failures N]\n"
-      "                 [--report-every N] [--trace-out PATH]\n");
+      "                 [--report-every N] [--trace-out PATH]\n"
+      "                 [--overload] [--storm N] [--slow-consumers N]\n"
+      "                 [--admitted N] [--budget-kb N]\n");
 }
 
 /// Current resident set in bytes, from /proc/self/status (0 if unreadable).
@@ -130,6 +145,12 @@ struct SoakOptions {
   std::size_t max_consecutive_failures = 20;
   std::size_t report_every = 10;
   std::string trace_out;
+  // --overload drill shape.
+  bool overload = false;
+  std::size_t storm = 32;           ///< dial-storm connections per epoch
+  std::size_t slow_consumers = 4;   ///< deliberately slow best-effort tails
+  std::size_t admitted = 8;         ///< admission connection budget
+  std::size_t budget_kb = 256;      ///< global queue/ring byte budget, KiB
 };
 
 struct AttemptOutcome {
@@ -264,6 +285,213 @@ AttemptOutcome run_attempt(const signal::SampleBuffer& capture,
   return out;
 }
 
+struct OverloadOutcome {
+  bool ok = false;
+  std::string error;
+  std::size_t published = 0;
+  std::size_t priority_delivered = 0;  ///< unique identities, priority tail
+  std::size_t storm_denied = 0;        ///< dials that got the typed deny
+  std::size_t storm_admitted = 0;      ///< dials that got a subscription
+  net::FrameServer::Counters server;
+  std::size_t backpressure_waits = 0;
+  std::size_t budget_peak = 0;
+  std::size_t budget_leak = 0;  ///< bytes still charged after teardown
+};
+
+/// One overload epoch: DecodeRuntime gateway under budget + admission,
+/// dial storm + slow best-effort consumers + one priority subscriber.
+OverloadOutcome run_overload_attempt(const signal::SampleBuffer& capture,
+                                     const core::WindowedDecoderConfig& wc,
+                                     const SoakOptions& opt) {
+  OverloadOutcome out;
+  net::ResourceBudget budget(opt.budget_kb * 1024);
+  runtime::BackpressureGate gate;
+
+  std::mutex keys_mutex;
+  std::set<std::uint64_t> published_keys;
+  std::set<std::uint64_t> priority_keys;
+  std::string priority_error;
+  std::atomic<std::size_t> denied{0}, admitted{0};
+  std::atomic<std::size_t> bad_denies{0};  ///< denies with no retry hint
+
+  {
+    net::FrameServerConfig sc;
+    sc.origin_id = 1;
+    sc.replay_frames = opt.replay;
+    sc.admission.enabled = true;
+    sc.admission.max_connections = opt.admitted;
+    sc.admission.retry_after = 0.2;
+    // Slow best-effort consumers hit this per-client byte quota first and
+    // lose their oldest frames there; the global budget is the backstop.
+    sc.admission.best_effort.max_queue_bytes = 16 * 1024;
+    sc.budget = &budget;
+    sc.backpressure = &gate;
+    net::FrameServer server(sc);
+
+    runtime::RuntimeConfig rc;
+    rc.windowed = wc;
+    rc.workers = 2;
+    rc.backpressure = &gate;
+    runtime::DecodeRuntime rt(rc);
+    server.attach(rt.bus());
+    const auto sub = rt.bus().subscribe([&](const runtime::FrameEvent& e) {
+      std::lock_guard lock(keys_mutex);
+      published_keys.insert(runtime::frame_identity(e).key());
+    });
+
+    // The priority subscriber: must end the epoch with every published
+    // frame, no matter what the storm does.
+    net::FrameClientConfig pc;
+    pc.port = server.port();
+    pc.name = "lfbs-soak-priority";
+    pc.client_class = net::ClientClass::kPriority;
+    net::FrameClient priority_tail(pc);
+    std::thread priority_thread([&] {
+      net::FrameClient::Callbacks callbacks;
+      callbacks.on_frame = [&](const runtime::FrameEvent& e) {
+        std::lock_guard lock(keys_mutex);
+        priority_keys.insert(runtime::frame_identity(e).key());
+      };
+      try {
+        priority_tail.run(callbacks);
+      } catch (const std::exception& e) {
+        std::lock_guard lock(keys_mutex);
+        priority_error = e.what();
+      }
+    });
+
+    // Slow best-effort consumers: a sleep per frame makes their queues the
+    // shed targets. Whatever they lose is the policy working; only the
+    // ledger has to account for it.
+    std::vector<std::unique_ptr<net::FrameClient>> slow_tails;
+    std::vector<std::thread> slow_threads;
+    for (std::size_t i = 0; i < opt.slow_consumers; ++i) {
+      net::FrameClientConfig cc;
+      cc.port = server.port();
+      cc.name = "lfbs-soak-slow-" + std::to_string(i);
+      slow_tails.push_back(std::make_unique<net::FrameClient>(cc));
+      net::FrameClient* tail = slow_tails.back().get();
+      slow_threads.emplace_back([tail] {
+        net::FrameClient::Callbacks callbacks;
+        callbacks.on_frame = [](const runtime::FrameEvent&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        };
+        try {
+          tail->run(callbacks);
+        } catch (const std::exception&) {
+          // A slow tail losing its connection under overload is the
+          // policy's business, not the drill's.
+        }
+      });
+    }
+
+    // Let every legitimate subscriber land before the storm competes for
+    // the connection budget.
+    const auto sub_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    const std::size_t want_subs = 1 + opt.slow_consumers;
+    while (server.counters().subscribers < want_subs &&
+           std::chrono::steady_clock::now() < sub_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    // The dial storm: every connection either gets a typed deny with a
+    // retry-after hint (and gives up: zero admission retries) or is
+    // admitted and tails the stream to its end.
+    std::vector<std::unique_ptr<net::FrameClient>> storm_clients;
+    std::vector<std::thread> storm_threads;
+    for (std::size_t i = 0; i < opt.storm; ++i) {
+      net::FrameClientConfig cc;
+      cc.port = server.port();
+      cc.name = "lfbs-soak-storm-" + std::to_string(i);
+      cc.max_admission_retries = 0;
+      storm_clients.push_back(std::make_unique<net::FrameClient>(cc));
+      net::FrameClient* client = storm_clients.back().get();
+      storm_threads.emplace_back([client, &denied, &admitted, &bad_denies] {
+        try {
+          const net::Bye bye = client->run({});
+          if (bye.reason == net::ByeReason::kAdmissionDenied) {
+            denied.fetch_add(1, std::memory_order_relaxed);
+            if (!(bye.retry_after > 0.0)) {
+              bad_denies.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            admitted.fetch_add(1, std::memory_order_relaxed);
+          }
+        } catch (const std::exception&) {
+          // Dial storms racing a draining listener can lose a connection
+          // without a Bye; that dial is neither denied nor admitted.
+        }
+      });
+    }
+
+    // Decode under fire.
+    std::string run_error;
+    runtime::RuntimeStats stats;
+    try {
+      runtime::MemorySource source(capture, 1 << 14);
+      const runtime::RuntimeResult run = rt.run(source);
+      stats = run.stats;
+    } catch (const std::exception& e) {
+      run_error = e.what();
+    }
+    out.backpressure_waits = stats.backpressure_waits;
+
+    server.detach();
+    rt.bus().unsubscribe(sub);
+    server.publish_stats(stats);
+    server.shutdown(/*drain=*/true);
+    priority_thread.join();
+    for (auto& thread : slow_threads) thread.join();
+    for (auto& thread : storm_threads) thread.join();
+    out.server = server.counters();
+    if (!run_error.empty()) out.error = "runtime: " + run_error;
+  }  // server destroyed: every queued byte and the ring must be released
+
+  out.published = published_keys.size();
+  out.priority_delivered = priority_keys.size();
+  out.storm_denied = denied.load();
+  out.storm_admitted = admitted.load();
+  out.budget_peak = budget.peak();
+  out.budget_leak = budget.used();
+
+  const auto& c = out.server;
+  const std::size_t accounted = c.frames_sent + c.queue_drops +
+                                c.budget_sheds + c.frames_discarded;
+  if (!out.error.empty()) {
+    // keep the runtime error
+  } else if (out.published == 0) {
+    out.error = "decode published no frames";
+  } else if (!priority_error.empty()) {
+    out.error = "priority tail: " + priority_error;
+  } else if (priority_keys != published_keys) {
+    out.error = "priority tail saw " +
+                std::to_string(out.priority_delivered) + " unique frames of " +
+                std::to_string(out.published) + " published";
+  } else if (out.storm_denied == 0) {
+    out.error = "dial storm produced no admission denies";
+  } else if (bad_denies.load() > 0) {
+    out.error = std::to_string(bad_denies.load()) +
+                " denies arrived without a retry-after hint";
+  } else if (out.storm_denied != c.admission_denies) {
+    out.error = "deny accounting: server counted " +
+                std::to_string(c.admission_denies) + ", storm received " +
+                std::to_string(out.storm_denied);
+  } else if (c.frames_enqueued != accounted) {
+    out.error = "shed ledger does not close: enqueued " +
+                std::to_string(c.frames_enqueued) + " != sent " +
+                std::to_string(c.frames_sent) + " + drops " +
+                std::to_string(c.queue_drops) + " + sheds " +
+                std::to_string(c.budget_sheds) + " + discarded " +
+                std::to_string(c.frames_discarded);
+  } else if (out.budget_leak != 0) {
+    out.error = "budget leaked " + std::to_string(out.budget_leak) +
+                " bytes after teardown";
+  }
+  out.ok = out.error.empty();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,10 +526,24 @@ int main(int argc, char** argv) {
       opt.report_every = static_cast<std::size_t>(atoi(argv[++i]));
     } else if (arg == "--trace-out" && i + 1 < argc) {
       opt.trace_out = argv[++i];
+    } else if (arg == "--overload") {
+      opt.overload = true;
+    } else if (arg == "--storm" && i + 1 < argc) {
+      opt.storm = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--slow-consumers" && i + 1 < argc) {
+      opt.slow_consumers = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--admitted" && i + 1 < argc) {
+      opt.admitted = static_cast<std::size_t>(atoi(argv[++i]));
+    } else if (arg == "--budget-kb" && i + 1 < argc) {
+      opt.budget_kb = static_cast<std::size_t>(atoi(argv[++i]));
     } else {
       usage();
       return 2;
     }
+  }
+  if (opt.overload && (opt.admitted == 0 || opt.budget_kb == 0)) {
+    usage();
+    return 2;
   }
   if (opt.epochs == 0 || opt.workers == 0) {
     usage();
@@ -354,6 +596,111 @@ int main(int argc, char** argv) {
                "%zu workers, chaos %s\n",
                opt.duration_ms, opt.tags, reference_frames, opt.workers,
                opt.chaos_spec.empty() ? "off" : opt.chaos_spec.c_str());
+
+  // --- overload drill: its own topology and epoch loop --------------------
+  if (opt.overload) {
+    std::fprintf(stderr,
+                 "soak: overload drill — %zu-dial storm, %zu slow consumers, "
+                 "%zu admitted, %zu KiB budget\n",
+                 opt.storm, opt.slow_consumers, opt.admitted, opt.budget_kb);
+    install_shutdown_handlers();
+    using runtime::HealthState;
+    HealthState health = HealthState::kHealthy;
+    const auto transition = [&](HealthState to, const std::string& why) {
+      if (to <= health) return;
+      std::fprintf(stderr, "soak: health %s -> %s (%s)\n",
+                   runtime::to_string(health), runtime::to_string(to),
+                   why.c_str());
+      if (obs::EventLog* log = obs::event_log()) {
+        log->emit("soak", {obs::Field::str("action", "health"),
+                           obs::Field::str("to", runtime::to_string(to)),
+                           obs::Field::str("why", why)});
+      }
+      health = to;
+    };
+
+    std::size_t completed = 0, attempts = 0, consecutive = 0;
+    std::size_t denies_total = 0, quota_sheds_total = 0;
+    std::size_t budget_sheds_total = 0, refusals_total = 0;
+    std::size_t ring_sheds_total = 0, drops_total = 0;
+    std::size_t backpressure_total = 0, peak_bytes_max = 0;
+    std::size_t rss_baseline = 0;
+    bool interrupted = false;
+    while (completed < opt.epochs) {
+      if (shutdown_flag().load()) {
+        interrupted = true;
+        break;
+      }
+      ++attempts;
+      const OverloadOutcome outcome =
+          run_overload_attempt(capture, wc, opt);
+      denies_total += outcome.storm_denied;
+      quota_sheds_total += outcome.server.quota_sheds;
+      budget_sheds_total += outcome.server.budget_sheds;
+      refusals_total += outcome.server.budget_refusals;
+      ring_sheds_total += outcome.server.ring_sheds;
+      drops_total += outcome.server.queue_drops;
+      backpressure_total += outcome.backpressure_waits;
+      peak_bytes_max = std::max(peak_bytes_max, outcome.budget_peak);
+      if (outcome.ok && outcome.published != reference_frames) {
+        transition(HealthState::kFailed,
+                   "overloaded gateway published " +
+                       std::to_string(outcome.published) +
+                       " frames, serial reference has " +
+                       std::to_string(reference_frames));
+        break;
+      }
+      if (outcome.ok) {
+        ++completed;
+        consecutive = 0;
+        if (rss_baseline == 0) rss_baseline = rss_bytes();
+        if (opt.report_every > 0 && completed % opt.report_every == 0) {
+          std::fprintf(
+              stderr,
+              "soak: %zu/%zu overload epochs, %zu denies, %zu drops, "
+              "%zu budget sheds, rss %.1f MB\n",
+              completed, opt.epochs, denies_total, drops_total,
+              budget_sheds_total, rss_bytes() / 1048576.0);
+        }
+      } else {
+        ++consecutive;
+        transition(HealthState::kDegraded,
+                   "overload attempt " + std::to_string(attempts) +
+                       " failed: " + outcome.error);
+        if (consecutive > opt.max_consecutive_failures) {
+          transition(HealthState::kFailed,
+                     std::to_string(consecutive) +
+                         " consecutive failed attempts");
+          break;
+        }
+      }
+    }
+
+    const std::size_t rss_final = rss_bytes();
+    if (rss_baseline > 0 &&
+        rss_final > rss_baseline + opt.rss_limit_mb * 1048576) {
+      transition(HealthState::kFailed,
+                 "rss grew from " + std::to_string(rss_baseline / 1048576) +
+                     " MB to " + std::to_string(rss_final / 1048576) + " MB");
+    }
+    if (!interrupted && completed < opt.epochs) {
+      transition(HealthState::kFailed, "soak aborted before all epochs ran");
+    }
+    std::fprintf(
+        stderr,
+        "soak: %zu/%zu overload epochs over %zu attempts — %zu typed "
+        "denies, %zu quota sheds, %zu drops, %zu budget sheds, %zu "
+        "refusals, %zu ring sheds, %zu backpressure waits, peak budget "
+        "%.1f KiB, rss %.1f -> %.1f MB, health %s\n",
+        completed, opt.epochs, attempts, denies_total, quota_sheds_total,
+        drops_total, budget_sheds_total, refusals_total, ring_sheds_total,
+        backpressure_total, peak_bytes_max / 1024.0,
+        rss_baseline / 1048576.0, rss_final / 1048576.0,
+        runtime::to_string(health));
+    if (telemetry_writer) telemetry_writer->flush();
+    obs::set_event_log(nullptr);
+    return shutdown_exit_code(health == HealthState::kFailed ? 1 : 0);
+  }
 
   // --- persistent worker pool (threads; sessions come and go) ------------
   std::atomic<bool> pool_stop{false};

@@ -12,7 +12,11 @@
 #   - publish-path admission overhead (publish_admission_overhead_pct,
 #     admission on vs off) is capped absolutely at 2% — overload
 #     protection must cost the stitcher thread almost nothing when
-#     nothing is shed.
+#     nothing is shed;
+#   - publish-path control-plane overhead (publish_control_overhead_pct,
+#     the FleetTracker bus tap on vs off) is likewise capped absolutely
+#     at 2% — fleet sensing rides every published frame, the scheduling
+#     work happens off this path at epoch boundaries.
 #
 # The bench is run fresh (--json) and its numbers are compared with awk;
 # a baseline that lacks a metric skips that check with a notice instead of
@@ -21,13 +25,15 @@
 # Usage: scripts/check_bench_regression.sh [build-dir] [baseline.json]
 #   build-dir defaults to build; baseline defaults to BENCH_summary.json.
 # Env: LFBS_BENCH_TOLERANCE_PCT overrides the 15% threshold;
-#      LFBS_PUBLISH_OVERHEAD_CAP_PCT overrides the 2% publish cap.
+#      LFBS_PUBLISH_OVERHEAD_CAP_PCT overrides the 2% publish cap;
+#      LFBS_CONTROL_OVERHEAD_CAP_PCT overrides the 2% control-tap cap.
 set -e
 
 build="${1:-build}"
 baseline="${2:-BENCH_summary.json}"
 tolerance="${LFBS_BENCH_TOLERANCE_PCT:-15}"
 publish_cap="${LFBS_PUBLISH_OVERHEAD_CAP_PCT:-2}"
+control_cap="${LFBS_CONTROL_OVERHEAD_CAP_PCT:-2}"
 
 bench="$build/bench/bench_runtime_throughput"
 if [ ! -x "$bench" ]; then
@@ -107,6 +113,23 @@ else
                 'BEGIN { print (o <= cap) ? "OK" : "FAIL" }')
   echo "check_bench_regression: publish_admission_overhead_pct" \
        "fresh=$overhead cap=$publish_cap -> $verdict"
+  if [ "$verdict" = "FAIL" ]; then
+    failures=$((failures + 1))
+  fi
+fi
+
+# Same absolute-cap contract for the control plane's bus tap: the
+# FleetTracker fold on every published frame must stay ≤2%.
+control_overhead="$(extract "$fresh" publish_control_overhead_pct)"
+if [ -z "$control_overhead" ]; then
+  echo "check_bench_regression: FAIL — bench emitted no" \
+       "publish_control_overhead_pct" >&2
+  failures=$((failures + 1))
+else
+  verdict=$(awk -v o="$control_overhead" -v cap="$control_cap" \
+                'BEGIN { print (o <= cap) ? "OK" : "FAIL" }')
+  echo "check_bench_regression: publish_control_overhead_pct" \
+       "fresh=$control_overhead cap=$control_cap -> $verdict"
   if [ "$verdict" = "FAIL" ]; then
     failures=$((failures + 1))
   fi

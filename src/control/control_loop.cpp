@@ -1,0 +1,238 @@
+#include "control/control_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "reader/session.h"
+
+namespace lfbs::control {
+
+ControlLoop::ControlLoop(ControlLoopConfig config, protocol::RatePlan rates)
+    : config_(std::move(config)),
+      tracker_(config_.tracker),
+      scheduler_(make_policy(config_.policy, config_.seed),
+                 std::move(rates)),
+      frozen_(config_.frozen) {
+  scheduler_.set_objective(config_.objective);
+}
+
+ControlLoop::~ControlLoop() { stop(); }
+
+void ControlLoop::set_applier(Applier applier) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  applier_ = std::move(applier);
+}
+
+EpochPlan ControlLoop::step(std::uint64_t epoch, Seconds duration) {
+  tracker_.end_epoch(epoch, duration);
+  const FleetSnapshot snapshot = tracker_.snapshot();
+  // The plan computed after closing epoch E applies to epoch E+1.
+  const EpochPlan plan = scheduler_.schedule(snapshot, epoch + 1);
+
+  Applier applier;
+  bool applied = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_plan_ = plan;
+    ++plans_;
+    auto_epoch_ = epoch + 1;
+    if (!frozen_) {
+      applier = applier_;
+      applied = static_cast<bool>(applier);
+    }
+  }
+  publish(plan, snapshot, applied);
+  if (applier) applier(plan);
+  return plan;
+}
+
+EpochPlan ControlLoop::step() {
+  std::uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch = auto_epoch_;
+  }
+  return step(epoch, config_.epoch_duration);
+}
+
+void ControlLoop::start(Seconds period) {
+  LFBS_CHECK(period > 0.0);
+  stop();
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    running_ = true;
+  }
+  thread_ = std::thread([this, period] {
+    const auto interval = std::chrono::duration<double>(period);
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    while (running_) {
+      if (wake_.wait_for(lock, interval, [this] { return !running_; })) {
+        break;
+      }
+      lock.unlock();
+      step();
+      lock.lock();
+    }
+  });
+}
+
+void ControlLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (!running_ && !thread_.joinable()) return;
+    running_ = false;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ControlLoop::set_frozen(bool frozen) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frozen_ = frozen;
+}
+
+bool ControlLoop::frozen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frozen_;
+}
+
+void ControlLoop::set_objective(const ControlObjective& objective) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  scheduler_.set_objective(objective);
+}
+
+ControlObjective ControlLoop::objective() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_.objective();
+}
+
+EpochPlan ControlLoop::last_plan() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_plan_;
+}
+
+net::ControlPlanMsg ControlLoop::wire_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  net::ControlPlanMsg msg;
+  msg.enabled = true;
+  msg.frozen = frozen_;
+  const ControlObjective& objective = scheduler_.objective();
+  msg.target_goodput = objective.target_goodput;
+  msg.min_confidence = objective.min_confidence;
+  msg.max_rate = objective.max_rate;
+  msg.epoch = last_plan_.epoch;
+  msg.policy = last_plan_.policy.empty() ? scheduler_.policy_name()
+                                         : last_plan_.policy;
+  msg.predicted_goodput = last_plan_.predicted_goodput_bps;
+  msg.collision_pressure = last_plan_.collision_pressure;
+  msg.assignments.reserve(last_plan_.assignments.size());
+  for (const TagAssignment& a : last_plan_.assignments) {
+    msg.assignments.push_back({a.tag, a.rate, a.predicted_goodput});
+  }
+  return msg;
+}
+
+net::ControlPlanMsg ControlLoop::apply_control_set(
+    const net::ControlSet& set) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (set.set_frozen) frozen_ = set.frozen;
+    ControlObjective objective = scheduler_.objective();
+    if (set.set_target_goodput) objective.target_goodput = set.target_goodput;
+    if (set.set_min_confidence) objective.min_confidence = set.min_confidence;
+    if (set.set_max_rate) objective.max_rate = set.max_rate;
+    scheduler_.set_objective(objective);
+  }
+  if (obs::EventLog* log = obs::event_log()) {
+    log->emit("control",
+              {obs::Field::str("action", "set"),
+               obs::Field::flag("frozen", frozen()),
+               obs::Field::num("target_goodput", objective().target_goodput),
+               obs::Field::num("min_confidence", objective().min_confidence),
+               obs::Field::num("max_rate", objective().max_rate)});
+  }
+  return wire_state();
+}
+
+void ControlLoop::publish(const EpochPlan& plan,
+                          const FleetSnapshot& snapshot, bool applied) {
+  static obs::Counter& plans = obs::metrics().counter("control.plans");
+  static obs::Counter& applies = obs::metrics().counter("control.applies");
+  plans.add();
+  if (applied) applies.add();
+  obs::metrics().gauge("control.collision_pressure")
+      .set(plan.collision_pressure);
+  obs::metrics().gauge("control.predicted_goodput")
+      .set(plan.predicted_goodput_bps);
+
+  // Per-tag gauges: last-write-wins state an operator can scrape without
+  // parsing the event log.
+  for (const TagAssignment& a : plan.assignments) {
+    const std::string suffix = std::to_string(a.tag);
+    obs::metrics().gauge("control.tag_rate." + suffix).set(a.rate);
+  }
+  for (const TagState& tag : snapshot.tags) {
+    const std::string suffix = std::to_string(tag.key);
+    obs::metrics().gauge("control.tag_goodput." + suffix).set(tag.goodput_bps);
+  }
+
+  obs::EventLog* log = obs::event_log();
+  if (log == nullptr) return;
+  log->emit("control",
+            {obs::Field::str("action", "plan"),
+             obs::Field::integer("epoch", static_cast<std::int64_t>(plan.epoch)),
+             obs::Field::str("policy", plan.policy),
+             obs::Field::integer("tags", static_cast<std::int64_t>(
+                                             plan.assignments.size())),
+             obs::Field::num("max_rate", plan.max_rate),
+             obs::Field::num("predicted_goodput", plan.predicted_goodput_bps),
+             obs::Field::num("collision_pressure", plan.collision_pressure),
+             obs::Field::flag("applied", applied)});
+  for (const TagAssignment& a : plan.assignments) {
+    std::vector<obs::Field> fields = {
+        obs::Field::str("action", "assign"),
+        obs::Field::integer("epoch", static_cast<std::int64_t>(plan.epoch)),
+        obs::Field::integer("tag", static_cast<std::int64_t>(a.tag)),
+        obs::Field::num("rate", a.rate),
+        obs::Field::num("goodput", a.predicted_goodput),
+    };
+    // Enrich with the tag's observed state when the tracker still has it.
+    for (const TagState& tag : snapshot.tags) {
+      if (tag.key != a.tag) continue;
+      fields.push_back(obs::Field::num("observed_goodput", tag.goodput_bps));
+      fields.push_back(obs::Field::num("success", tag.success));
+      if (tag.health != reader::HealthState::kHealthy) {
+        fields.push_back(
+            obs::Field::str("health", reader::to_string(tag.health)));
+      }
+      break;
+    }
+    log->emit("control", fields);
+  }
+}
+
+ControlLoop::Applier session_applier(reader::ReaderSession& session) {
+  return [&session](const EpochPlan& plan) {
+    BitRate want = 0.0;
+    for (const TagAssignment& a : plan.assignments) {
+      want = std::max(want, a.rate);
+    }
+    if (want <= 0.0) return;
+    const BitRate current = session.current_max_rate();
+    if (want > current * (1 + 1e-9)) {
+      // The plan asking for more rate is the control plane's "healthy
+      // epoch" signal; the controller's hysteresis decides when the step
+      // actually happens.
+      session.controller().step_up(true);
+    } else if (want < current * (1 - 1e-9)) {
+      session.controller().step_down();
+    }
+  };
+}
+
+}  // namespace lfbs::control

@@ -1,0 +1,178 @@
+#include "control/fleet_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lfbs::control {
+
+FleetTracker::FleetTracker(FleetTrackerConfig config) : config_(config) {}
+
+double FleetTracker::vector_distance(Complex a, Complex b) const {
+  const double scale = std::max(std::abs(b), 1e-12);
+  // Polarity-tolerant: a decode can recover the same tag with flipped
+  // levels, negating the vector (same convention as HealthLedger).
+  return std::min(std::abs(a - b), std::abs(a + b)) / scale;
+}
+
+std::uint64_t FleetTracker::key_for_vector_locked(Complex edge_vector) {
+  std::uint64_t best_key = 0;
+  double best_dist = config_.vector_tolerance;
+  for (const auto& [key, tag] : tags_) {
+    if (tag.edge_vector == Complex{}) continue;
+    const double dist = vector_distance(edge_vector, tag.edge_vector);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_key = key;
+    }
+  }
+  // A tag first seen this epoch has no closed state yet — match the open
+  // accumulators too, so two streams of one tag merge instead of forking.
+  for (const auto& [key, acc] : pending_) {
+    if (!acc.has_vector) continue;
+    const double dist = vector_distance(edge_vector, acc.edge_vector);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_key = key;
+    }
+  }
+  if (best_key != 0) return best_key;
+  return next_vector_key_++;
+}
+
+void FleetTracker::observe_frame(const runtime::FrameEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Stream indices are stable within one decode run; +1 keeps key 0 free
+  // as the "no tag" sentinel.
+  Accum& acc = pending_[static_cast<std::uint64_t>(event.stream_index) + 1];
+  acc.rate = event.rate;
+  acc.frames += 1;
+  acc.valid += event.frame.valid() ? 1 : 0;
+  acc.collided += event.collided ? 1 : 0;
+  acc.confidence_sum += event.confidence;
+  acc.confidence_n += 1;
+  if (event.frame.valid()) acc.payload_bits += event.frame.payload.size();
+}
+
+void FleetTracker::observe_decode(const core::DecodeResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const core::DecodedStream& s : result.streams) {
+    Accum& acc = pending_[key_for_vector_locked(s.edge_vector)];
+    acc.rate = s.rate;
+    acc.has_vector = true;
+    acc.edge_vector = s.edge_vector;
+    acc.confidence_sum += s.confidence.score();
+    acc.confidence_n += 1;
+    for (const protocol::ParsedFrame& f : s.frames) {
+      acc.frames += 1;
+      if (f.valid()) {
+        acc.valid += 1;
+        acc.payload_bits += f.payload.size();
+      }
+      acc.collided += s.collided ? 1 : 0;
+    }
+    // A stream that framed nothing still attempted the epoch.
+    if (s.frames.empty()) acc.frames += 1;
+  }
+}
+
+void FleetTracker::observe_health(const reader::HealthLedger& ledger) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const reader::HealthEntry& entry : ledger.entries()) {
+    std::uint64_t best_key = 0;
+    double best_dist = config_.vector_tolerance;
+    for (const auto& [key, tag] : tags_) {
+      if (tag.edge_vector == Complex{}) continue;
+      const double dist = vector_distance(entry.edge_vector, tag.edge_vector);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_key = key;
+      }
+    }
+    if (best_key != 0) tags_[best_key].health = entry.state;
+  }
+}
+
+void FleetTracker::end_epoch(std::uint64_t epoch, Seconds duration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double seconds = std::max(duration, 1e-12);
+  std::uint64_t fleet_frames = 0;
+  std::uint64_t fleet_collided = 0;
+  std::uint64_t fleet_payload_bits = 0;
+
+  for (const auto& [key, acc] : pending_) {
+    TagState& tag = tags_[key];
+    const bool fresh = tag.epochs_seen == 0;
+    tag.key = key;
+    tag.rate = acc.rate;
+    tag.last_epoch = epoch;
+    tag.epochs_seen += 1;
+    tag.frames_total += acc.frames;
+    tag.frames_valid += acc.valid;
+    tag.frames_collided += acc.collided;
+    if (acc.has_vector) tag.edge_vector = acc.edge_vector;
+
+    const double frames = static_cast<double>(std::max<std::uint64_t>(
+        acc.frames, 1));
+    const double success = static_cast<double>(acc.valid) / frames;
+    const double collided = static_cast<double>(acc.collided) / frames;
+    const double confidence =
+        acc.confidence_n > 0
+            ? acc.confidence_sum / static_cast<double>(acc.confidence_n)
+            : 0.0;
+    const double goodput = static_cast<double>(acc.payload_bits) / seconds;
+    const double a = fresh ? 1.0 : config_.alpha;
+    tag.success += a * (success - tag.success);
+    tag.collision_pressure += a * (collided - tag.collision_pressure);
+    tag.confidence += a * (confidence - tag.confidence);
+    tag.goodput_bps += a * (goodput - tag.goodput_bps);
+
+    fleet_frames += acc.frames;
+    fleet_collided += acc.collided;
+    fleet_payload_bits += acc.payload_bits;
+  }
+
+  // Tags tracked but absent this epoch: decay their signals — in a fleet
+  // where every tag transmits every epoch, absence is decode failure —
+  // and forget tags that have been gone long enough.
+  for (auto it = tags_.begin(); it != tags_.end();) {
+    if (!pending_.count(it->first)) {
+      if (epoch >= it->second.last_epoch &&
+          epoch - it->second.last_epoch >= config_.forget_after) {
+        it = tags_.erase(it);
+        continue;
+      }
+      TagState& tag = it->second;
+      tag.success *= 1.0 - config_.alpha;
+      tag.goodput_bps *= 1.0 - config_.alpha;
+      tag.confidence *= 1.0 - config_.alpha;
+    }
+    ++it;
+  }
+
+  fleet_pressure_ =
+      fleet_frames > 0 ? static_cast<double>(fleet_collided) /
+                             static_cast<double>(fleet_frames)
+                       : 0.0;
+  fleet_goodput_ = static_cast<double>(fleet_payload_bits) / seconds;
+  epoch_ = epoch;
+  any_epoch_closed_ = true;
+  pending_.clear();
+}
+
+FleetSnapshot FleetTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FleetSnapshot snap;
+  snap.epoch = epoch_;
+  snap.collision_pressure = fleet_pressure_;
+  snap.aggregate_goodput_bps = fleet_goodput_;
+  snap.tags.reserve(tags_.size());
+  for (const auto& [key, tag] : tags_) snap.tags.push_back(tag);
+  return snap;  // std::map iteration is already key-sorted
+}
+
+std::size_t FleetTracker::tags_tracked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tags_.size();
+}
+
+}  // namespace lfbs::control

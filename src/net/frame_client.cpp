@@ -176,6 +176,12 @@ Bye FrameClient::run(const Callbacks& callbacks) {
               if (callbacks.on_stats) callbacks.on_stats(stats);
               break;
             }
+            case MsgType::kControlPlan: {
+              const ControlPlanMsg plan = decode_control_plan(message->body);
+              ++counters_.control_plans_received;
+              if (callbacks.on_control) callbacks.on_control(plan);
+              break;
+            }
             case MsgType::kBye:
               end.got_bye = true;
               end.bye = decode_bye(message->body);
@@ -245,6 +251,99 @@ Bye FrameClient::run(const Callbacks& callbacks) {
     // next connect_with_backoff() call spends a fresh retry budget; if the
     // server is truly gone it throws SocketError out of run().
   }
+}
+
+namespace {
+
+/// One-shot request/reply against a gateway's control surface: dial,
+/// hello, send the request, return the kControlPlan reply. No subscribe —
+/// a control probe should not pull the frame stream along with it.
+ControlPlanMsg control_exchange(const std::string& host, std::uint16_t port,
+                                const std::vector<std::uint8_t>& request,
+                                Seconds timeout) {
+  TcpConnection conn = TcpConnection::connect(host, port, timeout);
+  std::vector<std::uint8_t> out;
+  Hello hello;
+  hello.role = PeerRole::kFrameSubscriber;
+  hello.name = "lfbs-control";
+  encode_hello(hello, out);
+  out.insert(out.end(), request.begin(), request.end());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout));
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw SocketError("control exchange timed out mid-send");
+    }
+    const std::ptrdiff_t n =
+        conn.write_some(out.data() + sent, out.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+    } else if (n == -1) {
+      std::vector<PollItem> items{{conn.fd(), false, true}};
+      poll_fds(items, 100);
+    } else {
+      throw SocketError("connection died during control exchange");
+    }
+  }
+
+  MessageReader reader;
+  for (;;) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw SocketError("control exchange timed out awaiting reply");
+    }
+    std::vector<PollItem> items{{conn.fd(), true, false}};
+    poll_fds(items, 100);
+    if (!items[0].readable && !items[0].error) continue;
+    std::uint8_t buf[4096];
+    const std::ptrdiff_t n = conn.read_some(buf, sizeof(buf));
+    if (n == -1) continue;
+    if (n == 0) {
+      throw SocketError("connection closed before the control reply");
+    }
+    reader.feed(buf, static_cast<std::size_t>(n));
+    while (auto message = reader.next()) {
+      switch (message->type) {
+        case MsgType::kAck: {
+          const Ack ack = decode_ack(message->body);
+          if (ack.status != 0) {
+            throw WireFormatError(WireError::kMalformed,
+                                  "server refused: " + ack.text);
+          }
+          break;
+        }
+        case MsgType::kControlPlan:
+          return decode_control_plan(message->body);
+        case MsgType::kBye: {
+          const Bye bye = decode_bye(message->body);
+          throw SocketError("server closed the control exchange: " +
+                            std::string(to_string(bye.reason)));
+        }
+        default:
+          // Stats or stray frames can interleave on a busy server.
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ControlPlanMsg fetch_control(const std::string& host, std::uint16_t port,
+                             Seconds timeout) {
+  std::vector<std::uint8_t> request;
+  encode_control_get(request);
+  return control_exchange(host, port, request, timeout);
+}
+
+ControlPlanMsg send_control(const std::string& host, std::uint16_t port,
+                            const ControlSet& set, Seconds timeout) {
+  std::vector<std::uint8_t> request;
+  encode_control_set(set, request);
+  return control_exchange(host, port, request, timeout);
 }
 
 }  // namespace lfbs::net

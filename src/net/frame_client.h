@@ -90,6 +90,7 @@ class FrameClient {
     std::size_t protocol_resets = 0;  ///< reconnects after WireFormatError
     std::size_t frames_received = 0;
     std::size_t stats_received = 0;
+    std::size_t control_plans_received = 0;  ///< kControlPlan broadcasts
     std::size_t admission_denies = 0;  ///< Bye(kAdmissionDenied) received
     std::size_t retry_after_waits = 0;  ///< denies absorbed by waiting the
                                         ///< server's retry-after hint
@@ -102,6 +103,9 @@ class FrameClient {
   struct Callbacks {
     std::function<void(const runtime::FrameEvent&)> on_frame;
     std::function<void(const WireStats&)> on_stats;
+    /// Control-plane broadcasts (v5): the gateway's scheduling state and
+    /// per-tag plan, pushed after each ControlLoop step.
+    std::function<void(const ControlPlanMsg&)> on_control;
   };
 
   explicit FrameClient(FrameClientConfig config);
@@ -136,5 +140,15 @@ class FrameClient {
 /// FrameClient sleeps on between connect attempts, exposed so tests can
 /// prove the schedule's spread and per-seed determinism directly.
 Seconds backoff_jitter_delay(Rng& rng, Seconds cap);
+
+/// One-shot control-plane exchange: dial, hello as a subscriber, send
+/// kControlGet (or kControlSet with `set`), return the kControlPlan
+/// reply, close. The remote-operability primitive `lfbs_gateway
+/// --control-get` and tests build on; throws SocketError /
+/// WireFormatError on failure.
+ControlPlanMsg fetch_control(const std::string& host, std::uint16_t port,
+                             Seconds timeout = 5.0);
+ControlPlanMsg send_control(const std::string& host, std::uint16_t port,
+                            const ControlSet& set, Seconds timeout = 5.0);
 
 }  // namespace lfbs::net

@@ -223,6 +223,20 @@ void FrameServer::publish_stats(const runtime::RuntimeStats& stats) {
   impl_->wake.wake();
 }
 
+void FrameServer::publish_control(const ControlPlanMsg& plan) {
+  std::vector<std::uint8_t> bytes;
+  encode_control_plan(plan, bytes);
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& client : clients_) {
+      if (client->dead || client->closing || client->evict) continue;
+      if (!client->subscribed) continue;
+      enqueue_locked(*client, bytes, /*is_frame=*/false);
+    }
+  }
+  impl_->wake.wake();
+}
+
 void FrameServer::note_queue_bytes_locked(Client& client,
                                           std::ptrdiff_t delta) {
   client.queue_bytes = static_cast<std::size_t>(
@@ -692,6 +706,27 @@ void FrameServer::handle_incoming(Client& client) {
             net_metrics().replays_sent.add(replayed);
             emit_event("replay", client.id, replayed);
           }
+          cv_.notify_all();
+        } else if (message->type == MsgType::kControlGet ||
+                   message->type == MsgType::kControlSet) {
+          // Control-plane surface (v5). A gateway without a control loop
+          // answers enabled=false instead of treating the probe as a
+          // protocol error.
+          ControlPlanMsg reply;
+          if (message->type == MsgType::kControlGet) {
+            if (config_.control_get) reply = config_.control_get();
+            ++counters_.control_gets;
+          } else {
+            const ControlSet set = decode_control_set(message->body);
+            if (config_.control_set) reply = config_.control_set(set);
+            ++counters_.control_sets;
+          }
+          std::vector<std::uint8_t> bytes;
+          encode_control_plan(reply, bytes);
+          enqueue_locked(client, bytes, /*is_frame=*/false);
+          emit_event(message->type == MsgType::kControlGet ? "control-get"
+                                                           : "control-set",
+                     client.id, reply.assignments.size());
           cv_.notify_all();
         } else if (message->type == MsgType::kBye) {
           close_client_locked(client, "disconnect");

@@ -12,6 +12,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -82,6 +83,14 @@ struct FrameServerConfig {
   /// and the decode pipeline throttles chunk admission instead of letting
   /// queues grow. Caller-owned; optional.
   runtime::BackpressureGate* backpressure = nullptr;
+  /// Fleet control plane hooks (wire v5). When set, a subscriber's
+  /// kControlGet / kControlSet is answered with a kControlPlan reply;
+  /// when null the server replies with enabled=false, so tools can probe
+  /// a gateway for a control plane without a protocol error. Both run on
+  /// the server's event-loop thread — keep them cheap (the ControlLoop's
+  /// accessors are a mutex-protected state copy, which is fine).
+  std::function<ControlPlanMsg()> control_get;
+  std::function<ControlPlanMsg(const ControlSet&)> control_set;
 };
 
 /// TCP fan-out of decoded frames: bridges a runtime::FrameBus (or direct
@@ -130,6 +139,8 @@ class FrameServer {
                                        ///< short of the configured ring
     std::size_t priority_clients = 0;  ///< hellos that announced kPriority
     std::size_t queue_bytes_peak = 0;  ///< deepest queues+ring byte total
+    std::size_t control_gets = 0;      ///< kControlGet messages answered
+    std::size_t control_sets = 0;      ///< kControlSet messages answered
   };
 
   /// Binds and starts the event loop. Throws SocketError when the port
@@ -155,6 +166,12 @@ class FrameServer {
   /// apply). The gateway sends one after its run drains so clients can
   /// verify they received every published frame.
   void publish_stats(const runtime::RuntimeStats& stats);
+
+  /// Queues a control-plane state/plan broadcast to every subscriber
+  /// (filters do not apply — plans are fleet-wide, not per-frame). The
+  /// gateway calls this after each ControlLoop step so tailing tools see
+  /// scheduling decisions as they happen.
+  void publish_control(const ControlPlanMsg& plan);
 
   /// Blocks until at least one client has subscribed, the timeout passes,
   /// or the server stops. Returns whether a subscriber is present.

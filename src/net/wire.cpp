@@ -346,6 +346,100 @@ RelayHello decode_relay_hello(std::span<const std::uint8_t> body) {
   return hello;
 }
 
+void encode_control_get(std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kControlGet);
+  end_message(out, at);
+}
+
+void encode_control_set(const ControlSet& set,
+                        std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kControlSet);
+  std::uint8_t mask = 0;
+  if (set.set_frozen) mask |= 1u << 0;
+  if (set.frozen) mask |= 1u << 1;
+  if (set.set_target_goodput) mask |= 1u << 2;
+  if (set.set_min_confidence) mask |= 1u << 3;
+  if (set.set_max_rate) mask |= 1u << 4;
+  put_u8(out, mask);
+  put_f64(out, set.target_goodput);
+  put_f64(out, set.min_confidence);
+  put_f64(out, set.max_rate);
+  end_message(out, at);
+}
+
+ControlSet decode_control_set(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  ControlSet set;
+  const std::uint8_t mask = c.get_u8();
+  if (mask >= (1u << 5)) {
+    throw WireFormatError(WireError::kMalformed,
+                          "control set with unknown knob bits");
+  }
+  set.set_frozen = (mask & (1u << 0)) != 0;
+  set.frozen = (mask & (1u << 1)) != 0;
+  set.set_target_goodput = (mask & (1u << 2)) != 0;
+  set.set_min_confidence = (mask & (1u << 3)) != 0;
+  set.set_max_rate = (mask & (1u << 4)) != 0;
+  set.target_goodput = c.get_f64();
+  set.min_confidence = c.get_f64();
+  set.max_rate = c.get_f64();
+  return set;
+}
+
+void encode_control_plan(const ControlPlanMsg& plan,
+                         std::vector<std::uint8_t>& out) {
+  const std::size_t at = begin_message(out, MsgType::kControlPlan);
+  put_u8(out, static_cast<std::uint8_t>((plan.enabled ? 1 : 0) |
+                                        (plan.frozen ? 2 : 0)));
+  put_f64(out, plan.target_goodput);
+  put_f64(out, plan.min_confidence);
+  put_f64(out, plan.max_rate);
+  put_u64(out, plan.epoch);
+  put_string(out, plan.policy);
+  put_f64(out, plan.predicted_goodput);
+  put_f64(out, plan.collision_pressure);
+  put_u32(out, static_cast<std::uint32_t>(plan.assignments.size()));
+  for (const ControlPlanMsg::Assignment& a : plan.assignments) {
+    put_u64(out, a.tag);
+    put_f64(out, a.rate);
+    put_f64(out, a.goodput);
+  }
+  end_message(out, at);
+}
+
+ControlPlanMsg decode_control_plan(std::span<const std::uint8_t> body) {
+  Cursor c(body);
+  ControlPlanMsg plan;
+  const std::uint8_t flags = c.get_u8();
+  if (flags >= 4) {
+    throw WireFormatError(WireError::kMalformed,
+                          "control plan with unknown flag bits");
+  }
+  plan.enabled = (flags & 1) != 0;
+  plan.frozen = (flags & 2) != 0;
+  plan.target_goodput = c.get_f64();
+  plan.min_confidence = c.get_f64();
+  plan.max_rate = c.get_f64();
+  plan.epoch = c.get_u64();
+  plan.policy = c.get_string();
+  plan.predicted_goodput = c.get_f64();
+  plan.collision_pressure = c.get_f64();
+  const std::uint32_t count = c.get_u32();
+  // Each assignment is 24 bytes; validate the count against the body so a
+  // garbled prefix cannot trigger a huge allocation.
+  if (count > c.remaining() / 24) {
+    throw WireFormatError(WireError::kMalformed,
+                          "control plan assignment count exceeds body");
+  }
+  plan.assignments.resize(count);
+  for (ControlPlanMsg::Assignment& a : plan.assignments) {
+    a.tag = c.get_u64();
+    a.rate = c.get_f64();
+    a.goodput = c.get_f64();
+  }
+  return plan;
+}
+
 void MessageReader::feed(const std::uint8_t* data, std::size_t n) {
   // Reclaim consumed prefix before growing; keeps the buffer bounded by
   // one partial message plus whatever feed() just delivered.
@@ -366,7 +460,7 @@ std::optional<Message> MessageReader::next() {
   const std::uint8_t* head = buffer_.data() + consumed_;
   const std::uint8_t type = head[0];
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kShardFrame)) {
+      type > static_cast<std::uint8_t>(MsgType::kControlPlan)) {
     throw WireFormatError(WireError::kUnknownType,
                           "unknown message type " + std::to_string(type));
   }

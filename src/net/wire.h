@@ -37,10 +37,14 @@ constexpr char kWireMagic[6] = {'L', 'F', 'B', 'W', '1', '\0'};
 /// class (best-effort vs priority), kBye grew a retry-after hint
 /// (admission denies tell the client when to redial), and kAck grew the
 /// replay shortfall (how many ring frames the server had already shed
-/// when a resubscriber asked for replay). Each change is incompatible
-/// with older peers, and the hello check rejects them before any frame
-/// is parsed.
-constexpr std::uint16_t kWireVersion = 4;
+/// when a resubscriber asked for replay). Version 5 (fleet control
+/// plane): the control messages joined the protocol — kControlGet /
+/// kControlSet let a subscriber read and adjust the gateway's scheduling
+/// knobs, kControlPlan carries the control state plus the current per-tag
+/// rate assignments (broadcast after each planning step and as the reply
+/// to get/set). Each change is incompatible with older peers, and the
+/// hello check rejects them before any frame is parsed.
+constexpr std::uint16_t kWireVersion = 5;
 
 /// Upper bound on one message body. Protects the receiver from a garbled
 /// (or hostile) length prefix triggering a huge allocation — the same
@@ -86,6 +90,9 @@ enum class MsgType : std::uint8_t {
   kRelayHello = 9,   ///< relay → upstream: gateway id + hop limit
   kShardAssign = 10, ///< coordinator → worker: one window's decode order
   kShardFrame = 11,  ///< worker → coordinator: one window's DecodeResult
+  kControlGet = 12,  ///< client → server: read the control-plane state
+  kControlSet = 13,  ///< client → server: adjust control-plane knobs
+  kControlPlan = 14, ///< server → client: control state + current plan
 };
 
 /// Who a peer claims to be in its hello.
@@ -201,6 +208,43 @@ struct IqEnd {
   bool truncated = false;  ///< source ended short of what it declared
 };
 
+/// Control-plane knob adjustment (v5). Every knob travels with its own
+/// "set" flag so a client can adjust one knob without clobbering the
+/// others — operators' tools race against each other, not just the loop.
+struct ControlSet {
+  bool set_frozen = false;
+  bool frozen = false;  ///< freeze: keep planning/publishing, stop applying
+  bool set_target_goodput = false;
+  double target_goodput = 0.0;  ///< stop stepping up once predicted ≥ this
+  bool set_min_confidence = false;
+  double min_confidence = 0.0;  ///< tags below this are pinned to base rate
+  bool set_max_rate = false;
+  BitRate max_rate = 0.0;  ///< manual override: cap every assignment (0=plan)
+};
+
+/// Control-plane state + the current epoch plan (v5). Broadcast to
+/// subscribers after each planning step, and sent as the reply to both
+/// kControlGet and kControlSet. `enabled` is false when the gateway runs
+/// without a control loop — the reply then carries only zeros, so tools
+/// can distinguish "no control plane" from "idle control plane".
+struct ControlPlanMsg {
+  bool enabled = false;
+  bool frozen = false;
+  double target_goodput = 0.0;
+  double min_confidence = 0.0;
+  BitRate max_rate = 0.0;
+  std::uint64_t epoch = 0;  ///< epoch index the plan was computed for
+  std::string policy;       ///< scheduling policy name ("greedy", "static")
+  double predicted_goodput = 0.0;   ///< bits/s the scheduler expects
+  double collision_pressure = 0.0;  ///< fleet collided-frame fraction
+  struct Assignment {
+    std::uint64_t tag = 0;   ///< tracker tag key
+    BitRate rate = 0.0;      ///< assigned rate for the next epoch
+    double goodput = 0.0;    ///< tag's observed goodput, bits/s
+  };
+  std::vector<Assignment> assignments;  ///< sorted by tag key
+};
+
 /// One de-framed message: type byte plus raw body, ready for decode_*.
 struct Message {
   MsgType type = MsgType::kHello;
@@ -224,6 +268,11 @@ void encode_iq_end(const IqEnd& end, std::vector<std::uint8_t>& out);
 void encode_bye(const Bye& bye, std::vector<std::uint8_t>& out);
 void encode_relay_hello(const RelayHello& hello,
                         std::vector<std::uint8_t>& out);
+/// kControlGet has an empty body; encode appends just the framed header.
+void encode_control_get(std::vector<std::uint8_t>& out);
+void encode_control_set(const ControlSet& set, std::vector<std::uint8_t>& out);
+void encode_control_plan(const ControlPlanMsg& plan,
+                         std::vector<std::uint8_t>& out);
 
 // --- decoders: parse one message body; throw WireFormatError -------------
 
@@ -236,6 +285,8 @@ runtime::SampleChunk decode_iq_chunk(std::span<const std::uint8_t> body);
 IqEnd decode_iq_end(std::span<const std::uint8_t> body);
 Bye decode_bye(std::span<const std::uint8_t> body);
 RelayHello decode_relay_hello(std::span<const std::uint8_t> body);
+ControlSet decode_control_set(std::span<const std::uint8_t> body);
+ControlPlanMsg decode_control_plan(std::span<const std::uint8_t> body);
 
 /// Incremental de-framer: feed() raw bytes as they arrive off a socket,
 /// next() hands back complete messages in order. Tolerates any fragmenta-

@@ -130,6 +130,10 @@ void append_field(std::string& line, const Field& f) {
 
 void EventLog::emit(std::string_view type,
                     std::initializer_list<Field> fields) {
+  emit(type, std::span<const Field>(fields.begin(), fields.size()));
+}
+
+void EventLog::emit(std::string_view type, std::span<const Field> fields) {
   std::string line = "{\"type\":\"";
   line += json_escape(type);
   line += "\",\"ts_us\":";

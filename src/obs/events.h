@@ -5,6 +5,7 @@
 #include <initializer_list>
 #include <mutex>
 #include <ostream>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -71,6 +72,9 @@ class EventLog {
   explicit EventLog(JsonlWriter& out) : out_(out) {}
 
   void emit(std::string_view type, std::initializer_list<Field> fields);
+  /// Span overload for events whose field count is only known at runtime
+  /// (e.g. one control-plan event per scheduled tag assignment).
+  void emit(std::string_view type, std::span<const Field> fields);
   /// Writes a {"type":"snapshot", ...} line carrying every counter and
   /// gauge of the snapshot (histograms are summarized as count/p50/p99).
   void snapshot(const MetricsSnapshot& snap);

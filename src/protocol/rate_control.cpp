@@ -46,12 +46,30 @@ std::optional<BitRate> RateController::on_epoch(std::size_t frames_attempted,
 
 std::optional<BitRate> RateController::step_down() {
   clean_epochs_ = 0;
+  healthy_streak_ = 0;
   const auto it =
       std::find_if(plan_.rates.begin(), plan_.rates.end(),
                    [&](BitRate r) { return r >= current_max_ * (1 - 1e-9); });
   LFBS_CHECK(it != plan_.rates.end());
   if (it == plan_.rates.begin()) return std::nullopt;
   current_max_ = *(it - 1);
+  return current_max_;
+}
+
+std::optional<BitRate> RateController::step_up(bool healthy_epoch) {
+  if (!healthy_epoch) {
+    healthy_streak_ = 0;
+    return std::nullopt;
+  }
+  ++healthy_streak_;
+  if (healthy_streak_ < config_.step_up_patience) return std::nullopt;
+  const auto it =
+      std::find_if(plan_.rates.begin(), plan_.rates.end(),
+                   [&](BitRate r) { return r >= current_max_ * (1 - 1e-9); });
+  LFBS_CHECK(it != plan_.rates.end());
+  if (it + 1 == plan_.rates.end()) return std::nullopt;
+  healthy_streak_ = 0;
+  current_max_ = *(it + 1);
   return current_max_;
 }
 

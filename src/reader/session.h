@@ -79,6 +79,12 @@ class ReaderSession {
   const HealthLedger& health() const { return ledger_; }
   BitRate current_max_rate() const;
 
+  /// Direct access to the broadcast rate controller, so the fleet control
+  /// plane (src/control) can drive step_up()/step_down() between epochs
+  /// through the same hooks the session's own health ledger uses.
+  protocol::RateController& controller() { return controller_; }
+  const protocol::RateController& controller() const { return controller_; }
+
   /// Runs one full epoch cycle: capture, decode, account, and (optionally)
   /// issue a broadcast rate command for the *next* epoch.
   core::DecodeResult run_epoch();

@@ -63,6 +63,18 @@ Complex Scenario::coefficient(std::size_t tag) const {
   return receiver_.channel().coefficient(tag);
 }
 
+void Scenario::set_tag_rate(std::size_t tag, BitRate rate) {
+  LFBS_CHECK(tag < tags_.size());
+  LFBS_CHECK(rate > 0.0);
+  // Expand the "last entry repeats" shorthand so one tag's assignment
+  // cannot alias the tags after it.
+  if (config_.rates.size() < config_.num_tags) {
+    config_.rates.resize(config_.num_tags, config_.rates.back());
+  }
+  config_.rates[tag] = rate;
+  tags_[tag].set_rate(rate);
+}
+
 core::DecoderConfig Scenario::default_decoder() const {
   core::DecoderConfig dc;
   dc.frame = config_.frame;

@@ -59,6 +59,11 @@ class Scenario {
   BitRate rate_of(std::size_t tag) const;
   Complex coefficient(std::size_t tag) const;
 
+  /// Directly sets tag i's rate (fleet control-plane experiments: the
+  /// scheduler assigns per-tag rates rather than one broadcast maximum).
+  /// The rate must come from the decoder's rate plan.
+  void set_tag_rate(std::size_t tag, BitRate rate);
+
   /// Runs one epoch where every tag streams `frames_per_tag` random
   /// payload frames (or as many as fit the epoch).
   EpochOutcome run_epoch(const core::DecoderConfig& decoder_config, Rng& rng,

@@ -52,6 +52,12 @@ class Tag {
   /// don't listen ignore it, exactly as §3.6 allows.
   void apply_rate_command(BitRate max_rate);
 
+  /// Directly assigns this tag's rate — the simulator hook for fleet
+  /// control-plane experiments where a scheduler commands individual tags,
+  /// unlike apply_rate_command which models the broadcast path (lower-only,
+  /// listening tags only). The rate must be a multiple of the base rate.
+  void set_rate(BitRate rate) { rate_ = rate; }
+
   /// Transmits framed bits back-to-back starting at the comparator fire
   /// time; truncates at the epoch end (a blind tag just keeps toggling until
   /// the carrier disappears). Frames are supplied pre-framed by the protocol

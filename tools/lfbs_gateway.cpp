@@ -77,11 +77,27 @@
 //   --chaos SPEC deterministic socket fault injection for this process
 //                (key=value[,key=value...]; see docs/DESIGN.md §4g). Test
 //                instrumentation only — faults are injected, not real.
+//
+// Fleet control plane (serve; see docs/DESIGN.md §4i):
+//   --control SPEC       run an epoch-scheduling ControlLoop over the
+//                        published frame stream (key=value[,key=value...]
+//                        or the literal "on"): policy=greedy|static,
+//                        seed=N, target-goodput=X, min-confidence=X,
+//                        max-rate=X, budget=X, penalty=X, freeze=0|1,
+//                        alpha=X, forget=N, period-ms=X. The plan is
+//                        broadcast as a kControlPlan after the run drains
+//                        (and every period-ms while it streams).
+//   --control-policy P   override the scheduling policy (greedy | static)
+//   --epoch-budget N     override the aggregate-rate budget, multiples of
+//                        the base rate
+//   --control-get HOST:PORT   one-shot client: fetch and print a serving
+//                        gateway's live control state/plan, then exit
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -89,6 +105,8 @@
 
 #include "common/rng.h"
 #include "common/shutdown.h"
+#include "control/control_loop.h"
+#include "control/spec.h"
 #include "net/chaos/chaos.h"
 #include "net/federation/relay.h"
 #include "net/federation/shard.h"
@@ -126,7 +144,10 @@ void usage() {
       "               [--windowed MS] [--gateway-id N] [--shard HOST:PORT]\n"
       "               [--replay N] [--trace-out PATH] [--chaos SPEC]\n"
       "overload:      [--quota SPEC] [--queue-budget-kb N] [--retry-after S]\n"
-      "               [--max-clients N]   (tail: [--priority])\n");
+      "               [--max-clients N]   (tail: [--priority])\n"
+      "control plane: [--control SPEC] [--control-policy greedy|static]\n"
+      "               [--epoch-budget N]   (client: --control-get "
+      "HOST:PORT)\n");
 }
 
 bool split_host_port(const std::string& spec, std::string& host,
@@ -150,6 +171,43 @@ std::string bits_hex(const std::vector<bool>& bits) {
     out += "0123456789abcdef"[nibble & 0xF];
   }
   return out;
+}
+
+/// One control-plane state/plan, in the grep-friendly shape the smoke
+/// scripts and a tailing operator both read.
+void print_control_plan(const net::ControlPlanMsg& plan) {
+  if (!plan.enabled) {
+    std::printf("control: disabled\n");
+    return;
+  }
+  std::printf(
+      "control: epoch=%llu policy=%s%s tags=%zu predicted=%.6g b/s "
+      "pressure=%.3f\n",
+      static_cast<unsigned long long>(plan.epoch), plan.policy.c_str(),
+      plan.frozen ? " (frozen)" : "", plan.assignments.size(),
+      plan.predicted_goodput, plan.collision_pressure);
+  for (const auto& a : plan.assignments) {
+    std::printf("control: tag=%llu rate=%s predicted=%.6g b/s\n",
+                static_cast<unsigned long long>(a.tag),
+                format_rate(a.rate).c_str(), a.goodput);
+  }
+}
+
+int run_control_get(const std::string& spec) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!split_host_port(spec, host, port)) {
+    std::fprintf(stderr, "error: --control-get wants HOST:PORT, got '%s'\n",
+                 spec.c_str());
+    return 2;
+  }
+  try {
+    print_control_plan(net::fetch_control(host, port));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 }
 
 int run_tail(const std::string& spec, double min_confidence, bool crc_only,
@@ -179,6 +237,9 @@ int run_tail(const std::string& spec, double min_confidence, bool crc_only,
   };
   callbacks.on_stats = [&](const net::WireStats& stats) {
     final_stats = stats;
+  };
+  callbacks.on_control = [&](const net::ControlPlanMsg& plan) {
+    if (!quiet) print_control_plan(plan);
   };
 
   net::Bye bye;
@@ -288,6 +349,10 @@ int main(int argc, char** argv) {
   std::size_t replay_frames = 0;
   std::string chaos_spec;
   std::string quota_spec;
+  std::string control_spec;
+  std::string control_policy;
+  std::string epoch_budget;
+  std::string control_get_spec;
   std::size_t queue_budget_kb = 0;
   double retry_after = -1.0;  // <0 = keep the spec/default hint
   std::size_t max_clients = 0;
@@ -336,6 +401,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--quota" && i + 1 < argc) {
       quota_spec = argv[++i];
+    } else if (arg == "--control" && i + 1 < argc) {
+      control_spec = argv[++i];
+    } else if (arg == "--control-policy" && i + 1 < argc) {
+      control_policy = argv[++i];
+    } else if (arg == "--epoch-budget" && i + 1 < argc) {
+      epoch_budget = argv[++i];
+    } else if (arg == "--control-get" && i + 1 < argc) {
+      control_get_spec = argv[++i];
     } else if (arg == "--queue-budget-kb" && i + 1 < argc) {
       queue_budget_kb = static_cast<std::size_t>(atoi(argv[++i]));
     } else if (arg == "--retry-after" && i + 1 < argc) {
@@ -401,6 +474,43 @@ int main(int argc, char** argv) {
     }
   }
   if (retry_after >= 0.0) admission.retry_after = retry_after;
+
+  // Fleet control plane: like --quota, every spec is parsed up front so a
+  // malformed one is a typed usage error (exit 2) before anything binds.
+  // --control-policy and --epoch-budget are standalone overrides: either
+  // refines an existing --control spec or enables the loop with defaults.
+  std::optional<control::ControlSpec> control_cfg;
+  if (!control_spec.empty()) {
+    try {
+      control_cfg = control::parse_control_spec(control_spec);
+    } catch (const control::ControlParseError& e) {
+      std::fprintf(stderr, "error: bad --control spec (%s): %s\n",
+                   control::to_string(e.code()), e.what());
+      return 2;
+    }
+  }
+  if (!control_policy.empty()) {
+    try {
+      const std::string name = control::parse_policy_name(control_policy);
+      if (!control_cfg.has_value()) control_cfg.emplace();
+      control_cfg->loop.policy = name;
+    } catch (const control::ControlParseError& e) {
+      std::fprintf(stderr, "error: bad --control-policy (%s): %s\n",
+                   control::to_string(e.code()), e.what());
+      return 2;
+    }
+  }
+  if (!epoch_budget.empty()) {
+    try {
+      const double budget_units = control::parse_epoch_budget(epoch_budget);
+      if (!control_cfg.has_value()) control_cfg.emplace();
+      control_cfg->loop.objective.epoch_budget = budget_units;
+    } catch (const control::ControlParseError& e) {
+      std::fprintf(stderr, "error: bad --epoch-budget (%s): %s\n",
+                   control::to_string(e.code()), e.what());
+      return 2;
+    }
+  }
   std::optional<net::ResourceBudget> budget;
   std::optional<runtime::BackpressureGate> gate;
   if (queue_budget_kb > 0) {
@@ -461,10 +571,13 @@ int main(int argc, char** argv) {
     obs::set_event_log(nullptr);
   };
 
-  // --- client roles: tail / push ------------------------------------------
-  if (!connect_spec.empty() || !push_spec.empty()) {
+  // --- client roles: tail / push / control probe --------------------------
+  if (!connect_spec.empty() || !push_spec.empty() ||
+      !control_get_spec.empty()) {
     int code;
-    if (!connect_spec.empty()) {
+    if (!control_get_spec.empty()) {
+      code = run_control_get(control_get_spec);
+    } else if (!connect_spec.empty()) {
       code = run_tail(connect_spec, min_confidence, crc_only, quiet,
                       tail_priority);
     } else if (capture.empty()) {
@@ -609,6 +722,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // Control plane: the loop is built only after the source exists (its
+    // rate plan can come from the scenario's decoder config), but clients
+    // can send control-get/-set the moment the server binds — so the
+    // server hooks indirect through this slot. An unset slot answers
+    // enabled=false, same as a gateway run without --control.
+    std::mutex control_mutex;
+    std::shared_ptr<control::ControlLoop> control_loop;
+
     net::FrameServerConfig sc;
     sc.port = port;
     sc.send_queue_messages = queue_frames;
@@ -618,6 +739,19 @@ int main(int argc, char** argv) {
     sc.origin_id = gateway_id;
     sc.replay_frames = replay_frames;
     configure_overload(sc);
+    if (control_cfg.has_value()) {
+      sc.control_get = [&control_mutex, &control_loop] {
+        std::lock_guard<std::mutex> lock(control_mutex);
+        return control_loop ? control_loop->wire_state()
+                            : net::ControlPlanMsg{};
+      };
+      sc.control_set = [&control_mutex,
+                        &control_loop](const net::ControlSet& set) {
+        std::lock_guard<std::mutex> lock(control_mutex);
+        return control_loop ? control_loop->apply_control_set(set)
+                            : net::ControlPlanMsg{};
+      };
+    }
     net::FrameServer server(sc);
     std::fprintf(stderr, "gateway: serving frames on port %u\n",
                  server.port());
@@ -668,6 +802,45 @@ int main(int argc, char** argv) {
       source = std::move(remote);
     }
 
+    if (control_cfg.has_value()) {
+      auto loop = std::make_shared<control::ControlLoop>(
+          control_cfg->loop, rc.windowed.decoder.rate_plan);
+      {
+        std::lock_guard<std::mutex> lock(control_mutex);
+        control_loop = loop;
+      }
+      std::fprintf(stderr, "gateway: control plane on (policy=%s%s)\n",
+                   loop->policy_name(), loop->frozen() ? ", frozen" : "");
+    }
+    // Feed every published frame to the tracker; step the loop in the
+    // background only when the spec asks (period-ms). Either way a final
+    // deterministic step after the run drains closes the last epoch and
+    // broadcasts the plan before the stats digest, so a tail always sees
+    // control → stats → bye.
+    const auto control_attach =
+        [&](runtime::FrameBus& bus) -> runtime::FrameBus::SubscriberId {
+      if (!control_loop) return 0;
+      const auto id = bus.subscribe([&](const runtime::FrameEvent& event) {
+        control_loop->tracker().observe_frame(event);
+      });
+      if (control_cfg->period > 0.0) control_loop->start(control_cfg->period);
+      return id;
+    };
+    const auto control_finish = [&](runtime::FrameBus& bus,
+                                    runtime::FrameBus::SubscriberId id) {
+      if (!control_loop) return;
+      control_loop->stop();
+      if (id != 0) bus.unsubscribe(id);
+      const control::EpochPlan plan = control_loop->step();
+      server.publish_control(control_loop->wire_state());
+      std::fprintf(stderr,
+                   "gateway: control epoch=%llu policy=%s tags=%zu "
+                   "predicted=%.6g b/s\n",
+                   static_cast<unsigned long long>(plan.epoch),
+                   plan.policy.c_str(), plan.assignments.size(),
+                   plan.predicted_goodput_bps);
+    };
+
     runtime::RuntimeStats stats;
     core::DecodeResult decode;
     if (!shard_specs.empty()) {
@@ -688,6 +861,7 @@ int main(int argc, char** argv) {
       }
       net::federation::ShardedDecoder sharded(shc);
       server.attach(sharded.bus());
+      const auto control_tap = control_attach(sharded.bus());
       if (wait_subscriber > 0.0 &&
           !server.wait_for_subscriber(wait_subscriber)) {
         std::fprintf(stderr,
@@ -695,6 +869,7 @@ int main(int argc, char** argv) {
                      wait_subscriber);
       }
       const auto result = sharded.run(*source);
+      control_finish(sharded.bus(), control_tap);
       server.detach();
       decode = result.decode;
       stats.frames_published = result.stats.frames_published;
@@ -712,6 +887,7 @@ int main(int argc, char** argv) {
     } else {
       runtime::DecodeRuntime rt(rc);
       server.attach(rt.bus());
+      const auto control_tap = control_attach(rt.bus());
       if (wait_subscriber > 0.0 &&
           !server.wait_for_subscriber(wait_subscriber)) {
         std::fprintf(stderr,
@@ -719,6 +895,7 @@ int main(int argc, char** argv) {
                      wait_subscriber);
       }
       const runtime::RuntimeResult run = rt.run(*source);
+      control_finish(rt.bus(), control_tap);
       server.detach();
       decode = run.decode;
       stats = run.stats;

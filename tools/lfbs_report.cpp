@@ -20,6 +20,9 @@
 //              truncation) and check that the frame ledger closes
 //   chaos    → injected-fault breakdown per fault class, when the run
 //              carried a --chaos spec
+//   control  → fleet control plane: plan history (epoch, policy,
+//              predicted goodput, collision pressure) and per-tag rate
+//              trajectories reconstructed from the assign events alone
 //   snapshot → count only (periodic metric snapshots)
 //
 // Exit status: 0 on a parseable stream (even an empty one); 2 when the
@@ -87,6 +90,14 @@ int main(int argc, char** argv) {
   std::map<std::string, std::size_t> federation_actions;
   std::vector<std::string> federation_log;
   std::map<std::string, std::size_t> chaos_faults;
+  // Fleet control plane: plan history plus, per tag, the deduplicated
+  // sequence of assigned rates — the trajectory an operator asks about
+  // first ("when did tag 3 get demoted, and did it come back?").
+  std::map<std::string, std::size_t> control_actions;
+  std::vector<std::string> control_log;
+  std::size_t control_plans_applied = 0;
+  std::map<std::int64_t, std::vector<double>> control_rate_traj;
+  std::map<std::int64_t, std::size_t> control_assign_counts;
   std::int64_t relay_max_hops = 0;
   std::size_t snapshots = 0;
   std::size_t lines_total = 0;
@@ -193,6 +204,39 @@ int main(int argc, char** argv) {
       }
     } else if (type == "chaos") {
       ++chaos_faults[std::string(v.member_str("fault", "?"))];
+    } else if (type == "control") {
+      const std::string action = v.member_str("action", "?");
+      ++control_actions[action];
+      if (action == "plan") {
+        if (v.member_bool("applied", false)) ++control_plans_applied;
+        control_log.push_back(
+            "epoch " +
+            std::to_string(
+                static_cast<std::int64_t>(v.member_num("epoch", 0.0))) +
+            ": " + std::string(v.member_str("policy", "?")) + ", " +
+            std::to_string(
+                static_cast<std::int64_t>(v.member_num("tags", 0.0))) +
+            " tags, predicted " +
+            sim::fmt(v.member_num("predicted_goodput", 0.0), 0) +
+            " b/s, pressure " +
+            sim::fmt(v.member_num("collision_pressure", 0.0), 2) +
+            (v.member_bool("applied", false) ? "" : " (not applied)"));
+      } else if (action == "assign") {
+        const auto tag =
+            static_cast<std::int64_t>(v.member_num("tag", 0.0));
+        const double rate = v.member_num("rate", 0.0);
+        auto& traj = control_rate_traj[tag];
+        if (traj.empty() || traj.back() != rate) traj.push_back(rate);
+        ++control_assign_counts[tag];
+      } else if (action == "set") {
+        control_log.push_back(
+            "set: frozen=" +
+            std::string(v.member_bool("frozen", false) ? "yes" : "no") +
+            ", target " + sim::fmt(v.member_num("target_goodput", 0.0), 0) +
+            " b/s, min confidence " +
+            sim::fmt(v.member_num("min_confidence", 0.0), 2) + ", max rate " +
+            sim::fmt(v.member_num("max_rate", 0.0) / 1e3, 1) + " kbps");
+      }
     } else if (type == "snapshot") {
       ++snapshots;
     }
@@ -254,6 +298,31 @@ int main(int argc, char** argv) {
   if (!rate_log.empty()) {
     std::printf("\n== rate commands ==\n");
     for (const auto& r : rate_log) std::printf("  %s\n", r.c_str());
+  }
+  if (!control_actions.empty()) {
+    std::printf("\n== control ==\n");
+    const auto action_count = [&](const char* key) {
+      const auto it = control_actions.find(key);
+      return it == control_actions.end() ? std::size_t{0} : it->second;
+    };
+    std::printf("%zu plans (%zu applied), %zu assignments, %zu knob sets\n",
+                action_count("plan"), control_plans_applied,
+                action_count("assign"), action_count("set"));
+    for (const auto& c : control_log) std::printf("  %s\n", c.c_str());
+    if (!control_rate_traj.empty()) {
+      std::printf("per-tag rate trajectories:\n");
+      sim::Table table({"tag", "assignments", "rate trajectory (kbps)"});
+      for (const auto& [tag, traj] : control_rate_traj) {
+        std::string path;
+        for (const double rate : traj) {
+          if (!path.empty()) path += " -> ";
+          path += sim::fmt(rate / 1e3, 1);
+        }
+        table.add_row({std::to_string(tag),
+                       std::to_string(control_assign_counts[tag]), path});
+      }
+      table.print();
+    }
   }
   if (!net_actions.empty()) {
     std::printf("\n== gateway ==\n");
